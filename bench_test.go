@@ -1,0 +1,141 @@
+// Package lunasolar's root benchmarks regenerate every table and figure of
+// the paper's evaluation as testing.B benchmarks (one per artifact), plus
+// end-to-end I/O microbenchmarks for each stack. The per-experiment tables
+// are printed once per benchmark run; custom metrics expose the simulated
+// results alongside wall-clock cost:
+//
+//	go test -bench=Fig6 -benchmem
+//	go test -bench=. -benchmem                           # all, reduced scale
+//	LUNASOLAR_FULL_BENCH=1 go test -bench=. -timeout 60m # full scale
+package lunasolar
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/experiments"
+)
+
+// benchOpts runs the experiment benchmarks at reduced scale so the whole
+// suite fits a default `go test -bench=.` run; full-scale regeneration is
+// cmd/ebsbench's job. Set LUNASOLAR_FULL_BENCH=1 (with a generous -timeout)
+// to benchmark the full-scale experiments instead.
+func benchOpts(b *testing.B) experiments.Options {
+	full := os.Getenv("LUNASOLAR_FULL_BENCH") != ""
+	return experiments.Options{Seed: 1, Quick: !full}
+}
+
+// runExperiment executes fn once per b.N and prints the regenerated table
+// on the first iteration.
+func runExperiment(b *testing.B, name string, fn func(experiments.Options) *experiments.Table) {
+	b.Helper()
+	opts := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		t := fn(opts)
+		if i == 0 && !benchQuiet {
+			fmt.Printf("\n%s", t.Format())
+		}
+	}
+}
+
+// benchQuiet suppresses table printing (set by profiling runs).
+var benchQuiet = false
+
+func BenchmarkFig3Traffic(b *testing.B)       { runExperiment(b, "fig3", experiments.Fig3) }
+func BenchmarkFig4Diurnal(b *testing.B)       { runExperiment(b, "fig4", experiments.Fig4) }
+func BenchmarkFig5Sizes(b *testing.B)         { runExperiment(b, "fig5", experiments.Fig5) }
+func BenchmarkFig6Breakdown(b *testing.B)     { runExperiment(b, "fig6", experiments.Fig6) }
+func BenchmarkFig7Evolution(b *testing.B)     { runExperiment(b, "fig7", experiments.Fig7) }
+func BenchmarkFig8Hangs(b *testing.B)         { runExperiment(b, "fig8", experiments.Fig8) }
+func BenchmarkFig11Corruption(b *testing.B)   { runExperiment(b, "fig11", experiments.Fig11) }
+func BenchmarkFig14Fio(b *testing.B)          { runExperiment(b, "fig14", experiments.Fig14) }
+func BenchmarkFig15WriteLatency(b *testing.B) { runExperiment(b, "fig15", experiments.Fig15) }
+func BenchmarkTable1RPC(b *testing.B)         { runExperiment(b, "table1", experiments.Table1) }
+func BenchmarkTable2Failures(b *testing.B)    { runExperiment(b, "table2", experiments.Table2) }
+func BenchmarkTable3Resources(b *testing.B)   { runExperiment(b, "table3", experiments.Table3) }
+
+// benchIO measures simulated 4 KiB write performance per stack: b.N I/Os
+// through a full cluster. Reported metrics: simulated microseconds per I/O
+// (median) and the simulator's event throughput.
+func benchIO(b *testing.B, fn ebs.StackKind, write bool) {
+	cfg := ebs.DefaultConfig(fn)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.ComputeServers = 1
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	c := ebs.New(cfg)
+	vd := c.Provision(0, 256<<20, ebs.DefaultQoS())
+	if !write {
+		for off := uint64(0); off < 16<<20; off += 512 << 10 {
+			vd.Write(off, make([]byte, 512<<10), nil)
+		}
+		c.Run()
+	}
+	payload := make([]byte, 4096)
+
+	b.ResetTimer()
+	n := 0
+	var issue func()
+	issue = func() {
+		if n >= b.N {
+			return
+		}
+		lba := uint64(n%4096) << 12
+		n++
+		if write {
+			vd.Write(lba, payload, func(ebs.IOResult) { issue() })
+		} else {
+			vd.Read(lba, 4096, func(ebs.IOResult) { issue() })
+		}
+	}
+	start := c.Now()
+	startEvents := c.Eng.Processed()
+	issue()
+	c.Run()
+	b.StopTimer()
+
+	elapsed := c.Now() - start
+	if b.N > 0 && elapsed > 0 {
+		b.ReportMetric(float64(elapsed.Microseconds())/float64(b.N), "sim-µs/io")
+		b.ReportMetric(float64(c.Eng.Processed()-startEvents)/float64(b.N), "events/io")
+	}
+	b.SetBytes(4096)
+}
+
+func BenchmarkKernelWrite4K(b *testing.B) { benchIO(b, ebs.KernelTCP, true) }
+func BenchmarkLunaWrite4K(b *testing.B)   { benchIO(b, ebs.Luna, true) }
+func BenchmarkRDMAWrite4K(b *testing.B)   { benchIO(b, ebs.RDMA, true) }
+func BenchmarkSolarWrite4K(b *testing.B)  { benchIO(b, ebs.Solar, true) }
+func BenchmarkSolarRead4K(b *testing.B)   { benchIO(b, ebs.Solar, false) }
+func BenchmarkLunaRead4K(b *testing.B)    { benchIO(b, ebs.Luna, false) }
+
+// BenchmarkSimulatorEventRate measures raw event-loop throughput with a
+// saturating Solar workload — the simulator's own performance envelope.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	cfg := ebs.DefaultConfig(ebs.Solar)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.ComputeServers = 4
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	c := ebs.New(cfg)
+	var vds []*ebs.VDisk
+	for i := 0; i < 4; i++ {
+		vd := c.Provision(i, 128<<20, ebs.DefaultQoS())
+		vds = append(vds, vd)
+		for s := 0; s < 8; s++ {
+			var issue func()
+			lba := uint64(s) << 16
+			issue = func() {
+				vd.Write(lba, make([]byte, 4096), func(ebs.IOResult) { issue() })
+			}
+			issue()
+		}
+	}
+	b.ResetTimer()
+	target := c.Eng.Processed() + uint64(b.N)
+	for c.Eng.Processed() < target && c.Eng.Step() {
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,84 @@
+// Command ebsbench regenerates the paper's tables and figures. Each
+// experiment id maps to one table or figure of the evaluation:
+//
+//	ebsbench -exp fig6            # 4KB latency breakdown, kernel/luna/solar
+//	ebsbench -exp table2 -quick   # failure scenarios at reduced scale
+//	ebsbench -exp all             # everything (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lunasolar/internal/experiments"
+)
+
+var registry = map[string]struct {
+	fn    func(experiments.Options) *experiments.Table
+	brief string
+}{
+	"fig3":      {experiments.Fig3, "weekly EBS vs total traffic shares"},
+	"fig4":      {experiments.Fig4, "diurnal per-server IOPS"},
+	"fig5":      {experiments.Fig5, "I/O and RPC size CDFs"},
+	"fig6":      {experiments.Fig6, "4KB latency breakdown (kernel/luna/solar)"},
+	"fig7":      {experiments.Fig7, "five-year latency/IOPS evolution"},
+	"fig8":      {experiments.Fig8, "I/O hangs by failure tier (Luna era)"},
+	"fig11":     {experiments.Fig11, "corruption root causes vs software CRC"},
+	"fig14":     {experiments.Fig14, "fio throughput/IOPS by DPU cores"},
+	"fig15":     {experiments.Fig15, "single 4KB write latency, light/heavy load"},
+	"table1":    {experiments.Table1, "RPC latency and cores, kernel vs luna"},
+	"table2":    {experiments.Table2, "I/O hangs under failure scenarios"},
+	"table3":    {experiments.Table3, "FPGA resource consumption"},
+	"ablate":    {experiments.Ablations, "Solar design-choice ablations (paths, CRC, Addr table)"},
+	"rdmacliff": {experiments.RDMACliff, "RDMA connection-scalability cliff (the §3.1 FN rejection)"},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig3..fig15, table1..table3, or 'all')")
+	quick := flag.Bool("quick", false, "reduced scale for a fast run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range ids {
+			fmt.Printf("  %-7s %s\n", id, registry[id].brief)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	run := func(id string) {
+		e, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Print(e.fn(opts).Format())
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range ids {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

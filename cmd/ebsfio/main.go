@@ -1,0 +1,163 @@
+// Command ebsfio is a fio-like load generator for the simulated EBS
+// cluster: pick a stack, block size, queue depth and read fraction, and it
+// reports throughput, IOPS and latency percentiles.
+//
+//	ebsfio -stack solar -bs 4096 -depth 32 -read 1.0 -runtime 100ms
+//	ebsfio -stack luna -bs 65536 -depth 16 -read 0.0 -cores 2
+//	ebsfio -record /tmp/run.trace ...      # save the issued I/Os as a trace
+//	ebsfio -replay /tmp/run.trace ...      # replay a trace open-loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/stats"
+	"lunasolar/internal/workload"
+)
+
+func parseStack(s string) (ebs.StackKind, bool) {
+	switch s {
+	case "kernel":
+		return ebs.KernelTCP, true
+	case "luna":
+		return ebs.Luna, true
+	case "rdma":
+		return ebs.RDMA, true
+	case "solar":
+		return ebs.Solar, true
+	case "solar*", "solarstar":
+		return ebs.SolarStar, true
+	}
+	return 0, false
+}
+
+func main() {
+	stackName := flag.String("stack", "solar", "fn stack: kernel|luna|rdma|solar|solar*")
+	bs := flag.Int("bs", 4096, "block size in bytes")
+	depth := flag.Int("depth", 32, "outstanding I/Os")
+	readFrac := flag.Float64("read", 1.0, "fraction of reads")
+	cores := flag.Int("cores", 0, "stack CPU cores (0 = stack default)")
+	runtime := flag.Duration("runtime", 100*time.Millisecond, "measurement window (virtual time)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	bareMetal := flag.Bool("baremetal", true, "run the compute stack on a DPU")
+	record := flag.String("record", "", "write the issued I/Os to this trace file")
+	replay := flag.String("replay", "", "replay a trace file instead of the closed loop")
+	flag.Parse()
+
+	fn, ok := parseStack(*stackName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown stack %q\n", *stackName)
+		os.Exit(1)
+	}
+
+	cfg := ebs.DefaultConfig(fn)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.Fabric.HostsPerRack = 4
+	cfg.ComputeServers = 1
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	cfg.Seed = *seed
+	cfg.BareMetal = *bareMetal
+	if *cores > 0 {
+		cfg.DPU.CPUCores = *cores
+		cfg.StackCores = *cores
+	}
+	c := ebs.New(cfg)
+	vd := c.Provision(0, 512<<20, ebs.DefaultQoS())
+
+	// Prepopulate the span touched by reads.
+	span := uint64(16 << 20)
+	if *readFrac > 0 {
+		for off := uint64(0); off < span; off += 512 << 10 {
+			vd.Write(off, make([]byte, 512<<10), nil)
+		}
+		c.Run()
+	}
+
+	h := stats.NewHistogram()
+	var recorded []workload.TraceRecord
+	startAt := c.Now()
+	issueIO := func(write bool, lba uint64, size int, done func()) {
+		if *record != "" {
+			recorded = append(recorded, workload.TraceRecord{
+				At: c.Now() - startAt, Write: write, LBA: lba, Size: size,
+			})
+		}
+		start := c.Eng.Now()
+		fin := func(ebs.IOResult) {
+			h.Record(c.Eng.Now().Sub(start))
+			done()
+		}
+		if write {
+			vd.Write(lba, make([]byte, size), fin)
+		} else {
+			vd.Read(lba, size, fin)
+		}
+	}
+
+	var bytes, n uint64
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		recs, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rp := workload.NewReplayer(c.Eng, recs, issueIO)
+		rp.Start()
+		c.Run()
+		n = uint64(rp.Completed)
+		for _, r := range recs {
+			bytes += uint64(r.Size)
+		}
+		if len(recs) > 0 {
+			*runtime = recs[len(recs)-1].At
+		}
+		fmt.Printf("replayed %d I/Os from %s\n", rp.Completed, *replay)
+	} else {
+		fio := workload.NewFio(c.Eng, workload.FioConfig{
+			Depth: *depth, BlockSize: *bs, ReadFrac: *readFrac, SpanBytes: span,
+		}, issueIO)
+		warmup := 5 * time.Millisecond
+		fio.Start()
+		c.RunFor(warmup)
+		h.Reset()
+		base := fio.Bytes
+		baseN := fio.Completed
+		c.RunFor(*runtime)
+		bytes = fio.Bytes - base
+		n = fio.Completed - baseN
+		fio.Stop()
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := workload.WriteTrace(f, recorded); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("recorded %d I/Os to %s\n", len(recorded), *record)
+	}
+
+	secs := runtime.Seconds()
+	fmt.Printf("stack=%s bs=%d depth=%d read=%.2f window=%v\n", fn, *bs, *depth, *readFrac, *runtime)
+	fmt.Printf("  iops=%.0f  bw=%.1f MB/s  completed=%d\n",
+		float64(n)/secs, float64(bytes)/secs/1e6, n)
+	fmt.Printf("  lat p50=%v p95=%v p99=%v max=%v\n",
+		h.Median().Round(100*time.Nanosecond), h.P95().Round(100*time.Nanosecond),
+		h.P99().Round(100*time.Nanosecond), h.Max().Round(100*time.Nanosecond))
+}

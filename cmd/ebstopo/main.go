@@ -1,0 +1,110 @@
+// Command ebstopo builds a fabric, prints its shape, shows how ECMP spreads
+// Solar's path IDs, and optionally runs a failure drill: hang a switch and
+// watch which flows die and when routing reconverges.
+//
+//	ebstopo
+//	ebstopo -racks 4 -hosts 4 -spines 4 -cores 4
+//	ebstopo -drill tor     # hang a ToR and report flow fates
+//	ebstopo -drill spine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/wire"
+)
+
+func main() {
+	racks := flag.Int("racks", 2, "racks per pod")
+	hosts := flag.Int("hosts", 4, "hosts per rack")
+	spines := flag.Int("spines", 2, "spines per pod")
+	cores := flag.Int("cores", 2, "core switches per DC")
+	drill := flag.String("drill", "", "failure drill: tor|spine|core|blackhole")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	eng := sim.NewEngine(*seed)
+	cfg := simnet.DefaultConfig()
+	cfg.RacksPerPod = *racks
+	cfg.HostsPerRack = *hosts
+	cfg.SpinesPerPod = *spines
+	cfg.CoresPerDC = *cores
+	fab := simnet.New(eng, cfg)
+
+	nHosts := len(fab.Hosts())
+	nSwitches := len(fab.Switches())
+	fmt.Printf("fabric: %d pods x %d racks x %d hosts = %d hosts, %d switches\n",
+		cfg.PodsPerDC, cfg.RacksPerPod, cfg.HostsPerRack, nHosts, nSwitches)
+	fmt.Printf("links: host %s, fabric %s, buffers %dKB/port, ECN @ %dKB\n",
+		gbps(cfg.HostLinkBps), gbps(cfg.FabricLinkBps), cfg.BufferBytes>>10, cfg.ECNThresholdBytes>>10)
+
+	// ECMP spread: one flow per source port from a compute host to a
+	// storage host; report how many distinct spines carry traffic.
+	src := fab.Host(0, 0, 0, 0)
+	dst := fab.Host(0, 1, 0, 0)
+	dst.Handler = func(*simnet.Packet) {}
+	for port := uint16(30000); port < 30064; port++ {
+		src.Send(&simnet.Packet{
+			Dst: dst.Addr(), Proto: wire.ProtoUDP, SrcPort: port, DstPort: 7010,
+			Payload: make([]byte, 64), Overhead: simnet.DefaultOverheadUDP,
+		})
+		eng.RunFor(100 * time.Microsecond)
+	}
+	fmt.Println("\nECMP spread over 64 source ports (data path via pod-0 spines):")
+	for i := 0; i < cfg.SpinesPerPod; i++ {
+		sp := fab.Spine(0, 0, i)
+		fmt.Printf("  %-14s forwarded %d\n", sp.Name(), sp.Forwarded())
+	}
+
+	if *drill == "" {
+		return
+	}
+
+	var target *simnet.Switch
+	switch *drill {
+	case "tor":
+		target = fab.ToR(0, 0, 0, 0)
+		target.Fail()
+	case "spine":
+		target = fab.Spine(0, 0, 0)
+		target.Fail()
+	case "core":
+		target = fab.Core(0, 0)
+		target.Fail()
+	case "blackhole":
+		target = fab.ToR(0, 0, 0, 0)
+		target.SetBlackhole(0.25, 99)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown drill %q\n", *drill)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndrill: %s on %s (detect delay %v)\n", *drill, target.Name(), cfg.DetectDelay)
+
+	// Probe 64 flows immediately, after half the detection delay, and after
+	// reconvergence.
+	probe := func(label string) {
+		delivered := 0
+		got := 0
+		dst.Handler = func(*simnet.Packet) { got++ }
+		for port := uint16(40000); port < 40064; port++ {
+			src.Send(&simnet.Packet{
+				Dst: dst.Addr(), Proto: wire.ProtoUDP, SrcPort: port, DstPort: 7010,
+				Payload: make([]byte, 64), Overhead: simnet.DefaultOverheadUDP,
+			})
+			eng.RunFor(50 * time.Microsecond)
+		}
+		eng.RunFor(5 * time.Millisecond)
+		delivered = got
+		fmt.Printf("  %-22s %2d/64 flows delivered\n", label, delivered)
+	}
+	probe("right after failure:")
+	eng.RunFor(cfg.DetectDelay)
+	probe("after detect delay:")
+}
+
+func gbps(bps float64) string { return fmt.Sprintf("%.0fG", bps/1e9) }

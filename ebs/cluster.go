@@ -1,0 +1,273 @@
+package ebs
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/internal/blockserver"
+	"lunasolar/internal/chunkserver"
+	"lunasolar/internal/core"
+	"lunasolar/internal/dpu"
+	"lunasolar/internal/rdma"
+	"lunasolar/internal/sa"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/tcpstack"
+	"lunasolar/internal/trace"
+	"lunasolar/internal/transport"
+)
+
+// Compute servers live in (dc 0, pod 0). Storage servers live in pod 1 of
+// the same DC, or pod 0 of DC 1 when CrossDC is set — either way frontend
+// traffic crosses the fabric's upper tiers.
+const computePod = 0
+
+// Cluster is a fully wired EBS deployment.
+type Cluster struct {
+	Eng    *sim.Engine
+	Fabric *simnet.Fabric
+	cfg    Config
+
+	computes []*ComputeServer
+	blocks   []*StorageServer
+	chunks   []*StorageServer
+
+	segs      *sa.SegmentTable
+	collector *trace.Collector
+	nextVD    uint32
+}
+
+// ComputeServer is one compute host: its agent, stack, and (when
+// bare-metal) DPU.
+type ComputeServer struct {
+	Host  *simnet.Host
+	Cores *sim.Server // the pool the stack + SA are charged to
+	DPU   *dpu.DPU    // nil unless bare-metal
+	Stack transport.Stack
+	Agent *sa.Agent
+}
+
+// StorageServer is one storage host: a block server or a chunk server.
+type StorageServer struct {
+	Host  *simnet.Host
+	Cores *sim.Server
+	Block *blockserver.Server // nil on chunk nodes
+	Chunk *chunkserver.Server // nil on block nodes
+	FN    transport.Stack     // the host's frontend-facing stack (diagnostics)
+}
+
+// New builds and wires a cluster. It panics on impossible configurations
+// (construction errors are programming errors in experiment setup).
+func New(cfg Config) *Cluster {
+	if cfg.FN == Solar || cfg.FN == SolarStar {
+		cfg.BareMetal = true
+	}
+	if cfg.ComputeServers <= 0 || cfg.BlockServers <= 0 || cfg.ChunkServers < blockserver.Replicas {
+		panic("ebs: cluster needs computes, block servers, and >=3 chunk servers")
+	}
+	podCap := cfg.Fabric.RacksPerPod * cfg.Fabric.HostsPerRack
+	if cfg.ComputeServers > podCap {
+		panic(fmt.Sprintf("ebs: %d compute servers exceed pod capacity %d", cfg.ComputeServers, podCap))
+	}
+	if cfg.BlockServers+cfg.ChunkServers > podCap {
+		panic(fmt.Sprintf("ebs: %d storage servers exceed pod capacity %d",
+			cfg.BlockServers+cfg.ChunkServers, podCap))
+	}
+	if cfg.CrossDC && (cfg.Fabric.DCs < 2 || cfg.Fabric.DCRouters < 1) {
+		panic("ebs: CrossDC requires >=2 DCs and >=1 DC router in the fabric")
+	}
+	if cfg.Edge && cfg.FN != Solar {
+		panic("ebs: Edge mode integrates the Solar-era DPU; set FN to Solar")
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	fab := simnet.New(eng, cfg.Fabric)
+	c := &Cluster{
+		Eng:       eng,
+		Fabric:    fab,
+		cfg:       cfg,
+		segs:      sa.NewSegmentTable(),
+		collector: trace.NewCollector(),
+	}
+
+	// Storage hosts: chunk servers first (block servers need their
+	// addresses).
+	storageDC, storagePod := 0, 1
+	if cfg.CrossDC {
+		storageDC, storagePod = 1, 0
+	}
+	storageHost := func(i int) *simnet.Host {
+		rack := i / cfg.Fabric.HostsPerRack
+		return fab.Host(storageDC, storagePod, rack, i%cfg.Fabric.HostsPerRack)
+	}
+	var chunkAddrs []uint32
+	for i := 0; i < cfg.ChunkServers; i++ {
+		host := storageHost(cfg.BlockServers + i)
+		cores := sim.NewServer(eng, fmt.Sprintf("chunk%d-cpu", i), cfg.StorageCores)
+		cs := chunkserver.New(eng, fmt.Sprintf("chunk%d", i), cfg.SSD)
+		bn := c.newStack(c.bnKind(), host, cores, nil)
+		chunkserver.NewService(eng, cs, bn)
+		c.chunks = append(c.chunks, &StorageServer{Host: host, Cores: cores, Chunk: cs})
+		chunkAddrs = append(chunkAddrs, host.Addr())
+	}
+
+	for i := 0; i < cfg.BlockServers && !cfg.Edge; i++ {
+		host := storageHost(i)
+		cores := sim.NewServer(eng, fmt.Sprintf("block%d-cpu", i), cfg.StorageCores)
+		var fnStack transport.Stack
+		var bnClient transport.Client
+		if c.bnKind() == cfg.FN {
+			// Same stack serves FN and speaks BN (the kernel era).
+			st := c.newStack(cfg.FN, host, cores, nil)
+			fnStack, bnClient = st, st
+		} else {
+			mux := simnet.NewMux(host)
+			fn := c.newStack(cfg.FN, host, cores, nil)
+			bn := c.newStack(c.bnKind(), host, cores, nil)
+			c.routeMux(mux, cfg.FN, fn)
+			c.routeMux(mux, c.bnKind(), bn)
+			fnStack, bnClient = fn, bn
+		}
+		bs, err := blockserver.New(eng, fmt.Sprintf("block%d", i), fnStack, bnClient,
+			chunkAddrs, cores, blockserver.DefaultParams())
+		if err != nil {
+			panic(err)
+		}
+		c.blocks = append(c.blocks, &StorageServer{Host: host, Cores: cores, Block: bs, FN: fnStack})
+	}
+
+	// Compute servers.
+	for i := 0; i < cfg.ComputeServers; i++ {
+		rack := i / cfg.Fabric.HostsPerRack
+		host := fab.Host(0, computePod, rack, i%cfg.Fabric.HostsPerRack)
+		var card *dpu.DPU
+		var cores *sim.Server
+		if cfg.BareMetal || cfg.Edge {
+			card = dpu.New(eng, cfg.DPU)
+			cores = card.CPU
+		} else {
+			cores = sim.NewServer(eng, fmt.Sprintf("compute%d-stack", i), cfg.StackCores)
+		}
+
+		if cfg.Edge {
+			// §4.8 integrated mode: SA → in-card handover → local block
+			// server → BN replication to the chunk servers.
+			lo := transport.NewLoopback(func(d time.Duration, fn func()) {
+				eng.Schedule(d, fn)
+			}, 2*time.Microsecond, host.Addr())
+			bn := c.newStack(RDMA, host, cores, nil)
+			bs, err := blockserver.New(eng, fmt.Sprintf("edge-block%d", i), lo, bn,
+				chunkAddrs, cores, blockserver.DefaultParams())
+			if err != nil {
+				panic(err)
+			}
+			saParams := sa.OffloadedParams()
+			saParams.Encrypted = cfg.Encrypted
+			agent := sa.New(eng, cores, lo, c.segs, saParams)
+			agent.SetCollector(c.collector)
+			c.computes = append(c.computes, &ComputeServer{
+				Host: host, Cores: cores, DPU: card, Stack: lo, Agent: agent,
+			})
+			c.blocks = append(c.blocks, &StorageServer{Host: host, Cores: cores, Block: bs, FN: lo})
+			continue
+		}
+
+		stack := c.newStack(cfg.FN, host, cores, card)
+		saParams := sa.SoftwareParams()
+		if cfg.FN == Solar || cfg.FN == SolarStar {
+			saParams = sa.OffloadedParams()
+		}
+		saParams.Encrypted = cfg.Encrypted
+		agent := sa.New(eng, cores, stack, c.segs, saParams)
+		agent.SetCollector(c.collector)
+		c.computes = append(c.computes, &ComputeServer{
+			Host: host, Cores: cores, DPU: card, Stack: stack, Agent: agent,
+		})
+	}
+	return c
+}
+
+func (c *Cluster) bnKind() StackKind {
+	if c.cfg.BN == KernelTCP || c.cfg.FN == KernelTCP {
+		return KernelTCP
+	}
+	return RDMA
+}
+
+// newStack constructs one endpoint of the given kind on host.
+func (c *Cluster) newStack(kind StackKind, host *simnet.Host, cores *sim.Server, card *dpu.DPU) transport.Stack {
+	var pcie *sim.Channel
+	if card != nil {
+		pcie = card.PCIe
+	}
+	switch kind {
+	case KernelTCP:
+		return tcpstack.New(c.Eng, host, cores, pcie, KernelStackParams())
+	case Luna:
+		return tcpstack.New(c.Eng, host, cores, pcie, LunaStackParams())
+	case RDMA:
+		return rdma.New(c.Eng, host, cores, pcie, RDMAStackParams())
+	case Solar, SolarStar:
+		if card != nil {
+			p := SolarStackParams(kind, c.cfg.Encrypted)
+			if c.cfg.SolarOverride != nil {
+				p = *c.cfg.SolarOverride
+				p.Mode = SolarStackParams(kind, c.cfg.Encrypted).Mode
+				p.Encrypted = c.cfg.Encrypted
+			}
+			return core.New(c.Eng, host, cores, card, p)
+		}
+		return core.New(c.Eng, host, cores, nil, core.ServerParams())
+	}
+	panic("ebs: unknown stack kind")
+}
+
+// routeMux registers a stack's receiver under its wire protocol.
+func (c *Cluster) routeMux(mux *simnet.Mux, kind StackKind, st transport.Stack) {
+	switch s := st.(type) {
+	case *tcpstack.Stack:
+		mux.Handle(6, s.ReceivePacket) // wire.ProtoTCP
+	case *rdma.Stack:
+		mux.Handle(rdma.Proto, s.ReceivePacket)
+	case *core.Stack:
+		mux.Handle(17, s.ReceivePacket) // wire.ProtoUDP
+	default:
+		panic("ebs: unroutable stack")
+	}
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Compute returns compute server i.
+func (c *Cluster) Compute(i int) *ComputeServer { return c.computes[i] }
+
+// Computes returns the number of compute servers.
+func (c *Cluster) Computes() int { return len(c.computes) }
+
+// BlockServerAddrs returns the fabric addresses of all block servers.
+func (c *Cluster) BlockServerAddrs() []uint32 {
+	out := make([]uint32, len(c.blocks))
+	for i, b := range c.blocks {
+		out[i] = b.Host.Addr()
+	}
+	return out
+}
+
+// Chunks returns the chunk-server nodes (for SSD stats).
+func (c *Cluster) Chunks() []*StorageServer { return c.chunks }
+
+// Blocks returns the block-server nodes.
+func (c *Cluster) Blocks() []*StorageServer { return c.blocks }
+
+// Collector returns the cluster-wide trace collector.
+func (c *Cluster) Collector() *trace.Collector { return c.collector }
+
+// Run drains all pending events.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d time.Duration) { c.Eng.RunFor(d) }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.Eng.Now().Duration() }

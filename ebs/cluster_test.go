@@ -1,0 +1,203 @@
+package ebs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lunasolar/internal/trace"
+)
+
+func smallConfig(fn StackKind) Config {
+	cfg := DefaultConfig(fn)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.Fabric.HostsPerRack = 4
+	cfg.Fabric.SpinesPerPod = 2
+	cfg.Fabric.CoresPerDC = 2
+	cfg.ComputeServers = 2
+	cfg.BlockServers = 2
+	cfg.ChunkServers = 4
+	return cfg
+}
+
+func testCluster(t *testing.T, fn StackKind) *Cluster {
+	t.Helper()
+	return New(smallConfig(fn))
+}
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*31)
+	}
+	return b
+}
+
+func TestWriteReadAllStacks(t *testing.T) {
+	for _, fn := range []StackKind{KernelTCP, Luna, RDMA, Solar, SolarStar} {
+		fn := fn
+		t.Run(fn.String(), func(t *testing.T) {
+			c := testCluster(t, fn)
+			vd := c.Provision(0, 64<<20, DefaultQoS())
+			data := fill(16<<10, byte(fn))
+			var wres, rres IOResult
+			vd.Write(0x8000, data, func(res IOResult) {
+				wres = res
+				vd.Read(0x8000, len(data), func(res IOResult) { rres = res })
+			})
+			c.Run()
+			if wres.Err != nil || rres.Err != nil {
+				t.Fatalf("errs: %v %v", wres.Err, rres.Err)
+			}
+			if !bytes.Equal(rres.Data, data) {
+				t.Fatal("read-back mismatch")
+			}
+			if wres.Latency <= 0 || rres.Latency <= 0 {
+				t.Fatal("non-positive latency")
+			}
+			// Every component should be populated on writes.
+			if wres.Span.Get(trace.SSD) == 0 || wres.Span.Get(trace.BN) == 0 {
+				t.Fatalf("write span missing components: %v %v",
+					wres.Span.Get(trace.BN), wres.Span.Get(trace.SSD))
+			}
+		})
+	}
+}
+
+func TestReadBeforeWriteReturnsZeros(t *testing.T) {
+	c := testCluster(t, Solar)
+	vd := c.Provision(0, 16<<20, DefaultQoS())
+	var got []byte
+	vd.Read(0, 8192, func(res IOResult) { got = res.Data })
+	c.Run()
+	if len(got) != 8192 {
+		t.Fatalf("len=%d", len(got))
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten disk not zero")
+		}
+	}
+}
+
+func TestUnprovisionedRangeErrors(t *testing.T) {
+	c := testCluster(t, Luna)
+	vd := c.Provision(0, 4<<20, DefaultQoS())
+	var res IOResult
+	res.Err = nil
+	done := false
+	vd.Read(64<<20, 4096, func(r IOResult) { res = r; done = true })
+	c.Run()
+	if !done || res.Err == nil {
+		t.Fatal("out-of-range read did not error")
+	}
+}
+
+func TestCrossSegmentWriteSplits(t *testing.T) {
+	c := testCluster(t, Solar)
+	vd := c.Provision(0, 64<<20, DefaultQoS())
+	// Straddle the 2 MiB segment boundary.
+	lba := uint64(2<<20) - 8192
+	data := fill(16<<10, 77)
+	var wres IOResult
+	vd.Write(lba, data, func(res IOResult) { wres = res })
+	c.Run()
+	if wres.Err != nil {
+		t.Fatal(wres.Err)
+	}
+	var rres IOResult
+	vd.Read(lba, len(data), func(res IOResult) { rres = res })
+	c.Run()
+	if !bytes.Equal(rres.Data, data) {
+		t.Fatal("cross-segment read-back mismatch")
+	}
+}
+
+func TestStackLatencyOrdering(t *testing.T) {
+	// The paper's headline shape: kernel ≫ luna > solar for 4 KiB writes.
+	medians := map[StackKind]time.Duration{}
+	for _, fn := range []StackKind{KernelTCP, Luna, Solar} {
+		c := testCluster(t, fn)
+		vd := c.Provision(0, 64<<20, DefaultQoS())
+		n := 0
+		var issue func()
+		issue = func() {
+			if n >= 200 {
+				return
+			}
+			lba := uint64(n%1000) << 12
+			n++
+			vd.Write(lba, fill(4096, byte(n)), func(IOResult) {
+				c.Eng.Schedule(20*time.Microsecond, issue)
+			})
+		}
+		issue()
+		c.Run()
+		medians[fn] = c.Collector().E2E("write").Median()
+	}
+	t.Logf("write medians: kernel=%v luna=%v solar=%v",
+		medians[KernelTCP], medians[Luna], medians[Solar])
+	if !(medians[KernelTCP] > medians[Luna] && medians[Luna] > medians[Solar]) {
+		t.Fatalf("latency ordering violated: %v", medians)
+	}
+	// Kernel should be several times Luna (paper: FN cut ~80%).
+	if medians[KernelTCP] < 2*medians[Luna] {
+		t.Fatalf("kernel (%v) should be ≫ luna (%v)", medians[KernelTCP], medians[Luna])
+	}
+}
+
+func TestSolarReducesSAComponent(t *testing.T) {
+	// §4.7: Solar reduces the median SA latency by ~95% vs Luna.
+	sa := map[StackKind]time.Duration{}
+	for _, fn := range []StackKind{Luna, Solar} {
+		c := testCluster(t, fn)
+		vd := c.Provision(0, 64<<20, DefaultQoS())
+		for i := 0; i < 100; i++ {
+			vd.Write(uint64(i)<<12, fill(4096, byte(i)), nil)
+			c.RunFor(time.Millisecond)
+		}
+		c.Run()
+		sa[fn] = c.Collector().Component("write", trace.SA).Median()
+	}
+	t.Logf("SA medians: luna=%v solar=%v", sa[Luna], sa[Solar])
+	if sa[Solar] >= sa[Luna]/5 {
+		t.Fatalf("solar SA %v not ≪ luna SA %v", sa[Solar], sa[Luna])
+	}
+}
+
+func TestQoSThrottling(t *testing.T) {
+	c := testCluster(t, Solar)
+	vd := c.Provision(0, 64<<20, DefaultQoS())
+	// A second disk with a tight service level.
+	slow := c.Provision(1, 64<<20, QoS(1000, 10e6))
+	_ = vd
+	done := 0
+	for i := 0; i < 100; i++ {
+		slow.Write(uint64(i)<<12, fill(4096, 1), func(IOResult) { done++ })
+	}
+	c.Run()
+	if done != 100 {
+		t.Fatalf("done %d/100", done)
+	}
+	// 100 I/Os at 1000 IOPS with a 10ms burst window: ≥ ~80ms of pacing.
+	if c.Now() < 80*time.Millisecond {
+		t.Fatalf("QoS pacing absent: finished in %v", c.Now())
+	}
+}
+
+func TestMultiTenantIsolation(t *testing.T) {
+	// Two disks on different compute servers: a heavily-throttled tenant
+	// must not stall the other.
+	c := testCluster(t, Solar)
+	fast := c.Provision(0, 64<<20, DefaultQoS())
+	slow := c.Provision(1, 64<<20, QoS(500, 5e6))
+	for i := 0; i < 50; i++ {
+		slow.Write(uint64(i)<<12, fill(4096, 2), nil)
+	}
+	var fastLat time.Duration
+	fast.Write(0, fill(4096, 3), func(res IOResult) { fastLat = res.Latency })
+	c.Run()
+	if fastLat > time.Millisecond {
+		t.Fatalf("fast tenant saw %v behind throttled tenant", fastLat)
+	}
+}

@@ -1,0 +1,92 @@
+package ebs
+
+import (
+	"time"
+
+	"lunasolar/internal/core"
+	"lunasolar/internal/sa"
+	"lunasolar/internal/seccrypto"
+	"lunasolar/internal/trace"
+)
+
+// VDisk is a provisioned virtual disk attached to one compute server.
+type VDisk struct {
+	ID      uint32
+	cluster *Cluster
+	agent   *sa.Agent
+	size    uint64
+}
+
+// IOResult is the completion record of one I/O.
+type IOResult struct {
+	Data    []byte // reads
+	Err     error
+	Latency time.Duration
+	Span    *trace.Span
+}
+
+// Provision creates a virtual disk of sizeBytes on compute server idx,
+// striping its segments across every block server, and installs its QoS
+// service level.
+func (c *Cluster) Provision(computeIdx int, sizeBytes uint64, qos sa.QoSSpec) *VDisk {
+	c.nextVD++
+	id := c.nextVD
+	servers := c.BlockServerAddrs()
+	if c.cfg.Edge {
+		// Integrated mode: this disk's segments live behind the compute's
+		// own block server.
+		servers = []uint32{c.computes[computeIdx].Host.Addr()}
+	}
+	if err := c.segs.Provision(id, sizeBytes, servers); err != nil {
+		panic(err)
+	}
+	agent := c.computes[computeIdx].Agent
+	agent.SetQoS(id, qos)
+	if c.cfg.Encrypted {
+		// Per-disk key, installed both in the software SA and the Solar
+		// SEC engine (whichever path the cluster uses).
+		key := seccrypto.DeriveKey([]byte("cluster-provisioning-secret"), id)
+		cipher, err := seccrypto.New(key)
+		if err != nil {
+			panic(err)
+		}
+		agent.SetCipher(id, cipher)
+		if st, ok := c.computes[computeIdx].Stack.(*core.Stack); ok {
+			st.SetCipher(id, cipher)
+		}
+	}
+	return &VDisk{ID: id, cluster: c, agent: agent, size: sizeBytes}
+}
+
+// Size returns the disk's provisioned size in bytes.
+func (v *VDisk) Size() uint64 { return v.size }
+
+// Write issues a write I/O; done runs at completion with the measured
+// latency (excluding QoS policy delay, per the paper's methodology).
+func (v *VDisk) Write(lba uint64, data []byte, done func(IOResult)) {
+	start := v.cluster.Eng.Now()
+	v.agent.Write(v.ID, lba, data, func(res sa.Result) {
+		if done != nil {
+			done(IOResult{
+				Err:     res.Err,
+				Latency: res.Span.Total(),
+				Span:    res.Span,
+			})
+		}
+		_ = start
+	})
+}
+
+// Read issues a read I/O.
+func (v *VDisk) Read(lba uint64, size int, done func(IOResult)) {
+	v.agent.Read(v.ID, lba, size, func(res sa.Result) {
+		if done != nil {
+			done(IOResult{
+				Data:    res.Data,
+				Err:     res.Err,
+				Latency: res.Span.Total(),
+				Span:    res.Span,
+			})
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Fiobench: the Fig. 14 scenario as a runnable program — sweep the DPU's
+// CPU cores and compare the four stacks' read throughput, watching
+// Luna/RDMA/Solar* pile up against the internal-PCIe ceiling while Solar's
+// offloaded data path ignores it.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/workload"
+)
+
+func measure(fn ebs.StackKind, cores int, blockSize int) float64 {
+	cfg := ebs.DefaultConfig(fn)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.BareMetal = true
+	cfg.DPU.CPUCores = cores
+	cfg.ComputeServers = 1
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	c := ebs.New(cfg)
+	vd := c.Provision(0, 512<<20, ebs.DefaultQoS())
+
+	span := uint64(16 << 20)
+	for off := uint64(0); off < span; off += 512 << 10 {
+		vd.Write(off, make([]byte, 512<<10), nil)
+	}
+	c.Run()
+
+	fio := workload.NewFio(c.Eng, workload.FioConfig{
+		Depth: 32, BlockSize: blockSize, ReadFrac: 1, SpanBytes: span,
+	}, func(write bool, lba uint64, size int, done func()) {
+		vd.Read(lba, size, func(ebs.IOResult) { done() })
+	})
+	fio.Start()
+	c.RunFor(5 * time.Millisecond)
+	base := fio.Bytes
+	window := 20 * time.Millisecond
+	c.RunFor(window)
+	fio.Stop()
+	return float64(fio.Bytes-base) / window.Seconds() / 1e6
+}
+
+func main() {
+	cfg := ebs.DefaultConfig(ebs.Solar)
+	fmt.Printf("fio read, depth 32, 64K blocks; PCIe ceiling ~%.0f MB/s, line rate %.0f MB/s\n\n",
+		cfg.DPU.PCIeBps/2/8/1e6, 2*cfg.Fabric.HostLinkBps/8/1e6)
+	fmt.Printf("%-8s", "stack")
+	for cores := 1; cores <= 3; cores++ {
+		fmt.Printf("  %d-core MB/s", cores)
+	}
+	fmt.Println()
+	for _, fn := range []ebs.StackKind{ebs.Luna, ebs.RDMA, ebs.SolarStar, ebs.Solar} {
+		fmt.Printf("%-8s", fn)
+		for cores := 1; cores <= 3; cores++ {
+			fmt.Printf("  %11.0f", measure(fn, cores, 64<<10))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nSolar bypasses the DPU CPU and its internal PCIe entirely (Fig. 10c):")
+	fmt.Println("its throughput neither scales with cores nor stops at the PCIe wall.")
+}

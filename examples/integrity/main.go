@@ -1,0 +1,66 @@
+// Integrity: the Fig. 11 mechanism, live. An FPGA whose CRC engine flips
+// bits and whose datapath corrupts blocks writes through Solar; the
+// software CRC aggregation (one XOR per block on the CPU) catches and
+// repairs every corruption before it reaches storage, at a fraction of a
+// full software checksum's cost.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"lunasolar/ebs"
+)
+
+func main() {
+	cfg := ebs.DefaultConfig(ebs.Solar)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.ComputeServers = 1
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	// A spectacularly bad FPGA: a third of blocks corrupted in the
+	// datapath, a third of CRC computations flipped.
+	cfg.DPU.Faults.DataBitFlip = 0.33
+	cfg.DPU.Faults.CRCBitFlip = 0.33
+
+	c := ebs.New(cfg)
+	vd := c.Provision(0, 256<<20, ebs.DefaultQoS())
+
+	const ios = 200
+	payloads := make([][]byte, ios)
+	done := 0
+	for i := 0; i < ios; i++ {
+		i := i
+		payloads[i] = bytes.Repeat([]byte{byte(i + 1)}, 8192)
+		vd.Write(uint64(i)<<14, payloads[i], func(res ebs.IOResult) {
+			if res.Err != nil {
+				panic(res.Err)
+			}
+			done++
+		})
+	}
+	c.Run()
+
+	crcFlips, dataFlips, _ := c.Compute(0).DPU.InjectedFaults()
+	fmt.Printf("wrote %d I/Os through a faulty FPGA: %d datapath corruptions, %d CRC-engine flips injected\n",
+		done, dataFlips, crcFlips)
+
+	// Read everything back and verify byte-for-byte.
+	bad := 0
+	verified := 0
+	for i := 0; i < ios; i++ {
+		i := i
+		vd.Read(uint64(i)<<14, 8192, func(res ebs.IOResult) {
+			verified++
+			if !bytes.Equal(res.Data, payloads[i]) {
+				bad++
+			}
+		})
+	}
+	c.Run()
+	fmt.Printf("read back %d I/Os: %d corrupted\n", verified, bad)
+	if bad == 0 {
+		fmt.Println("software CRC aggregation caught and repaired every hardware fault —")
+		fmt.Println("the paper's answer to FPGA bit flips (Fig. 11) without per-block software CRCs.")
+	}
+}

@@ -1,0 +1,3 @@
+module lunasolar
+
+go 1.22

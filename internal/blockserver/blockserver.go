@@ -1,0 +1,146 @@
+// Package blockserver implements the storage cluster's block servers: the
+// FN-facing services that own segments, aggregate and sequentialize block
+// writes, fan each write out to three chunk-server replicas over the
+// backend network, and serve reads from the primary replica (Fig. 2, steps
+// 2–4). Residence time and the media portion are measured here and returned
+// in-band for the Fig. 6 latency attribution.
+package blockserver
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// Replicas is the replication factor ("multiple (e.g., 3) copies").
+const Replicas = 3
+
+// Params is the block-server cost model.
+type Params struct {
+	PerRPCCPU   time.Duration // request parse, commit bookkeeping
+	PerBlockCPU time.Duration // per-block log append / index update
+}
+
+// DefaultParams returns the standard cost model.
+func DefaultParams() Params {
+	return Params{
+		PerRPCCPU:   2 * time.Microsecond,
+		PerBlockCPU: 400 * time.Nanosecond,
+	}
+}
+
+// Server is one block server.
+type Server struct {
+	eng      *sim.Engine
+	name     string
+	cores    *sim.Server
+	bn       transport.Client
+	replicas []uint32 // chunk-server addresses, len >= Replicas
+	params   Params
+
+	writes, reads uint64
+}
+
+// New creates a block server serving requests from fn, replicating over bn
+// to the given chunk servers. fn's handler is installed here.
+func New(eng *sim.Engine, name string, fn transport.Stack, bn transport.Client, replicas []uint32, cores *sim.Server, params Params) (*Server, error) {
+	if len(replicas) < Replicas {
+		return nil, fmt.Errorf("blockserver %s: need >= %d chunk replicas, got %d", name, Replicas, len(replicas))
+	}
+	s := &Server{
+		eng:      eng,
+		name:     name,
+		cores:    cores,
+		bn:       bn,
+		replicas: replicas,
+		params:   params,
+	}
+	fn.SetHandler(s.Handle)
+	return s, nil
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Stats returns served write and read RPC counts.
+func (s *Server) Stats() (writes, reads uint64) { return s.writes, s.reads }
+
+// replicaSet returns the chunk servers for a segment (deterministic by
+// segment ID so all writers agree).
+func (s *Server) replicaSet(segmentID uint64) []uint32 {
+	base := int(segmentID) % len(s.replicas)
+	out := make([]uint32, Replicas)
+	for i := 0; i < Replicas; i++ {
+		out[i] = s.replicas[(base+i)%len(s.replicas)]
+	}
+	return out
+}
+
+// Handle is the FN request handler (exported for tests and for wiring
+// through additional dispatch layers).
+func (s *Server) Handle(src uint32, req *transport.Message, reply func(*transport.Response)) {
+	t0 := s.eng.Now()
+	blocks := (len(req.Data) + wire.BlockSize - 1) / wire.BlockSize
+	if req.Op == wire.RPCReadReq {
+		blocks = (req.ReadLen + wire.BlockSize - 1) / wire.BlockSize
+	}
+	cost := s.params.PerRPCCPU + time.Duration(blocks)*s.params.PerBlockCPU
+	s.cores.Submit(cost, func() {
+		switch req.Op {
+		case wire.RPCWriteReq:
+			s.writes++
+			s.replicateWrite(t0, req, reply)
+		case wire.RPCReadReq:
+			s.reads++
+			s.serveRead(t0, req, reply)
+		default:
+			reply(&transport.Response{Err: fmt.Errorf("blockserver %s: bad op %d", s.name, req.Op)})
+		}
+	})
+}
+
+// replicateWrite fans the blocks out to all replicas over the BN; the write
+// acknowledges when every replica has committed (step 3→4 in Fig. 2).
+func (s *Server) replicateWrite(t0 sim.Time, req *transport.Message, reply func(*transport.Response)) {
+	set := s.replicaSet(req.SegmentID)
+	remaining := len(set)
+	var maxSSD time.Duration
+	var firstErr error
+	for _, chunk := range set {
+		msg := *req // each replica gets the same payload
+		s.bn.Call(chunk, &msg, func(resp *transport.Response) {
+			if resp.Err != nil && firstErr == nil {
+				firstErr = resp.Err
+			}
+			if resp.SSDTime > maxSSD {
+				maxSSD = resp.SSDTime
+			}
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			reply(&transport.Response{
+				Err:        firstErr,
+				ServerWall: s.eng.Now().Sub(t0),
+				SSDTime:    maxSSD,
+			})
+		})
+	}
+}
+
+// serveRead fetches the range from the primary replica.
+func (s *Server) serveRead(t0 sim.Time, req *transport.Message, reply func(*transport.Response)) {
+	primary := s.replicaSet(req.SegmentID)[0]
+	msg := *req
+	s.bn.Call(primary, &msg, func(resp *transport.Response) {
+		reply(&transport.Response{
+			Data:       resp.Data,
+			Err:        resp.Err,
+			ServerWall: s.eng.Now().Sub(t0),
+			SSDTime:    resp.SSDTime,
+		})
+	})
+}

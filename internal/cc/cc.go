@@ -1,0 +1,239 @@
+// Package cc implements the congestion controllers the stacks use on the
+// frontend network: a DCTCP-style ECN-proportional controller for Luna, the
+// INT-driven HPCC controller Solar runs per path ("we use a per-packet ACK
+// to perform a fine-grained congestion control algorithm (e.g., HPCC)",
+// §4.8), and a static-window controller for the RDMA baseline.
+package cc
+
+import (
+	"time"
+
+	"lunasolar/internal/wire"
+)
+
+// Feedback is what an arriving acknowledgment tells the controller.
+type Feedback struct {
+	RTT        time.Duration
+	AckedBytes int
+	ECNMarked  bool
+	INT        []wire.INTHop // per-hop telemetry, HPCC only
+}
+
+// Controller adjusts a congestion window in bytes.
+type Controller interface {
+	// OnAck processes one acknowledgment.
+	OnAck(fb Feedback)
+	// OnLoss signals a fast-retransmit-grade loss (duplicate ACK / OOO).
+	OnLoss()
+	// OnTimeout signals an RTO-grade loss.
+	OnTimeout()
+	// Window returns the current congestion window in bytes.
+	Window() int
+}
+
+// DCTCP is the ECN-fraction-proportional controller. Alpha is updated once
+// per window of acknowledged bytes; the window is reduced by alpha/2 when
+// any marks were seen, and grows by one MSS per window otherwise (plus
+// slow-start doubling below ssthresh).
+type DCTCP struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+	maxCwnd  int
+
+	alpha       float64
+	g           float64
+	ackedBytes  int
+	markedBytes int
+}
+
+// NewDCTCP creates a controller with the given MSS and window bounds.
+func NewDCTCP(mss, initCwnd, maxCwnd int) *DCTCP {
+	return &DCTCP{mss: mss, cwnd: initCwnd, ssthresh: maxCwnd, maxCwnd: maxCwnd, g: 1.0 / 16}
+}
+
+// Window returns the congestion window in bytes.
+func (d *DCTCP) Window() int { return d.cwnd }
+
+// Alpha returns the smoothed marked fraction (for tests and telemetry).
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// OnAck processes one acknowledgment.
+func (d *DCTCP) OnAck(fb Feedback) {
+	d.ackedBytes += fb.AckedBytes
+	if fb.ECNMarked {
+		d.markedBytes += fb.AckedBytes
+	}
+	if d.ackedBytes < d.cwnd {
+		// Still inside the current window: grow in slow start only.
+		if d.cwnd < d.ssthresh {
+			d.cwnd += fb.AckedBytes
+			if d.cwnd > d.maxCwnd {
+				d.cwnd = d.maxCwnd
+			}
+		}
+		return
+	}
+	// One window acknowledged: fold the marked fraction into alpha.
+	f := float64(d.markedBytes) / float64(d.ackedBytes)
+	d.alpha = (1-d.g)*d.alpha + d.g*f
+	if d.markedBytes > 0 {
+		d.cwnd = int(float64(d.cwnd) * (1 - d.alpha/2))
+		if d.cwnd < d.mss {
+			d.cwnd = d.mss
+		}
+		d.ssthresh = d.cwnd
+	} else if d.cwnd >= d.ssthresh {
+		d.cwnd += d.mss // congestion avoidance
+		if d.cwnd > d.maxCwnd {
+			d.cwnd = d.maxCwnd
+		}
+	}
+	d.ackedBytes, d.markedBytes = 0, 0
+}
+
+// OnLoss halves the window.
+func (d *DCTCP) OnLoss() {
+	d.cwnd /= 2
+	if d.cwnd < d.mss {
+		d.cwnd = d.mss
+	}
+	d.ssthresh = d.cwnd
+}
+
+// OnTimeout collapses to one MSS.
+func (d *DCTCP) OnTimeout() {
+	d.ssthresh = d.cwnd / 2
+	if d.ssthresh < 2*d.mss {
+		d.ssthresh = 2 * d.mss
+	}
+	d.cwnd = d.mss
+}
+
+// HPCC is the High Precision Congestion Control window computation driven
+// by per-hop INT: each link's utilization estimate combines queue depth and
+// delivery rate; the window is scaled toward eta (the target utilization)
+// of the most utilized hop. This implementation follows the SIGCOMM'19
+// paper's per-ack update with additive increase W_ai.
+type HPCC struct {
+	mss     int
+	maxCwnd int
+	baseRTT time.Duration
+	eta     float64
+	wai     int
+
+	cwnd int
+	wc   int // reference window, updated once per RTT
+	// per-hop history for rate computation
+	lastTxBytes map[uint16]uint64
+	lastTS      map[uint16]uint64
+	lastUpdate  time.Duration // virtual timestamp of last wc update (ns of first hop ts)
+	sinceWc     int           // bytes acked since wc update
+}
+
+// NewHPCC creates a controller. baseRTT is the uncongested fabric RTT; eta
+// is the target utilization (the paper uses 0.95).
+func NewHPCC(mss, initCwnd, maxCwnd int, baseRTT time.Duration) *HPCC {
+	return &HPCC{
+		mss: mss, maxCwnd: maxCwnd, baseRTT: baseRTT,
+		eta: 0.95, wai: mss / 4,
+		cwnd: initCwnd, wc: initCwnd,
+		lastTxBytes: map[uint16]uint64{},
+		lastTS:      map[uint16]uint64{},
+	}
+}
+
+// Window returns the congestion window in bytes.
+func (h *HPCC) Window() int { return h.cwnd }
+
+// maxUtilization computes max over hops of the normalized inflight estimate
+// U_j = qlen/(B·T) + txRate/B.
+func (h *HPCC) maxUtilization(hops []wire.INTHop) float64 {
+	maxU := 0.0
+	for _, hop := range hops {
+		bps := float64(hop.RateMbs) * 1e6
+		if bps <= 0 {
+			continue
+		}
+		bdp := bps * h.baseRTT.Seconds() / 8 // bytes
+		u := float64(hop.QLenB) / bdp
+
+		// Delivery rate from consecutive telemetry of the same hop.
+		if prevB, ok := h.lastTxBytes[hop.HopID]; ok {
+			prevT := h.lastTS[hop.HopID]
+			if hop.TSNanos > prevT && hop.TxBytes >= prevB {
+				dt := float64(hop.TSNanos-prevT) / 1e9
+				rate := float64(hop.TxBytes-prevB) / dt // bytes/s
+				u += rate * 8 / bps
+			}
+		}
+		h.lastTxBytes[hop.HopID] = hop.TxBytes
+		h.lastTS[hop.HopID] = hop.TSNanos
+
+		if u > maxU {
+			maxU = u
+		}
+	}
+	return maxU
+}
+
+// OnAck processes one acknowledgment carrying INT.
+func (h *HPCC) OnAck(fb Feedback) {
+	h.sinceWc += fb.AckedBytes
+	u := h.maxUtilization(fb.INT)
+	if u <= 0 {
+		// No telemetry (probe or first ack): gentle additive increase.
+		h.cwnd += h.wai
+	} else if u >= h.eta {
+		h.cwnd = int(float64(h.wc)/(u/h.eta)) + h.wai
+	} else {
+		h.cwnd = h.wc + h.wai
+	}
+	if h.cwnd < h.mss {
+		h.cwnd = h.mss
+	}
+	if h.cwnd > h.maxCwnd {
+		h.cwnd = h.maxCwnd
+	}
+	// Update the reference window once per RTT's worth of acks.
+	if h.sinceWc >= h.wc {
+		h.wc = h.cwnd
+		h.sinceWc = 0
+	}
+}
+
+// OnLoss multiplicatively backs off (losses are rare under HPCC; this
+// covers failure transients).
+func (h *HPCC) OnLoss() {
+	h.cwnd /= 2
+	if h.cwnd < h.mss {
+		h.cwnd = h.mss
+	}
+	h.wc = h.cwnd
+}
+
+// OnTimeout collapses to one MSS.
+func (h *HPCC) OnTimeout() {
+	h.cwnd = h.mss
+	h.wc = h.cwnd
+}
+
+// Static is a fixed-window controller modelling the RDMA RC baseline's
+// hardware flow control (rate throttled by CNP-like feedback is out of
+// scope; the lossless fabric keeps the window full).
+type Static struct{ win int }
+
+// NewStatic creates a fixed window of win bytes.
+func NewStatic(win int) *Static { return &Static{win: win} }
+
+// Window returns the fixed window.
+func (s *Static) Window() int { return s.win }
+
+// OnAck is a no-op.
+func (s *Static) OnAck(Feedback) {}
+
+// OnLoss is a no-op (RC retransmits in hardware).
+func (s *Static) OnLoss() {}
+
+// OnTimeout is a no-op.
+func (s *Static) OnTimeout() {}

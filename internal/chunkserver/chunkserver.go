@@ -1,0 +1,168 @@
+// Package chunkserver models the storage cluster's chunk servers: the
+// processes that own physical SSDs and persist replicated 4 KiB blocks.
+// The SSD model captures what Fig. 6 shows: writes land in the SSD's
+// write cache in tens of microseconds without touching NAND (the log-
+// structured write path turns random writes sequential), while reads that
+// miss the server's memory cache pay the NAND read latency. Each disk has
+// bounded internal parallelism and an IOPS ceiling, so overload produces
+// queueing delay organically.
+package chunkserver
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/internal/crc"
+	"lunasolar/internal/sim"
+)
+
+// SSDConfig models one physical SSD.
+type SSDConfig struct {
+	WriteCacheMedian time.Duration // write-cache commit latency
+	WriteSigma       float64       // log-normal shape for the write tail
+	NANDReadMedian   time.Duration // media read latency
+	ReadSigma        float64
+	CacheHitRate     float64 // server memory cache hit ratio for reads
+	CacheHitMedian   time.Duration
+	Parallelism      int // concurrent internal operations (channels × planes)
+	IOPSCap          float64
+}
+
+// DefaultSSD returns the ESSD-class device model.
+func DefaultSSD() SSDConfig {
+	return SSDConfig{
+		WriteCacheMedian: 12 * time.Microsecond,
+		WriteSigma:       0.35,
+		NANDReadMedian:   65 * time.Microsecond,
+		ReadSigma:        0.30,
+		CacheHitRate:     0.55,
+		CacheHitMedian:   6 * time.Microsecond,
+		Parallelism:      64, // NVMe internal queue depth
+		IOPSCap:          800_000,
+	}
+}
+
+type blockRec struct {
+	data []byte
+	crc  uint32
+	gen  uint32
+}
+
+// Server is one chunk server: an SSD plus an in-memory block store keyed by
+// (segment, LBA). Stored blocks carry their raw CRC so integrity is
+// verifiable end to end.
+type Server struct {
+	eng  *sim.Engine
+	name string
+	cfg  SSDConfig
+	rand *sim.Rand
+
+	disk     *sim.Server
+	nextSlot sim.Time // IOPS pacer: next admission slot
+	blocks   map[uint64]map[uint64]blockRec
+
+	writes, reads, crcErrors, misses uint64
+}
+
+// New creates a chunk server.
+func New(eng *sim.Engine, name string, cfg SSDConfig) *Server {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 8
+	}
+	return &Server{
+		eng:    eng,
+		name:   name,
+		cfg:    cfg,
+		rand:   eng.Rand.Fork(),
+		disk:   sim.NewServer(eng, name+"-ssd", cfg.Parallelism),
+		blocks: map[uint64]map[uint64]blockRec{},
+	}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Stats returns operation counters: writes, reads, CRC rejections, read
+// misses (block never written).
+func (s *Server) Stats() (writes, reads, crcErrors, misses uint64) {
+	return s.writes, s.reads, s.crcErrors, s.misses
+}
+
+// admissionDelay reserves the next IOPS slot and returns how long the
+// caller must wait for it, so overload shows up as queueing delay.
+func (s *Server) admissionDelay() time.Duration {
+	interval := time.Duration(float64(time.Second) / s.cfg.IOPSCap)
+	now := s.eng.Now()
+	if s.nextSlot < now {
+		s.nextSlot = now
+	}
+	d := s.nextSlot.Sub(now)
+	s.nextSlot = s.nextSlot.Add(interval)
+	return d
+}
+
+// WriteBlock persists one block. expectCRC is the raw CRC the writer
+// computed over the payload; the chunk server re-checksums on arrival and
+// rejects mismatches (err != nil), which is how production detected the
+// Fig. 11 corruption events. done fires when the block is durable in the
+// write cache.
+func (s *Server) WriteBlock(segment, lba uint64, gen uint32, data []byte, expectCRC uint32, done func(err error)) {
+	stored := append([]byte(nil), data...)
+	admission := s.admissionDelay()
+	s.eng.Schedule(admission, func() {
+		service := s.rand.LogNormal(s.cfg.WriteCacheMedian, s.cfg.WriteSigma)
+		s.disk.Submit(service, func() {
+			s.writes++
+			if got := crc.Raw(stored); got != expectCRC {
+				s.crcErrors++
+				done(fmt.Errorf("chunkserver %s: CRC mismatch at seg=%d lba=%#x: got %08x want %08x",
+					s.name, segment, lba, got, expectCRC))
+				return
+			}
+			seg := s.blocks[segment]
+			if seg == nil {
+				seg = map[uint64]blockRec{}
+				s.blocks[segment] = seg
+			}
+			prev, exists := seg[lba]
+			if exists && prev.gen > gen {
+				// Stale retransmitted generation: keep the newer data but
+				// still acknowledge (idempotent write).
+				done(nil)
+				return
+			}
+			seg[lba] = blockRec{data: stored, crc: expectCRC, gen: gen}
+			done(nil)
+		})
+	})
+}
+
+// ReadBlock fetches one block. done receives the payload, its stored raw
+// CRC, and an error for missing blocks.
+func (s *Server) ReadBlock(segment, lba uint64, done func(data []byte, rawCRC uint32, err error)) {
+	admission := s.admissionDelay()
+	s.eng.Schedule(admission, func() {
+		var service time.Duration
+		if s.rand.Bernoulli(s.cfg.CacheHitRate) {
+			service = s.rand.LogNormal(s.cfg.CacheHitMedian, s.cfg.ReadSigma)
+		} else {
+			service = s.rand.LogNormal(s.cfg.NANDReadMedian, s.cfg.ReadSigma)
+		}
+		s.disk.Submit(service, func() {
+			s.reads++
+			seg := s.blocks[segment]
+			rec, ok := seg[lba]
+			if !ok {
+				// Unwritten space reads as zeros, like a fresh virtual disk.
+				s.misses++
+				zero := make([]byte, 4096)
+				done(zero, crc.Raw(zero), nil)
+				return
+			}
+			done(rec.data, rec.crc, nil)
+		})
+	})
+}
+
+// Utilization returns the SSD's busy-unit average (diagnostics).
+func (s *Server) Utilization() float64 { return s.disk.Utilization() }

@@ -1,0 +1,74 @@
+package chunkserver
+
+import (
+	"lunasolar/internal/crc"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// Service exposes a chunk server over a backend-network transport: it
+// splits write RPCs into blocks for the store, reassembles read ranges, and
+// reports its residence time as the SSD component of the distributed trace.
+type Service struct {
+	eng *sim.Engine
+	cs  *Server
+}
+
+// NewService installs the chunk server as bn's request handler.
+func NewService(eng *sim.Engine, cs *Server, bn transport.Stack) *Service {
+	s := &Service{eng: eng, cs: cs}
+	bn.SetHandler(s.Handle)
+	return s
+}
+
+// Handle serves one BN request.
+func (s *Service) Handle(src uint32, req *transport.Message, reply func(*transport.Response)) {
+	t0 := s.eng.Now()
+	switch req.Op {
+	case wire.RPCWriteReq:
+		n := (len(req.Data) + wire.BlockSize - 1) / wire.BlockSize
+		remaining := n
+		var firstErr error
+		for i := 0; i < n; i++ {
+			lo := i * wire.BlockSize
+			hi := lo + wire.BlockSize
+			if hi > len(req.Data) {
+				hi = len(req.Data)
+			}
+			block := req.Data[lo:hi]
+			s.cs.WriteBlock(req.SegmentID, req.LBA+uint64(lo), req.Gen, block, crc.Raw(block), func(err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				remaining--
+				if remaining == 0 {
+					reply(&transport.Response{Err: firstErr, SSDTime: s.eng.Now().Sub(t0)})
+				}
+			})
+		}
+	case wire.RPCReadReq:
+		n := (req.ReadLen + wire.BlockSize - 1) / wire.BlockSize
+		buf := make([]byte, req.ReadLen)
+		remaining := n
+		var firstErr error
+		for i := 0; i < n; i++ {
+			lo := i * wire.BlockSize
+			i := i
+			s.cs.ReadBlock(req.SegmentID, req.LBA+uint64(lo), func(data []byte, _ uint32, err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				end := (i + 1) * wire.BlockSize
+				if end > len(buf) {
+					end = len(buf)
+				}
+				copy(buf[i*wire.BlockSize:end], data)
+				remaining--
+				if remaining == 0 {
+					reply(&transport.Response{Data: buf, Err: firstErr, SSDTime: s.eng.Now().Sub(t0)})
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"time"
+
+	"lunasolar/internal/crc"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// readReqPktID marks the read-request packet within an RPC's ID space
+// (response blocks use 0..n-1).
+const readReqPktID = 0xffff
+
+// outWrite tracks one WRITE RPC: every block is an independent packet; the
+// RPC completes when each block has its durable ACK.
+type outWrite struct {
+	id     uint64
+	dst    uint32
+	blocks [][]byte // original (trusted) payloads
+	pkts   []*outPkt
+	acked  int
+	agg    crc.Aggregator
+	done   func(*transport.Response)
+
+	serverWall, ssdTime time.Duration // distributed-trace maxima over blocks
+}
+
+// outRead tracks one READ RPC: the request packet plus the expected
+// response blocks (Fig. 13's Addr table entries).
+type outRead struct {
+	id       uint64
+	dst      uint32
+	msg      *transport.Message
+	total    int
+	received []bool
+	buf      []byte
+	agg      crc.Aggregator
+	got      int
+	done     func(*transport.Response)
+
+	serverWall, ssdTime time.Duration
+}
+
+// outServe tracks the response blocks this endpoint is sourcing for a
+// peer's READ (server side).
+type outServe struct {
+	key     serveKey
+	pkts    []*outPkt
+	unacked int
+}
+
+// Call implements transport.Client.
+func (s *Stack) Call(dst uint32, req *transport.Message, done func(*transport.Response)) {
+	switch req.Op {
+	case wire.RPCWriteReq:
+		s.callWrite(dst, req, done)
+	case wire.RPCReadReq:
+		s.callRead(dst, req, done)
+	default:
+		done(&transport.Response{Err: transport.ErrAdmission})
+	}
+}
+
+func splitBlocks(n int) int { return (n + wire.BlockSize - 1) / wire.BlockSize }
+
+// --- WRITE path -------------------------------------------------------------
+
+func (s *Stack) callWrite(dst uint32, req *transport.Message, done func(*transport.Response)) {
+	id := s.ids.Next()
+	n := splitBlocks(len(req.Data))
+	w := &outWrite{id: id, dst: dst, done: done}
+	s.writes[id] = w
+
+	issueCPU := s.params.PerRPCIssueCPU
+	s.cores.Submit(issueCPU, func() {
+		pe := s.peerFor(dst)
+		for i := 0; i < n; i++ {
+			lo := i * wire.BlockSize
+			hi := lo + wire.BlockSize
+			if hi > len(req.Data) {
+				hi = len(req.Data)
+			}
+			orig := req.Data[lo:hi]
+			if s.params.Encrypted {
+				if c := s.ciphers[req.VDisk]; c != nil {
+					// SEC engine: the trusted payload becomes the
+					// ciphertext; CRCs (wire and aggregate) cover it.
+					enc := make([]byte, len(orig))
+					c.EncryptBlock(enc, orig, req.SegmentID, req.LBA+uint64(lo), 0)
+					orig = enc
+				}
+			}
+			w.blocks = append(w.blocks, orig)
+
+			tx := append([]byte(nil), orig...) // what streams through the FPGA
+			sum := s.txCRC(tx)                 // may corrupt tx and lie (Offloaded)
+
+			// Software CRC aggregation: the CPU folds the trusted per-block
+			// value (one cheap XOR-accumulate pass over guest memory) and
+			// the engine-reported value.
+			w.agg.AddExpected(crc.Raw(orig))
+			w.agg.AddBlockCRC(sum)
+
+			flags := req.Flags
+			if i == n-1 {
+				flags |= wire.EBSFlagLastBlock
+			}
+			e := &outPkt{
+				key:     pktKey{rpcID: id, pktID: uint16(i)},
+				msgType: wire.RPCWriteReq,
+				ebs: wire.EBS{
+					Version: wire.EBSVersion, Op: wire.OpWrite, Flags: flags,
+					VDisk: req.VDisk, SegmentID: req.SegmentID,
+					LBA: req.LBA + uint64(lo), Gen: req.Gen,
+					BlockLen: uint32(hi - lo), BlockCRC: sum,
+				},
+				payload: tx,
+			}
+			e.size = wire.RPCSize + wire.EBSSize + len(tx)
+			w.pkts = append(w.pkts, e)
+		}
+
+		// Software integrity pass: one XOR-accumulate per block (or a full
+		// CRC per block when so configured — the ablation knob).
+		s.cores.Submit(s.aggCost(n), nil)
+
+		// Aggregation check before the blocks hit the wire: a mismatch
+		// means the FPGA corrupted data or CRCs; rebuild the affected
+		// blocks in software (full CRC cost) from the trusted buffers.
+		if !w.agg.Verify() {
+			s.IntegrityHits++
+			var fixCPU time.Duration
+			for i, e := range w.pkts {
+				trusted := crc.Raw(w.blocks[i])
+				if crc.Raw(e.payload) != trusted || e.ebs.BlockCRC != trusted {
+					e.payload = append([]byte(nil), w.blocks[i]...)
+					e.ebs.BlockCRC = trusted
+					fixCPU += s.params.SoftCRCPer4K
+				}
+			}
+			s.cores.Submit(fixCPU, nil)
+		}
+		for _, e := range w.pkts {
+			s.sendPkt(pe, e)
+		}
+	})
+}
+
+// txCRC runs the outbound CRC stage for one block.
+func (s *Stack) txCRC(tx []byte) uint32 {
+	if s.params.Mode == Offloaded && s.card != nil {
+		return s.card.ComputeCRC(tx) // FPGA engine: fault-injectable
+	}
+	// CPUPath/StorageServer: software CRC (trusted), charged to the CPU.
+	s.cores.Submit(s.params.SoftCRCPer4K, nil)
+	return crc.Raw(tx)
+}
+
+// --- READ path --------------------------------------------------------------
+
+func (s *Stack) callRead(dst uint32, req *transport.Message, done func(*transport.Response)) {
+	n := splitBlocks(req.ReadLen)
+	if n == 0 {
+		done(&transport.Response{})
+		return
+	}
+	// Addr-table admission: each expected block needs an entry.
+	s.admitRead(n, func() { s.issueRead(dst, req, n, done) })
+}
+
+func (s *Stack) admitRead(n int, issue func()) {
+	if len(s.addrQueue) == 0 && s.addrInUse+n <= s.addrCap {
+		s.addrInUse += n
+		issue()
+		return
+	}
+	s.addrQueue = append(s.addrQueue, addrWaiter{n: n, issue: issue, since: s.eng.Now()})
+}
+
+func (s *Stack) releaseAddr(n int) {
+	s.addrInUse -= n
+	for len(s.addrQueue) > 0 && s.addrInUse+s.addrQueue[0].n <= s.addrCap {
+		w := s.addrQueue[0]
+		s.addrQueue = s.addrQueue[1:]
+		s.addrInUse += w.n
+		s.AdmissionWait += s.eng.Now().Sub(w.since)
+		w.issue()
+	}
+}
+
+func (s *Stack) issueRead(dst uint32, req *transport.Message, n int, done func(*transport.Response)) {
+	id := s.ids.Next()
+	r := &outRead{
+		id: id, dst: dst, msg: req, total: n,
+		received: make([]bool, n),
+		buf:      make([]byte, req.ReadLen),
+		done:     done,
+	}
+	s.reads[id] = r
+	s.cores.Submit(s.params.PerRPCIssueCPU, func() {
+		pe := s.peerFor(dst)
+		e := &outPkt{
+			key:     pktKey{rpcID: id, pktID: readReqPktID},
+			msgType: wire.RPCReadReq,
+			ebs: wire.EBS{
+				Version: wire.EBSVersion, Op: wire.OpRead, Flags: req.Flags,
+				VDisk: req.VDisk, SegmentID: req.SegmentID,
+				LBA: req.LBA, Gen: req.Gen, BlockLen: uint32(req.ReadLen),
+			},
+		}
+		e.size = wire.RPCSize + wire.EBSSize
+		s.sendPkt(pe, e)
+	})
+}
+
+// --- packet transmission ----------------------------------------------------
+
+// sendPkt dispatches a packet onto the peer's best path, or backlogs it
+// when every path's window is full.
+func (s *Stack) sendPkt(pe *peer, e *outPkt) {
+	p := pe.pickPath(e.size)
+	if p == nil {
+		pe.backlog = append(pe.backlog, e)
+		return
+	}
+	s.transmitOn(pe, p, e)
+}
+
+// drainBacklog moves window-blocked packets onto paths freed by acks.
+func (s *Stack) drainBacklog(pe *peer) {
+	for len(pe.backlog) > 0 {
+		e := pe.backlog[0]
+		p := pe.pickPath(e.size)
+		if p == nil {
+			return
+		}
+		pe.backlog = pe.backlog[1:]
+		s.transmitOn(pe, p, e)
+	}
+}
+
+func (s *Stack) transmitOn(pe *peer, p *path, e *outPkt) {
+	s.out[outKey{peer: pe.addr, k: e.key}] = e
+	e.path = p
+	p.seq++
+	e.pathSeq = p.seq
+	e.sentAck = p.ackCount
+	e.sentAt = s.eng.Now()
+	if e.firstSend == 0 {
+		e.firstSend = e.sentAt
+	}
+	p.inflightBytes += e.size
+	p.outstanding = append(p.outstanding, e)
+	p.sent++
+
+	dataLen := len(e.payload)
+	send := func() {
+		buf := make([]byte, wire.RPCSize+wire.EBSSize+dataLen)
+		rpc := wire.RPC{
+			RPCID: e.key.rpcID, PktID: e.key.pktID,
+			NumPkts: 1, MsgType: e.msgType, Flags: e.flags,
+		}
+		if err := rpc.Encode(buf); err != nil {
+			panic(err)
+		}
+		if err := e.ebs.Encode(buf[wire.RPCSize:]); err != nil {
+			panic(err)
+		}
+		copy(buf[wire.RPCSize+wire.EBSSize:], e.payload)
+		s.host.Send(&simnet.Packet{
+			Dst:      pe.addr,
+			Proto:    wire.ProtoUDP,
+			SrcPort:  p.id,
+			DstPort:  ListenPort,
+			ECN:      wire.ECNECT0,
+			Payload:  buf,
+			Overhead: simnet.DefaultOverheadUDP,
+			INT:      &wire.INTStack{},
+			SentAt:   e.sentAt,
+		})
+	}
+
+	// Data-path placement: Offloaded blocks ride the FPGA pipeline;
+	// CPUPath pays PCIe (×2) and per-block CPU; servers pay per-block CPU.
+	switch {
+	case s.params.Mode == Offloaded && s.card != nil && dataLen > 0:
+		s.eng.Schedule(s.card.PipelineWriteLatency(s.params.Encrypted), send)
+	case s.params.Mode == CPUPath && s.card != nil && dataLen > 0:
+		s.cores.Submit(s.params.PerBlockCPU, func() {
+			s.card.PCIe.Transfer(2*dataLen, send)
+		})
+	case dataLen > 0:
+		s.cores.Submit(s.params.PerBlockCPU, send)
+	default:
+		send()
+	}
+
+	s.armTimer(pe, e)
+}
+
+func (s *Stack) armTimer(pe *peer, e *outPkt) {
+	if e.timer != nil {
+		e.timer.Cancel()
+	}
+	// Backoff is capped low: retransmissions are idempotent and the SLA
+	// punishes hangs, not duplicates.
+	retries := e.retries
+	if retries > 3 {
+		retries = 3
+	}
+	d := e.path.rtt.Backoff(retries)
+	e.timer = s.eng.Schedule(d, func() { s.onTimeout(pe, e) })
+}
+
+// onTimeout handles a per-packet RTO: selective retransmission, and path
+// failover after consecutive timeouts.
+func (s *Stack) onTimeout(pe *peer, e *outPkt) {
+	e.timer = nil
+	if e.acked {
+		return
+	}
+	p := e.path
+	p.consecTO++
+	p.ctrl.OnTimeout()
+	if p.consecTO >= s.params.PathFailThreshold {
+		p = s.failover(pe, p)
+	}
+	s.retransmit(pe, e)
+}
+
+// retransmit re-sends a packet on the peer's current best path (bypassing
+// the window: loss recovery is urgent).
+func (s *Stack) retransmit(pe *peer, e *outPkt) {
+	s.Retransmits++
+	e.retries++
+	old := e.path
+	if old != nil {
+		old.inflightBytes -= e.size
+		if old.inflightBytes < 0 {
+			old.inflightBytes = 0
+		}
+	}
+	// Prefer a window-open low-RTT path; otherwise round-robin away from
+	// the timed-out one.
+	p := pe.pickPath(e.size)
+	if p == nil {
+		p = pe.paths[int(s.randomizer.Int31n(int32(len(pe.paths))))]
+	}
+	if p == old && len(pe.paths) > 1 {
+		for _, cand := range pe.paths {
+			if cand != old {
+				p = cand
+				break
+			}
+		}
+	}
+	s.transmitOn(pe, p, e)
+}
+
+// earlyRetransmit scans a path's send queue after an ack: packets sent
+// before ≥3 subsequently-acked packets on the same path are declared lost
+// (out-of-order arrival detection, §4.5).
+func (s *Stack) earlyRetransmit(pe *peer, p *path) {
+	live := p.outstanding[:0]
+	var lost []*outPkt
+	for _, e := range p.outstanding {
+		if e.acked || e.path != p {
+			continue // lazily drop acked/re-homed entries
+		}
+		// Write blocks are excluded: their (durable) ACKs return in
+		// persistence order, not arrival order, so ack counting would
+		// misfire. Writes recover via the per-packet RTO, whose estimator
+		// absorbs the persistence variance. For transport-acked packets the
+		// rule is dup-ACK-like: lost if ≥3 packets sent after it on the
+		// same path were already acknowledged.
+		if e.msgType != wire.RPCWriteReq && p.maxAckedSeq >= e.pathSeq+3 {
+			lost = append(lost, e)
+			continue
+		}
+		live = append(live, e)
+	}
+	p.outstanding = live
+	for _, e := range lost {
+		p.ctrl.OnLoss()
+		s.retransmit(pe, e)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lunasolar/internal/dpu"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// probeRig builds a rig whose client probes idle paths every 5ms.
+func probeRig(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, dpu.FaultRates{}, Offloaded)
+	r.client.params.ProbeInterval = 5 * time.Millisecond
+	return r
+}
+
+func TestProbesKeepIdlePathsFresh(t *testing.T) {
+	r := probeRig(t)
+	// One write establishes the peer (and so the prober).
+	done := false
+	r.client.Call(r.server.LocalAddr(),
+		&transport.Message{Op: wire.RPCWriteReq, LBA: 0, Gen: 1, Data: fill(4096, 1)},
+		func(*transport.Response) { done = true })
+	r.eng.RunFor(10 * time.Millisecond)
+	if !done {
+		t.Fatal("write incomplete")
+	}
+	// Stay idle: probes must flow and be acknowledged on every path.
+	r.eng.RunFor(100 * time.Millisecond)
+	if r.client.Probes < 20 {
+		t.Fatalf("probes = %d, want a steady stream", r.client.Probes)
+	}
+	for _, pe := range r.client.peers {
+		for i, p := range pe.paths {
+			if p.ewma == 0 {
+				t.Fatalf("path %d never measured despite probing", i)
+			}
+			if r.eng.Now().Sub(p.lastAckAt) > 20*time.Millisecond {
+				t.Fatalf("path %d stale: last ack %v ago", i, r.eng.Now().Sub(p.lastAckAt))
+			}
+		}
+	}
+}
+
+func TestProbesDetectBlackholeWhileIdle(t *testing.T) {
+	r := probeRig(t)
+	done := false
+	r.client.Call(r.server.LocalAddr(),
+		&transport.Message{Op: wire.RPCWriteReq, LBA: 0, Gen: 1, Data: fill(4096, 1)},
+		func(*transport.Response) { done = true })
+	r.eng.RunFor(10 * time.Millisecond)
+	if !done {
+		t.Fatal("write incomplete")
+	}
+
+	// Silent blackhole at both client ToRs; the client issues NO traffic.
+	r.fab.ToR(0, 0, 0, 0).SetBlackhole(0.5, 31)
+	r.fab.ToR(0, 0, 0, 1).SetBlackhole(0.5, 31)
+	failoversBefore := r.client.PathFailovers
+	r.eng.RunFor(400 * time.Millisecond)
+	if r.client.PathFailovers == failoversBefore {
+		t.Fatal("probing did not fail over blackholed paths while idle")
+	}
+
+	// First post-idle I/O rides already-healed paths: fast completion.
+	start := r.eng.Now()
+	var lat time.Duration
+	r.client.Call(r.server.LocalAddr(),
+		&transport.Message{Op: wire.RPCWriteReq, LBA: 0x2000, Gen: 2, Data: fill(4096, 2)},
+		func(*transport.Response) { lat = r.eng.Now().Sub(start) })
+	r.eng.RunFor(2 * time.Second)
+	if lat == 0 {
+		t.Fatal("post-idle write never completed")
+	}
+	if lat > 50*time.Millisecond {
+		t.Fatalf("post-idle write took %v despite proactive probing", lat)
+	}
+}
+
+func TestNoProbesWhenDisabled(t *testing.T) {
+	r := newRig(t, dpu.FaultRates{}, Offloaded) // ProbeInterval zero
+	r.client.Call(r.server.LocalAddr(),
+		&transport.Message{Op: wire.RPCWriteReq, LBA: 0, Gen: 1, Data: fill(4096, 1)},
+		func(*transport.Response) {})
+	r.eng.RunFor(200 * time.Millisecond)
+	if r.client.Probes != 0 {
+		t.Fatalf("probes sent with probing disabled: %d", r.client.Probes)
+	}
+	// And the engine drains fully (no perpetual probe timers).
+	r.eng.Run()
+}
+
+func TestProbesDoNotFireOnBusyPaths(t *testing.T) {
+	r := probeRig(t)
+	// Keep a closed loop busy; most probe slots should be skipped.
+	var issue func()
+	n := 0
+	issue = func() {
+		if n > 400 {
+			return
+		}
+		n++
+		r.client.Call(r.server.LocalAddr(),
+			&transport.Message{Op: wire.RPCWriteReq, LBA: uint64(n%32) << 12, Gen: 1, Data: fill(4096, byte(n))},
+			func(*transport.Response) { issue() })
+	}
+	for i := 0; i < 8; i++ {
+		issue()
+	}
+	r.eng.RunFor(100 * time.Millisecond)
+	// Probes may trickle on momentarily-idle paths, but far fewer than the
+	// idle case's ~20/100ms·4 paths.
+	if r.client.Probes > 40 {
+		t.Fatalf("probes = %d during busy traffic", r.client.Probes)
+	}
+}

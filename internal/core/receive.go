@@ -1,0 +1,412 @@
+package core
+
+import (
+	"time"
+
+	"lunasolar/internal/cc"
+	"lunasolar/internal/crc"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// ReceivePacket feeds one inbound frame into the stack; hosts running
+// multiple stacks route frames here through a simnet.Mux.
+func (s *Stack) ReceivePacket(pkt *simnet.Packet) {
+	var rpc wire.RPC
+	if err := rpc.Decode(pkt.Payload); err != nil {
+		return
+	}
+	rest := pkt.Payload[wire.RPCSize:]
+	switch rpc.MsgType {
+	case wire.RPCAck:
+		s.handleAck(pkt, rpc, rest)
+	case wire.RPCWriteReq:
+		s.handleWriteBlock(pkt, rpc, rest)
+	case wire.RPCReadReq:
+		s.handleReadReq(pkt, rpc, rest)
+	case wire.RPCReadResp:
+		s.handleReadBlock(pkt, rpc, rest)
+	case wire.RPCProbe:
+		// Probes need no handler: acknowledge immediately, echoing INT.
+		s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+	}
+}
+
+// sendAck emits the per-packet acknowledgment, echoing the data packet's
+// path ID, timestamp, congestion marks and INT stack (Fig. 12's "Path
+// Condition & Congestion Signal").
+func (s *Stack) sendAck(pkt *simnet.Packet, rpcID uint64, pktID uint16, flags uint8) {
+	s.sendAckTimes(pkt, rpcID, pktID, flags, 0, 0)
+}
+
+// sendAckTimes is sendAck carrying the distributed-trace server times
+// (durable write ACKs report block-server residence and media time).
+func (s *Stack) sendAckTimes(pkt *simnet.Packet, rpcID uint64, pktID uint16, flags uint8, wall, ssd time.Duration) {
+	intStack := pkt.INT
+	size := wire.RPCSize + wire.AckSize
+	if intStack != nil {
+		size += intStack.EncodedSize()
+	}
+	buf := make([]byte, size)
+	rpcHdr := wire.RPC{RPCID: rpcID, PktID: pktID, NumPkts: 1, MsgType: wire.RPCAck, Flags: flags}
+	if err := rpcHdr.Encode(buf); err != nil {
+		panic(err)
+	}
+	ack := wire.Ack{
+		RPCID:     rpcID,
+		PktID:     pktID,
+		PathID:    pkt.SrcPort,
+		EchoTS:    uint64(pkt.SentAt),
+		ECNMarked: pkt.ECN == wire.ECNCE,
+		ServerNS:  uint32(wall.Nanoseconds()),
+		SSDNS:     uint32(ssd.Nanoseconds()),
+	}
+	if intStack != nil && len(intStack.Hops) > 0 {
+		last := intStack.Hops[len(intStack.Hops)-1]
+		ack.QLen = last.QLenB
+		ack.TxRate = last.RateMbs
+	}
+	if err := ack.Encode(buf[wire.RPCSize:]); err != nil {
+		panic(err)
+	}
+	if intStack != nil {
+		if err := intStack.Encode(buf[wire.RPCSize+wire.AckSize:]); err != nil {
+			panic(err)
+		}
+	}
+	dst := pkt.Src
+	dstPort := pkt.SrcPort
+	send := func() {
+		s.host.Send(&simnet.Packet{
+			Dst:      dst,
+			Proto:    wire.ProtoUDP,
+			SrcPort:  ListenPort,
+			DstPort:  dstPort,
+			Payload:  buf,
+			Overhead: simnet.DefaultOverheadUDP,
+			SentAt:   s.eng.Now(),
+		})
+	}
+	if s.params.Mode == Offloaded && s.card != nil {
+		// Fig. 13: the pipeline's packet generator emits acknowledgments
+		// "without interrupting the CPU".
+		s.eng.Schedule(s.card.Cfg.PktGen, send)
+		return
+	}
+	s.cores.Submit(s.params.PerAckCPU/2, send)
+}
+
+// handleWriteBlock is the server side of a WRITE: each packet is one
+// self-contained block — the handler is invoked immediately, per block,
+// with no assembly or buffering (the one-block-one-packet property).
+func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
+	var ebs wire.EBS
+	if err := ebs.Decode(rest); err != nil {
+		return
+	}
+	payload := rest[wire.EBSSize:]
+	if int(ebs.BlockLen) <= len(payload) {
+		payload = payload[:ebs.BlockLen]
+	}
+	if s.handler == nil {
+		return
+	}
+	req := &transport.Message{
+		Op: wire.RPCWriteReq, VDisk: ebs.VDisk, SegmentID: ebs.SegmentID,
+		LBA: ebs.LBA, Gen: ebs.Gen, Flags: ebs.Flags,
+		Data: append([]byte(nil), payload...),
+	}
+	// Per-block server CPU, then hand to the block service; the durable
+	// ACK (Fig. 12's WRITE response) is sent when it replies.
+	arrived := s.eng.Now()
+	s.cores.Submit(s.params.PerBlockCPU, func() {
+		s.handler(pkt.Src, req, func(resp *transport.Response) {
+			flags := uint8(AckFlagDurable)
+			if resp.Err != nil {
+				flags = AckFlagError
+			}
+			wall := resp.ServerWall
+			if wall == 0 {
+				wall = s.eng.Now().Sub(arrived)
+			}
+			s.sendAckTimes(pkt, rpc.RPCID, rpc.PktID, flags, wall, resp.SSDTime)
+		})
+	})
+	// The block CRC travels with the packet; the block service re-verifies
+	// against ebs.BlockCRC downstream (chunk servers check on write).
+	_ = ebs.BlockCRC
+}
+
+// handleReadReq is the server side of a READ: acknowledge the request
+// packet, then stream one packet per block back, each reliably delivered.
+func (s *Stack) handleReadReq(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
+	var ebs wire.EBS
+	if err := ebs.Decode(rest); err != nil {
+		return
+	}
+	s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+	key := serveKey{peer: pkt.Src, rpcID: rpc.RPCID}
+	if _, dup := s.serves[key]; dup {
+		return // retransmitted request; response blocks retransmit themselves
+	}
+	s.serves[key] = &outServe{key: key}
+	if s.handler == nil {
+		return
+	}
+	req := &transport.Message{
+		Op: wire.RPCReadReq, VDisk: ebs.VDisk, SegmentID: ebs.SegmentID,
+		LBA: ebs.LBA, Gen: ebs.Gen, Flags: ebs.Flags,
+		ReadLen: int(ebs.BlockLen),
+	}
+	src := pkt.Src
+	s.cores.Submit(s.params.PerRPCIssueCPU, func() {
+		s.handler(src, req, func(resp *transport.Response) {
+			s.serveReadBlocks(key, req, resp)
+		})
+	})
+}
+
+// serveReadBlocks sends each block of a read response as an independent
+// reliable packet across this endpoint's own paths to the requester.
+func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *transport.Response) {
+	sv := s.serves[key]
+	if sv == nil {
+		return
+	}
+	data := resp.Data
+	n := splitBlocks(len(data))
+	pe := s.peerFor(key.peer)
+	for i := 0; i < n; i++ {
+		lo := i * wire.BlockSize
+		hi := lo + wire.BlockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		block := data[lo:hi]
+		sum := crc.Raw(block) // trusted: storage-side software/stored CRC
+		flags := req.Flags & wire.EBSFlagEncrypted
+		if i == n-1 {
+			flags |= wire.EBSFlagLastBlock
+		}
+		e := &outPkt{
+			key:     pktKey{rpcID: key.rpcID, pktID: uint16(i)},
+			msgType: wire.RPCReadResp,
+			ebs: wire.EBS{
+				Version: wire.EBSVersion, Op: wire.OpRead, Flags: flags,
+				VDisk: req.VDisk, SegmentID: req.SegmentID,
+				LBA: req.LBA + uint64(lo), Gen: req.Gen,
+				BlockLen: uint32(hi - lo), BlockCRC: sum,
+				ServerNS: uint32(resp.ServerWall.Nanoseconds()),
+				SSDNS:    uint32(resp.SSDTime.Nanoseconds()),
+			},
+			payload: append([]byte(nil), block...),
+		}
+		e.size = wire.RPCSize + wire.EBSSize + len(e.payload)
+		sv.pkts = append(sv.pkts, e)
+		sv.unacked++
+	}
+	for _, e := range sv.pkts {
+		s.sendPkt(pe, e)
+	}
+}
+
+// handleReadBlock is the client side of a READ response: one independent
+// block per packet. The Addr table entry placed at issue time tells the
+// pipeline where in guest memory the block lands; processing never touches
+// the DPU CPU except for the header (integrity aggregation + congestion).
+func (s *Stack) handleReadBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
+	var ebs wire.EBS
+	if err := ebs.Decode(rest); err != nil {
+		return
+	}
+	payload := rest[wire.EBSSize:]
+	if int(ebs.BlockLen) <= len(payload) {
+		payload = payload[:ebs.BlockLen]
+	}
+	r := s.reads[rpc.RPCID]
+	if r == nil || int(rpc.PktID) >= r.total || r.received[rpc.PktID] {
+		// Duplicate or stale: ack so the server stops retransmitting.
+		s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+		return
+	}
+	commit := func() { s.commitReadBlock(pkt, rpc, ebs, payload) }
+	switch {
+	case s.params.Mode == Offloaded && s.card != nil:
+		s.eng.Schedule(s.card.PipelineReadLatency(s.params.Encrypted), commit)
+	case s.params.Mode == CPUPath && s.card != nil:
+		s.cores.Submit(s.params.PerBlockCPU+s.params.SoftCRCPer4K, func() {
+			s.card.PCIe.Transfer(2*len(payload), commit)
+		})
+	default:
+		s.cores.Submit(s.params.PerBlockCPU, commit)
+	}
+}
+
+func (s *Stack) commitReadBlock(pkt *simnet.Packet, rpc wire.RPC, ebs wire.EBS, payload []byte) {
+	r := s.reads[rpc.RPCID]
+	if r == nil || r.received[rpc.PktID] {
+		s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+		return
+	}
+	// The CRC engine checks the block on its way to guest memory; in
+	// Offloaded mode it is fault-injectable (it may corrupt the block or
+	// misreport the sum). The trusted per-block value from the storage
+	// side rides in the header; the CPU folds both into the RPC-level
+	// aggregate and verifies once per RPC.
+	var engineSum uint32
+	if s.params.Mode == Offloaded && s.card != nil {
+		engineSum = s.card.ComputeCRC(payload)
+	} else {
+		engineSum = crc.Raw(payload)
+	}
+	r.agg.AddExpected(ebs.BlockCRC)
+	r.agg.AddBlockCRC(engineSum)
+	if w := time.Duration(ebs.ServerNS); w > r.serverWall {
+		r.serverWall = w
+	}
+	if d := time.Duration(ebs.SSDNS); d > r.ssdTime {
+		r.ssdTime = d
+	}
+
+	// The block's headers and metadata go to the CPU for the integrity
+	// aggregation and congestion update (Fig. 13); the payload does not.
+	s.cores.Submit(s.params.PerBlockCPU, nil)
+
+	off := int(rpc.PktID) * wire.BlockSize
+	copy(r.buf[off:], payload) // DMA into guest memory
+	if s.params.Encrypted && ebs.Flags&wire.EBSFlagEncrypted != 0 {
+		if c := s.ciphers[ebs.VDisk]; c != nil {
+			blk := r.buf[off : off+len(payload)]
+			c.DecryptBlock(blk, blk, ebs.SegmentID, ebs.LBA, 0)
+		}
+	}
+	r.received[rpc.PktID] = true
+	r.got++
+	s.releaseAddr(1)
+	s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+
+	if r.got == r.total {
+		s.cores.Submit(s.params.PerRPCDoneCPU+s.aggCost(r.total), func() {
+			s.finishRead(r)
+		})
+	}
+}
+
+// aggCost is the software aggregation cost: one cheap XOR fold per block.
+func (s *Stack) aggCost(blocks int) time.Duration {
+	return time.Duration(int64(s.params.AggXORPer4K) * int64(blocks))
+}
+
+// finishRead verifies the RPC-level aggregate; a mismatch means the FPGA
+// corrupted at least one block on its way to guest memory — the read is
+// reissued (fresh Addr entries, fresh RPC ID).
+func (s *Stack) finishRead(r *outRead) {
+	delete(s.reads, r.id)
+	if r.agg.Verify() {
+		r.done(&transport.Response{Data: r.buf, ServerWall: r.serverWall, SSDTime: r.ssdTime})
+		return
+	}
+	s.IntegrityHits++
+	n := r.total
+	s.admitRead(n, func() { s.issueRead(r.dst, r.msg, n, r.done) })
+}
+
+// handleAck processes a per-packet acknowledgment: path condition update,
+// HPCC window update, RPC progress, out-of-order loss detection.
+func (s *Stack) handleAck(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
+	var ack wire.Ack
+	if err := ack.Decode(rest); err != nil {
+		return
+	}
+	var intStack wire.INTStack
+	if len(rest) > wire.AckSize {
+		intStack.Decode(rest[wire.AckSize:]) //nolint:errcheck // absent INT is fine
+	}
+	s.cores.Submit(s.params.PerAckCPU, func() {
+		key := outKey{peer: pkt.Src, k: pktKey{rpcID: ack.RPCID, pktID: ack.PktID}}
+		e := s.out[key]
+		if e == nil || e.acked {
+			return
+		}
+		if rpc.Flags&AckFlagError != 0 {
+			s.repairAndResend(pkt.Src, e)
+			return
+		}
+		e.acked = true
+		if e.timer != nil {
+			e.timer.Cancel()
+			e.timer = nil
+		}
+		delete(s.out, key)
+		pe := s.peerFor(pkt.Src)
+		p := e.path
+		p.lastAckAt = s.eng.Now()
+		p.inflightBytes -= e.size
+		if p.inflightBytes < 0 {
+			p.inflightBytes = 0
+		}
+		if e.pathSeq > p.maxAckedSeq {
+			p.maxAckedSeq = e.pathSeq
+		}
+		rttSample := s.eng.Now().Sub(e.sentAt)
+		if e.retries == 0 { // Karn: only sample unambiguous transmissions
+			p.observe(rttSample, cc.Feedback{
+				RTT:        rttSample,
+				AckedBytes: e.size,
+				ECNMarked:  ack.ECNMarked,
+				INT:        intStack.Hops,
+			})
+		} else {
+			p.consecTO = 0
+			p.ackCount++
+			p.acked++
+		}
+		s.earlyRetransmit(pe, p)
+		s.drainBacklog(pe)
+
+		switch e.msgType {
+		case wire.RPCWriteReq:
+			if w := s.writes[e.key.rpcID]; w != nil {
+				w.acked++
+				if wall := time.Duration(ack.ServerNS); wall > w.serverWall {
+					w.serverWall = wall
+				}
+				if d := time.Duration(ack.SSDNS); d > w.ssdTime {
+					w.ssdTime = d
+				}
+				if w.acked == len(w.pkts) {
+					delete(s.writes, w.id)
+					s.cores.Submit(s.params.PerRPCDoneCPU, func() {
+						w.done(&transport.Response{ServerWall: w.serverWall, SSDTime: w.ssdTime})
+					})
+				}
+			}
+		case wire.RPCReadResp:
+			skey := serveKey{peer: pkt.Src, rpcID: e.key.rpcID}
+			if sv := s.serves[skey]; sv != nil {
+				sv.unacked--
+				if sv.unacked <= 0 {
+					delete(s.serves, skey)
+				}
+			}
+		}
+	})
+}
+
+// repairAndResend handles a receiver-side CRC rejection (AckFlagError): the
+// block is rebuilt from the trusted guest buffer with a software CRC and
+// retransmitted.
+func (s *Stack) repairAndResend(peerAddr uint32, e *outPkt) {
+	if e.msgType == wire.RPCWriteReq {
+		if w := s.writes[e.key.rpcID]; w != nil {
+			orig := w.blocks[e.key.pktID]
+			e.payload = append([]byte(nil), orig...)
+			e.ebs.BlockCRC = crc.Raw(orig)
+			s.IntegrityHits++
+		}
+	}
+	s.cores.Submit(s.params.SoftCRCPer4K, func() {
+		s.retransmit(s.peerFor(peerAddr), e)
+	})
+}

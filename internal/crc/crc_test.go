@@ -1,0 +1,213 @@
+package crc
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func TestChecksumMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(9000)
+		data := make([]byte, n)
+		r.Read(data)
+		want := crc32.Checksum(data, castagnoli)
+		if got := Checksum(data); got != want {
+			t.Fatalf("len=%d: Checksum = %08x, want %08x", n, got, want)
+		}
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// iSCSI test vector: CRC32C("123456789") = 0xE3069283.
+	if got := Checksum([]byte("123456789")); got != 0xe3069283 {
+		t.Fatalf("got %08x", got)
+	}
+}
+
+func TestUpdateIncremental(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	whole := Checksum(data)
+	for split := 0; split <= len(data); split++ {
+		part := Checksum(data[:split])
+		got := Update(part, data[split:])
+		if got != whole {
+			t.Fatalf("split=%d: incremental %08x != whole %08x", split, got, whole)
+		}
+	}
+}
+
+func TestRawLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(4096)
+		a := make([]byte, n)
+		b := make([]byte, n)
+		x := make([]byte, n)
+		r.Read(a)
+		r.Read(b)
+		XorBlocks(x, a, b)
+		if Raw(x) != Raw(a)^Raw(b) {
+			t.Fatalf("linearity violated at len %d", n)
+		}
+	}
+}
+
+func TestRawLinearityProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		x := make([]byte, n)
+		XorBlocks(x, a, b)
+		return Raw(x) == Raw(a)^Raw(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardChecksumIsNotLinear(t *testing.T) {
+	// Documents why the aggregation uses Raw, not Checksum: the init/final
+	// inversions break linearity.
+	a := []byte{1, 2, 3, 4}
+	b := []byte{5, 6, 7, 8}
+	x := make([]byte, 4)
+	XorBlocks(x, a, b)
+	if Checksum(x) == Checksum(a)^Checksum(b) {
+		t.Fatal("expected standard CRC to violate XOR linearity")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		la, lb := r.Intn(2048), r.Intn(2048)
+		a := make([]byte, la)
+		b := make([]byte, lb)
+		r.Read(a)
+		r.Read(b)
+		whole := Checksum(append(append([]byte{}, a...), b...))
+		got := Combine(Checksum(a), Checksum(b), int64(lb))
+		if got != whole {
+			t.Fatalf("combine(la=%d, lb=%d) = %08x, want %08x", la, lb, got, whole)
+		}
+	}
+}
+
+func TestCombineZeroLength(t *testing.T) {
+	a := Checksum([]byte("hello"))
+	if got := Combine(a, Checksum(nil), 0); got != a {
+		t.Fatalf("combine with empty B changed CRC: %08x", got)
+	}
+}
+
+func TestXorAggregate(t *testing.T) {
+	crcs := []uint32{0xdeadbeef, 0x12345678, 0xdeadbeef}
+	if got := XorAggregate(crcs); got != 0x12345678 {
+		t.Fatalf("got %08x", got)
+	}
+	if got := XorAggregate(nil); got != 0 {
+		t.Fatalf("empty aggregate = %08x", got)
+	}
+}
+
+func TestAggregatorDetectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const blockSize = 4096
+	const blocks = 16
+
+	payloads := make([][]byte, blocks)
+	for i := range payloads {
+		payloads[i] = make([]byte, blockSize)
+		r.Read(payloads[i])
+	}
+
+	// Clean run: FPGA CRCs match expected.
+	var agg Aggregator
+	for _, p := range payloads {
+		c := Raw(p)
+		agg.AddBlockCRC(c) // what the FPGA reported
+		agg.AddExpected(c) // trusted metadata
+	}
+	if !agg.Verify() {
+		t.Fatal("clean segment failed verification")
+	}
+	if agg.Blocks() != blocks {
+		t.Fatalf("blocks = %d", agg.Blocks())
+	}
+
+	// Corrupted run: flip one bit in one block after CRC was computed —
+	// the FPGA reports the CRC of the corrupted data.
+	agg.Reset()
+	for i, p := range payloads {
+		agg.AddExpected(Raw(p))
+		if i == 7 {
+			corrupted := append([]byte{}, p...)
+			corrupted[1234] ^= 0x10
+			agg.AddBlockCRC(Raw(corrupted))
+		} else {
+			agg.AddBlockCRC(Raw(p))
+		}
+	}
+	if agg.Verify() {
+		t.Fatal("single-bit corruption not detected")
+	}
+}
+
+func TestAggregatorEveryBitPosition(t *testing.T) {
+	// Any single-bit flip in any block must be caught (CRC detects all
+	// single-bit errors; XOR folding preserves a single block's error).
+	p := make([]byte, 512)
+	rand.New(rand.NewSource(5)).Read(p)
+	clean := Raw(p)
+	for byteIdx := 0; byteIdx < len(p); byteIdx += 37 {
+		for bit := 0; bit < 8; bit++ {
+			p[byteIdx] ^= 1 << bit
+			var agg Aggregator
+			agg.AddExpected(clean)
+			agg.AddBlockCRC(Raw(p))
+			if agg.Verify() {
+				t.Fatalf("flip at %d.%d undetected", byteIdx, bit)
+			}
+			p[byteIdx] ^= 1 << bit
+		}
+	}
+}
+
+func TestXorBlocksPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	XorBlocks(make([]byte, 4), make([]byte, 5))
+}
+
+func BenchmarkChecksum4K(b *testing.B) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(6)).Read(data)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Checksum(data)
+	}
+}
+
+func BenchmarkXorAggregate512Blocks(b *testing.B) {
+	crcs := make([]uint32, 512)
+	r := rand.New(rand.NewSource(7))
+	for i := range crcs {
+		crcs[i] = r.Uint32()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XorAggregate(crcs)
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/core"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
+)
+
+// Ablations exercises the design choices DESIGN.md calls out, one knob at a
+// time on an otherwise-default Solar cluster:
+//
+//  1. Multipath and source-port failover under a spine blackhole — the
+//     fast-recovery mechanism of §4.5 and Table 2.
+//  2. CRC strategy: software aggregation (one XOR per block) vs a full
+//     software CRC per block on the DPU CPU — the integrity/CPU tradeoff
+//     of §4.5's "Hardware errors v.s. data integrity".
+//  3. Addr-table capacity: the hardware-state scaling knob behind the
+//     one-block-one-packet design's "few maintained states" claim.
+func Ablations(opts Options) *Table {
+	t := &Table{
+		Title:   "Ablations: Solar design choices",
+		Columns: []string{"study", "variant", "metric", "value"},
+	}
+
+	// --- 1. multipath + failover under a silent blackhole -------------------
+	for _, v := range []struct {
+		label    string
+		paths    int
+		failover bool
+	}{
+		{"1 path, failover off", 1, false},
+		{"4 paths, failover off", 4, false},
+		{"1 path, failover on", 1, true},
+		{"4 paths, failover on", 4, true},
+	} {
+		slow, p99 := ablatePaths(opts, v.paths, v.failover)
+		t.Rows = append(t.Rows, []string{
+			"multipath under blackhole", v.label,
+			"IOs >=1s / write p99 µs", fmt.Sprintf("%d / %s", slow, us(p99)),
+		})
+	}
+
+	// --- 2. CRC strategy on the DPU CPU -------------------------------------
+	for _, full := range []bool{false, true} {
+		label := "aggregation (XOR/block)"
+		if full {
+			label = "full software CRC/block"
+		}
+		iops := ablateCRC(opts, full)
+		t.Rows = append(t.Rows, []string{
+			"integrity check on CPU", label, "4K write IOPS @1 core", f0(iops),
+		})
+	}
+
+	// --- share-nothing vs locked stack ---------------------------------------
+	for _, locked := range []bool{false, true} {
+		label := "share-nothing (Luna)"
+		if locked {
+			label = "locked shared stack"
+		}
+		gbps, cores := ablateShareNothing(opts, locked)
+		t.Rows = append(t.Rows, []string{
+			"thread arrangement @4 cores", label,
+			"stress Gbps / consumed cores", fmt.Sprintf("%s / %s", f1(gbps), f1(cores)),
+		})
+	}
+
+	// --- 3. Addr-table capacity ----------------------------------------------
+	for _, entries := range []int{64, 512, 20000} {
+		wait := ablateAddr(opts, entries)
+		t.Rows = append(t.Rows, []string{
+			"Addr table capacity", fmt.Sprintf("%d entries", entries),
+			"read admission wait (total ms)", f1(float64(wait.Milliseconds())),
+		})
+	}
+
+	t.Notes = append(t.Notes,
+		"without source-port failover a blackholed path hangs I/Os forever; with it even one path recovers (a fresh port re-hashes)",
+		"a small Addr table backpressures reads instead of dropping them — scalability knob of §4.4")
+	return t
+}
+
+// ablatePaths measures slow I/Os and write p99 with the given path count
+// and failover setting while both spines silently blackhole 25% of flows.
+func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Duration) {
+	cfg := clusterConfig(ebs.Solar, opts.Seed)
+	p := ebs.SolarStackParams(ebs.Solar, false)
+	p.NumPaths = paths
+	if !failover {
+		p.PathFailThreshold = 1 << 30 // never declare a path dead
+	}
+	cfg.SolarOverride = &p
+	c := ebs.New(cfg)
+	var vds []*ebs.VDisk
+	for i := 0; i < 4; i++ {
+		vds = append(vds, c.Provision(i, 64<<20, ebs.DefaultQoS()))
+	}
+	h := stats.NewHistogram()
+	r := sim.NewRand(opts.Seed + 17)
+	stopped := false
+	pending := map[int]sim.Time{}
+	next := 0
+	for _, vd := range vds {
+		vd := vd
+		var issue func()
+		issue = func() {
+			if stopped {
+				return
+			}
+			id := next
+			next++
+			start := c.Eng.Now()
+			pending[id] = start
+			lba := uint64(r.Int63n(int64(vd.Size()-4096))) &^ 4095
+			vd.Write(lba, make([]byte, 4096), func(ebs.IOResult) {
+				delete(pending, id)
+				d := c.Eng.Now().Sub(start)
+				h.Record(d)
+				if d >= time.Second {
+					slow++
+				}
+				c.Eng.Schedule(2*time.Millisecond, issue)
+			})
+		}
+		issue()
+	}
+	c.RunFor(100 * time.Millisecond)
+	c.Fabric.Spine(0, 0, 0).SetBlackhole(0.25, 777)
+	c.Fabric.Spine(0, 0, 1).SetBlackhole(0.25, 777)
+	c.RunFor(time.Duration(opts.scale(3000, 1500)) * time.Millisecond)
+	stopped = true
+	for _, started := range pending {
+		if c.Eng.Now().Sub(started) >= time.Second {
+			slow++
+		}
+	}
+	return slow, h.P99()
+}
+
+// ablateShareNothing runs the Table 1-style 50 Gbps stress with 4 cores,
+// with and without Luna's lock-free share-nothing thread arrangement
+// (§3.2): the locked variant pays contention per packet per extra core.
+func ablateShareNothing(opts Options, locked bool) (gbps, cores float64) {
+	era := table1Era{"2x25GE", 25e9, 50e9, 4, 4, 1.0}
+	params := ebs.LunaStackParams()
+	if locked {
+		params.LockPenalty = 150 * time.Nanosecond
+	}
+	_, gbps, cores = runRPCWith(opts, era, params, 4)
+	return gbps, cores
+}
+
+// ablateCRC measures sustainable 4K write IOPS on one DPU core with the
+// aggregation strategy vs a full software CRC per block.
+func ablateCRC(opts Options, fullCRC bool) float64 {
+	cfg := clusterConfig(ebs.Solar, opts.Seed)
+	cfg.DPU.CPUCores = 1
+	cfg.ComputeServers = 1
+	p := ebs.SolarStackParams(ebs.Solar, false)
+	if fullCRC {
+		p.AggXORPer4K = p.SoftCRCPer4K // CPU checksums every block fully
+	}
+	cfg.SolarOverride = &p
+	c := ebs.New(cfg)
+	vd := c.Provision(0, 128<<20, ebs.DefaultQoS())
+	done := 0
+	for s := 0; s < 32; s++ {
+		lba := uint64(s) << 14
+		var issue func()
+		issue = func() {
+			vd.Write(lba, make([]byte, 4096), func(ebs.IOResult) {
+				done++
+				issue()
+			})
+		}
+		issue()
+	}
+	window := time.Duration(opts.scale(60, 20)) * time.Millisecond
+	c.RunFor(5 * time.Millisecond)
+	base := done
+	c.RunFor(window)
+	return float64(done-base) / window.Seconds()
+}
+
+// ablateAddr measures total Addr-table admission wait with depth-64 reads
+// of 64 KiB against the given table capacity.
+func ablateAddr(opts Options, entries int) time.Duration {
+	cfg := clusterConfig(ebs.Solar, opts.Seed)
+	cfg.ComputeServers = 1
+	cfg.DPU.MaxAddrEntries = entries
+	c := ebs.New(cfg)
+	vd := c.Provision(0, 128<<20, ebs.DefaultQoS())
+	for off := uint64(0); off < 8<<20; off += 512 << 10 {
+		vd.Write(off, make([]byte, 512<<10), nil)
+	}
+	c.Run()
+	done := 0
+	r := sim.NewRand(opts.Seed + 23)
+	for s := 0; s < 64; s++ {
+		var issue func()
+		issue = func() {
+			lba := uint64(r.Int63n(8<<20-64<<10)) &^ 4095
+			vd.Read(lba, 64<<10, func(ebs.IOResult) {
+				done++
+				issue()
+			})
+		}
+		issue()
+	}
+	c.RunFor(time.Duration(opts.scale(40, 15)) * time.Millisecond)
+	st, ok := c.Compute(0).Stack.(*core.Stack)
+	if !ok {
+		panic("ablateAddr: not a solar stack")
+	}
+	return st.AdmissionWait
+}

@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function returning a structured result
+// with a Format method that prints the same rows/series the paper reports;
+// cmd/ebsbench and the repository benchmarks are thin wrappers around this
+// package.
+//
+// Absolute numbers come from the simulated substrate, so they are not the
+// authors' testbed numbers; the shapes — who wins, by what factor, where
+// the crossovers fall — are the reproduction target. EXPERIMENTS.md records
+// paper-vs-measured for every row.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Options tunes experiment scale. Quick reduces sample counts and cluster
+// sizes so the full suite runs in seconds (used by tests and -short
+// benches); the defaults match the numbers reported in EXPERIMENTS.md.
+type Options struct {
+	Seed  int64
+	Quick bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+func (o Options) scale(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is a generic formatted result: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

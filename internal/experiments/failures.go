@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/sim"
+)
+
+// hangThreshold is the Table 2 criterion: an I/O with no response for one
+// second or longer.
+const hangThreshold = time.Second
+
+// table2Scenario is one failure row.
+type table2Scenario struct {
+	name   string
+	inject func(c *ebs.Cluster)
+}
+
+func table2Scenarios() []table2Scenario {
+	return []table2Scenario{
+		{"ToR switch port failure", func(c *ebs.Cluster) {
+			c.Fabric.FailLink(c.Compute(0).Host.Ports()[0])
+		}},
+		{"ToR switch failure", func(c *ebs.Cluster) {
+			c.Fabric.ToR(0, 0, 0, 0).Fail() // hang: links stay up
+		}},
+		{"Spine switch failure", func(c *ebs.Cluster) {
+			c.Fabric.Spine(0, 0, 0).Fail()
+		}},
+		{"Packet drop rate=75%", func(c *ebs.Cluster) {
+			c.Fabric.Spine(0, 0, 0).SetDropRate(0.75)
+		}},
+		{"ToR switch reboot/isolation", func(c *ebs.Cluster) {
+			c.Fabric.RebootSwitch(c.Fabric.ToR(0, 0, 0, 0), 10*time.Second)
+		}},
+		{"Blackhole in a ToR switch", func(c *ebs.Cluster) {
+			c.Fabric.ToR(0, 0, 0, 0).SetBlackhole(0.25, 4242)
+			c.Fabric.ToR(0, 0, 0, 1).SetBlackhole(0.25, 4242)
+		}},
+		{"Blackhole in a Spine switch", func(c *ebs.Cluster) {
+			c.Fabric.Spine(0, 0, 0).SetBlackhole(0.25, 2424)
+			c.Fabric.Spine(0, 0, 1).SetBlackhole(0.25, 2424)
+		}},
+	}
+}
+
+// hangCounter drives Table 2 traffic (queue depth 4 per server, 4–32 KiB
+// blocks, R:W 1:4) and counts I/Os that exceed the hang threshold,
+// including those still unanswered when the window closes.
+type hangCounter struct {
+	c       *ebs.Cluster
+	r       *sim.Rand
+	pending map[int]sim.Time
+	nextID  int
+	slow    int
+	stopped bool
+}
+
+func newHangCounter(c *ebs.Cluster) *hangCounter {
+	return &hangCounter{c: c, r: sim.NewRand(c.Config().Seed + 555), pending: map[int]sim.Time{}}
+}
+
+// start launches depth slots per disk with the given think time.
+func (hc *hangCounter) start(vds []*ebs.VDisk, depth int, think time.Duration) {
+	sizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10}
+	for _, vd := range vds {
+		vd := vd
+		for s := 0; s < depth; s++ {
+			var issue func()
+			issue = func() {
+				if hc.stopped {
+					return
+				}
+				id := hc.nextID
+				hc.nextID++
+				start := hc.c.Eng.Now()
+				hc.pending[id] = start
+				size := sizes[hc.r.Intn(len(sizes))]
+				lba := uint64(hc.r.Int63n(int64(vd.Size()-uint64(size)))) &^ 4095
+				done := func(ebs.IOResult) {
+					delete(hc.pending, id)
+					if hc.c.Eng.Now().Sub(start) >= hangThreshold {
+						hc.slow++
+					}
+					hc.c.Eng.Schedule(think, issue)
+				}
+				if hc.r.Bernoulli(0.2) { // R:W = 1:4
+					vd.Read(lba, size, done)
+				} else {
+					vd.Write(lba, make([]byte, size), done)
+				}
+			}
+			issue()
+		}
+	}
+}
+
+// finish counts still-pending I/Os older than the threshold.
+func (hc *hangCounter) finish() int {
+	hc.stopped = true
+	now := hc.c.Eng.Now()
+	for _, started := range hc.pending {
+		if now.Sub(started) >= hangThreshold {
+			hc.slow++
+		}
+	}
+	return hc.slow
+}
+
+// Table2 regenerates the failure-scenario table: I/Os with no response for
+// one second or longer, Luna vs Solar, across seven network failure
+// scenarios.
+func Table2(opts Options) *Table {
+	t := &Table{
+		Title:   "Table 2: I/Os with no response >= 1s under failure scenarios",
+		Columns: []string{"failure scenario", "LUNA", "SOLAR"},
+	}
+	window := time.Duration(opts.scale(3000, 1500)) * time.Millisecond
+	paper := []string{"0", "216", "0", "10/s", "123", "611", "1043"}
+	for i, sc := range table2Scenarios() {
+		var cells []string
+		for _, fn := range []ebs.StackKind{ebs.Luna, ebs.Solar} {
+			c := ebs.New(clusterConfig(fn, opts.Seed))
+			var vds []*ebs.VDisk
+			for ci := 0; ci < c.Computes(); ci++ {
+				vds = append(vds, c.Provision(ci, 128<<20, ebs.DefaultQoS()))
+			}
+			hc := newHangCounter(c)
+			hc.start(vds, 4, 2*time.Millisecond)
+			c.RunFor(200 * time.Millisecond) // healthy warmup
+			sc.inject(c)
+			c.RunFor(window)
+			cells = append(cells, fmt.Sprintf("%d", hc.finish()))
+		}
+		t.Rows = append(t.Rows, []string{sc.name + " (paper LUNA " + paper[i] + ", SOLAR 0)", cells[0], cells[1]})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("testbed: 8 compute + 8 storage servers, depth 4, 4-32K blocks, R:W 1:4, %v failure window (paper: 90+82 servers)", window))
+	return t
+}
+
+// fig8Tier describes one failure location for the Fig. 8 campaign.
+type fig8Tier struct {
+	name   string
+	weight float64
+	domain int // hosts in the blast domain at fleet scale
+	inject func(c *ebs.Cluster, r *sim.Rand)
+}
+
+func fig8Tiers() []fig8Tier {
+	// ToR incidents are hangs (links up, no signal). Incidents at the
+	// spine tier and above are partial failures — a failing linecard
+	// blackholing a subset of flows, like the §3.3 production incident —
+	// which routing cannot detect; only manual operations (minutes to
+	// hours) end them.
+	return []fig8Tier{
+		{"ToR", 0.40, 48, func(c *ebs.Cluster, r *sim.Rand) {
+			c.Fabric.ToR(0, 0, int(r.Int31n(2)), int(r.Int31n(2))).Fail()
+		}},
+		{"Spine", 0.30, 1536, func(c *ebs.Cluster, r *sim.Rand) {
+			c.Fabric.Spine(0, 0, int(r.Int31n(2))).SetBlackhole(0.3, r.Uint32())
+		}},
+		{"Core", 0.20, 12288, func(c *ebs.Cluster, r *sim.Rand) {
+			c.Fabric.Core(0, int(r.Int31n(2))).SetBlackhole(0.3, r.Uint32())
+		}},
+		{"DC Router", 0.10, 49152, func(c *ebs.Cluster, r *sim.Rand) {
+			c.Fabric.DCR(int(r.Int31n(2))).SetBlackhole(0.3, r.Uint32())
+		}},
+	}
+}
+
+// Fig8 regenerates the I/O-hang scatter of the Luna era: ~100 injected
+// network failures across the four fabric tiers, with the count of
+// affected VMs (extrapolated from the measured affected fraction to the
+// tier's fleet-scale blast domain) against the incident duration.
+func Fig8(opts Options) *Table {
+	incidents := opts.scale(60, 10)
+	r := sim.NewRand(opts.Seed + 8)
+	tiers := fig8Tiers()
+
+	t := &Table{
+		Title:   "Figure 8: I/O hangs caused by network failures (Luna era, per incident)",
+		Columns: []string{"incident", "location", "duration (min)", "affected VMs"},
+	}
+	for inc := 0; inc < incidents; inc++ {
+		// Draw a tier with the fleet propensities.
+		u := r.Float64()
+		cum := 0.0
+		tier := tiers[0]
+		for _, ti := range tiers {
+			cum += ti.weight
+			if u <= cum {
+				tier = ti
+				break
+			}
+		}
+		durationMin := 1 + r.Intn(100)
+
+		cfg := clusterConfig(ebs.Luna, opts.Seed+int64(inc))
+		cfg.Fabric.DCs = 2
+		cfg.Fabric.DCRouters = 2
+		cfg.Fabric.PodsPerDC = 1
+		cfg.CrossDC = true
+		c := ebs.New(cfg)
+		var vds []*ebs.VDisk
+		for ci := 0; ci < c.Computes(); ci++ {
+			vds = append(vds, c.Provision(ci, 64<<20, ebs.DefaultQoS()))
+		}
+
+		// Per-client hang detection: a client is affected if an I/O
+		// completed over the threshold or is still unanswered past it.
+		hangs := make([]bool, len(vds))
+		inflightSince := make([]sim.Time, len(vds))
+		for ci, vd := range vds {
+			ci, vd := ci, vd
+			var issue func()
+			issue = func() {
+				start := c.Eng.Now()
+				inflightSince[ci] = start
+				lba := uint64(r.Int63n(int64(vd.Size()-4096))) &^ 4095
+				vd.Write(lba, make([]byte, 4096), func(ebs.IOResult) {
+					if c.Eng.Now().Sub(start) >= hangThreshold {
+						hangs[ci] = true
+					}
+					inflightSince[ci] = 0
+					c.Eng.Schedule(2*time.Millisecond, issue)
+				})
+			}
+			issue()
+		}
+
+		c.RunFor(100 * time.Millisecond)
+		tier.inject(c, r)
+		c.RunFor(time.Duration(opts.scale(2000, 1400)) * time.Millisecond)
+		affectedClients := 0
+		for ci, h := range hangs {
+			stuck := inflightSince[ci] != 0 && c.Eng.Now().Sub(inflightSince[ci]) >= hangThreshold
+			if h || stuck {
+				affectedClients++
+			}
+		}
+		frac := float64(affectedClients) / float64(len(vds))
+		affectedVMs := int(frac * float64(tier.domain) * 8) // ~8 VMs/host
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", inc+1), tier.name,
+			fmt.Sprintf("%d", durationMin), fmt.Sprintf("%d", affectedVMs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"affected VMs extrapolate the measured affected fraction to the tier's fleet blast domain (48/1.5K/12K/49K hosts, 8 VMs each)",
+		"paper: higher tiers strand one to four orders of magnitude more VMs; duration set by manual network operations")
+	return t
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/workload"
+)
+
+// Fig14 regenerates the fio read test: (a) 64 KiB throughput and (b) 4 KiB
+// IOPS at queue depth 32, for Luna, RDMA, Solar* and Solar, as the DPU's
+// CPU core count grows from 1 to 3 — the experiment that shows the
+// PCIe-goodput ceiling for every data path that crosses the card's internal
+// channel, and Solar sailing past it at line rate.
+func Fig14(opts Options) *Table {
+	stacks := []ebs.StackKind{ebs.Luna, ebs.RDMA, ebs.SolarStar, ebs.Solar}
+	t := &Table{
+		Title:   "Figure 14: fio read, 32 I/O depth, by DPU cores",
+		Columns: []string{"stack", "cores", "64K MB/s", "4K IOPS"},
+	}
+	card := ebsDefaultDPU()
+	pcieCeiling := card.PCIeBps / 2 / 8 / 1e6 // crossed twice, in MB/s
+	lineRate := 2 * 25e9 / 8 / 1e6
+
+	for _, fn := range stacks {
+		for cores := 1; cores <= 3; cores++ {
+			mbs := runFio(opts, fn, cores, 64<<10)
+			iops := runFio(opts, fn, cores, 4096) * 1e6 / 4096 // MB/s → IOPS
+			t.Rows = append(t.Rows, []string{
+				fn.String(), fmt.Sprintf("%d", cores), f0(mbs), f0(iops),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("PCIe goodput ceiling (crossed twice): %.0f MB/s; NIC line rate: %.0f MB/s", pcieCeiling, lineRate),
+		"paper: Solar alone reaches line rate and is flat in cores; Luna/RDMA/Solar* plateau at the PCIe bottleneck; single-core Solar throughput +78% and IOPS +46% vs Luna")
+	return t
+}
+
+func ebsDefaultDPU() (c struct{ PCIeBps float64 }) {
+	cfg := ebs.DefaultConfig(ebs.Solar)
+	c.PCIeBps = cfg.DPU.PCIeBps
+	return c
+}
+
+// runFio measures goodput in MB/s for one (stack, cores, blocksize) cell.
+func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) float64 {
+	cfg := clusterConfig(fn, opts.Seed)
+	cfg.BareMetal = true
+	cfg.DPU.CPUCores = cores
+	cfg.ComputeServers = 1
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	c := ebs.New(cfg)
+	// The fio test measures device capability: provision without a
+	// throttling service level (the paper's testbed disks are unthrottled).
+	vd := c.Provision(0, 512<<20, ebs.QoS(10e6, 400e9))
+
+	// Prepopulate the read span so reads hit real data.
+	span := uint64(16 << 20)
+	chunk := 512 << 10
+	for off := uint64(0); off < span; off += uint64(chunk) {
+		vd.Write(off, make([]byte, chunk), nil)
+	}
+	c.Run()
+
+	fio := workload.NewFio(c.Eng, workload.FioConfig{
+		Depth:     32,
+		BlockSize: blockSize,
+		ReadFrac:  1.0,
+		SpanBytes: span,
+	}, func(write bool, lba uint64, size int, done func()) {
+		vd.Read(lba, size, func(ebs.IOResult) { done() })
+	})
+
+	warmup := 5 * time.Millisecond
+	window := time.Duration(opts.scale(60, 15)) * time.Millisecond
+	fio.Start()
+	c.RunFor(warmup)
+	startBytes := fio.Bytes
+	c.RunFor(window)
+	gotBytes := fio.Bytes - startBytes
+	fio.Stop()
+	_ = sim.Time(0)
+	return float64(gotBytes) / window.Seconds() / 1e6
+}
+
+// lunaKind and solarKind keep ebs out of the test file's imports.
+func lunaKind() ebs.StackKind  { return ebs.Luna }
+func solarKind() ebs.StackKind { return ebs.Solar }
+
+// RunFioCell exposes one Fig. 14 cell for ad-hoc probing (stack by name).
+func RunFioCell(opts Options, stack string, cores, blockSize int) float64 {
+	kinds := map[string]ebs.StackKind{"luna": ebs.Luna, "rdma": ebs.RDMA, "solar*": ebs.SolarStar, "solar": ebs.Solar}
+	return runFio(opts, kinds[stack], cores, blockSize)
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
+	"lunasolar/internal/trace"
+)
+
+// clusterConfig returns the shared evaluation cluster: 8 compute servers in
+// one pod, 3 block + 5 chunk servers in the other.
+func clusterConfig(fn ebs.StackKind, seed int64) ebs.Config {
+	cfg := ebs.DefaultConfig(fn)
+	cfg.Fabric.RacksPerPod = 2
+	cfg.Fabric.HostsPerRack = 4
+	cfg.Fabric.SpinesPerPod = 2
+	cfg.Fabric.CoresPerDC = 2
+	cfg.ComputeServers = 8
+	cfg.BlockServers = 3
+	cfg.ChunkServers = 5
+	cfg.Seed = seed
+	return cfg
+}
+
+// driveMixed issues n I/Os per disk, open-loop with exponential
+// inter-arrival times, alternating reads and writes with the given read
+// fraction and 4 KiB size. Returns after the run drains.
+func driveMixed(c *ebs.Cluster, vds []*ebs.VDisk, nPerDisk int, readFrac float64, meanGap time.Duration, size int) {
+	r := sim.NewRand(c.Config().Seed * 7731)
+	for _, vd := range vds {
+		vd := vd
+		issued := 0
+		span := vd.Size() - uint64(size)
+		var tick func()
+		tick = func() {
+			if issued >= nPerDisk {
+				return
+			}
+			issued++
+			lba := (uint64(r.Int63n(int64(span)))) &^ 4095
+			if r.Bernoulli(readFrac) {
+				vd.Read(lba, size, nil)
+			} else {
+				data := make([]byte, size)
+				r.Read(data[:16]) // header-ish entropy; full fill unnecessary
+				vd.Write(lba, data, nil)
+			}
+			c.Eng.Schedule(r.Exp(meanGap), tick)
+		}
+		tick()
+	}
+	c.Run()
+}
+
+// Fig6 regenerates the 4 KiB latency-breakdown figure: per-component
+// (FN/BN/SSD/SA) and end-to-end latency at the median and 95th percentile,
+// for reads and writes, under kernel TCP, Luna and Solar.
+func Fig6(opts Options) *Table {
+	n := opts.scale(1500, 250)
+	stacks := []ebs.StackKind{ebs.KernelTCP, ebs.Luna, ebs.Solar}
+	type key struct {
+		op string
+		q  float64
+	}
+	results := map[ebs.StackKind]map[key][]time.Duration{}
+	e2es := map[ebs.StackKind]map[key]time.Duration{}
+
+	for _, fn := range stacks {
+		c := ebs.New(clusterConfig(fn, opts.Seed))
+		var vds []*ebs.VDisk
+		for i := 0; i < c.Computes(); i++ {
+			vds = append(vds, c.Provision(i, 256<<20, ebs.DefaultQoS()))
+		}
+		driveMixed(c, vds, n, 0.5, 100*time.Microsecond, 4096)
+		results[fn] = map[key][]time.Duration{}
+		e2es[fn] = map[key]time.Duration{}
+		for _, op := range []string{"read", "write"} {
+			for _, q := range []float64{0.5, 0.95} {
+				parts, e2e := c.Collector().Breakdown(op, q)
+				results[fn][key{op, q}] = parts
+				e2es[fn][key{op, q}] = e2e
+			}
+		}
+	}
+
+	t := &Table{
+		Title:   "Figure 6: I/O latency breakdown of 4KB size (µs)",
+		Columns: []string{"panel", "stack", "FN", "BN", "SSD", "SA", "e2e"},
+	}
+	panels := []struct {
+		label string
+		op    string
+		q     float64
+	}{
+		{"(a) read p50", "read", 0.5},
+		{"(b) read p95", "read", 0.95},
+		{"(c) write p50", "write", 0.5},
+		{"(d) write p95", "write", 0.95},
+	}
+	for _, p := range panels {
+		for _, fn := range stacks {
+			parts := results[fn][key{p.op, p.q}]
+			t.Rows = append(t.Rows, []string{
+				p.label, fn.String(),
+				us(parts[trace.FN]), us(parts[trace.BN]),
+				us(parts[trace.SSD]), us(parts[trace.SA]),
+				us(e2es[fn][key{p.op, p.q}]),
+			})
+		}
+	}
+	kw := e2es[ebs.KernelTCP][key{"write", 0.5}]
+	lw := e2es[ebs.Luna][key{"write", 0.5}]
+	sw := e2es[ebs.Solar][key{"write", 0.5}]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("write p50 e2e: kernel→luna %.0f%% reduction (paper: Luna cuts FN ~80%%); luna→solar %.0f%% (paper: up to 69%%)",
+			100*(1-float64(lw)/float64(kw)), 100*(1-float64(sw)/float64(lw))),
+		"QoS policy delay excluded, as in the paper's methodology")
+	return t
+}
+
+// Fig15 regenerates the single-write latency figure: median and 99th
+// percentile of a lone 4 KiB write under light and heavy background load,
+// for Luna, RDMA, Solar* and Solar.
+func Fig15(opts Options) *Table {
+	probes := opts.scale(300, 60)
+	stacks := []ebs.StackKind{ebs.Luna, ebs.RDMA, ebs.SolarStar, ebs.Solar}
+
+	t := &Table{
+		Title:   "Figure 15: I/O latency of a single 4KB write (µs)",
+		Columns: []string{"load", "stack", "median", "99th"},
+	}
+	for _, heavy := range []bool{false, true} {
+		label := "light"
+		if heavy {
+			label = "heavy"
+		}
+		for _, fn := range stacks {
+			cfg := clusterConfig(fn, opts.Seed)
+			cfg.BareMetal = true // the Fig. 14/15 testbed is the bare-metal DPU era
+			c := ebs.New(cfg)
+			probe := c.Provision(0, 256<<20, ebs.DefaultQoS())
+
+			if heavy {
+				// Saturating background writers on three other computes.
+				for i := 1; i <= 3; i++ {
+					bg := c.Provision(i, 256<<20, ebs.DefaultQoS())
+					startBackground(c, bg, 8, 16<<10)
+				}
+				c.RunFor(10 * time.Millisecond) // reach steady state
+			}
+
+			h := stats.NewHistogram()
+			issued := 0
+			var tick func()
+			r := sim.NewRand(opts.Seed + 99)
+			tick = func() {
+				if issued >= probes {
+					return
+				}
+				issued++
+				lba := uint64(r.Int63n(int64(probe.Size()-4096))) &^ 4095
+				probe.Write(lba, make([]byte, 4096), func(res ebs.IOResult) {
+					h.Record(res.Latency)
+					c.Eng.Schedule(200*time.Microsecond, tick)
+				})
+			}
+			tick()
+			c.RunFor(time.Duration(probes)*200*time.Microsecond + 20*time.Millisecond)
+			t.Rows = append(t.Rows, []string{label, fn.String(), us(h.Median()), us(h.P99())})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: Solar close to RDMA under light load; under heavy load Solar keeps the lowest tail")
+	return t
+}
+
+// startBackground runs an endless closed loop of `depth` outstanding writes
+// of the given size on vd.
+func startBackground(c *ebs.Cluster, vd *ebs.VDisk, depth, size int) {
+	r := sim.NewRand(int64(vd.ID) * 31)
+	var issue func()
+	issue = func() {
+		lba := uint64(r.Int63n(int64(vd.Size()-uint64(size)))) &^ 4095
+		vd.Write(lba, make([]byte, size), func(ebs.IOResult) { issue() })
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+}

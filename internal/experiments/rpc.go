@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/stats"
+	"lunasolar/internal/tcpstack"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// table1Era describes one row-group of Table 1.
+type table1Era struct {
+	name        string
+	linkBps     float64 // per host NIC port (×2 ports)
+	stressBps   float64 // offered load
+	kernelCores int     // cores granted for the stress test
+	lunaCores   int
+	cpuScale    float64 // CPU generation factor (the 100GE testbed is newer)
+}
+
+// Table1 regenerates the FN RPC latency / CPU table: kernel vs Luna, single
+// 4 KiB RPC and a stress test approaching line rate, on 2×25GE and 2×100GE.
+func Table1(opts Options) *Table {
+	eras := []table1Era{
+		{"2x25GE", 25e9, 50e9, 4, 1, 1.0},
+		{"2x100GE", 100e9, 200e9, 12, 4, 0.62},
+	}
+	t := &Table{
+		Title:   "Table 1: FN RPC latency and CPU under different load",
+		Columns: []string{"setup", "test", "stack", "avg RPC µs", "achieved Gbps", "consumed cores"},
+	}
+	for _, era := range eras {
+		for _, stack := range []string{"kernel", "luna"} {
+			lat, _, cores := runRPC(opts, era, stack, false)
+			t.Rows = append(t.Rows, []string{era.name, "single 4KB RPC", stack, us(lat), "-", f1(cores)})
+		}
+		for _, stack := range []string{"kernel", "luna"} {
+			lat, gbps, cores := runRPC(opts, era, stack, true)
+			t.Rows = append(t.Rows, []string{era.name,
+				fmt.Sprintf("%.0f Gbps stress", era.stressBps/1e9), stack, us(lat), f1(gbps), f1(cores)})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper 2x25GE: single 70.1/13.1 µs; stress 1782 µs@4 cores vs 900 µs@1 core",
+		"paper 2x100GE: single 43.4/12.4 µs; stress 2923 µs@12 cores vs 465 µs@4 cores")
+	return t
+}
+
+// scaleTCP multiplies every CPU/latency cost by f (CPU-generation knob).
+func scaleTCP(p tcpstack.Params, f float64) tcpstack.Params {
+	mul := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	p.PerRPCTxCPU = mul(p.PerRPCTxCPU)
+	p.PerRPCRxCPU = mul(p.PerRPCRxCPU)
+	p.PerPktTxCPU = mul(p.PerPktTxCPU)
+	p.PerPktRxCPU = mul(p.PerPktRxCPU)
+	p.CopyPer4K = mul(p.CopyPer4K)
+	p.PerRPCTxDelay = mul(p.PerRPCTxDelay)
+	p.PerRPCRxDelay = mul(p.PerRPCRxDelay)
+	return p
+}
+
+// runRPC runs one Table 1 cell: a pure RPC echo test between two hosts in
+// different pods (no storage involvement — Table 1 measures the stack).
+func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time.Duration, gbps, cores float64) {
+	var params tcpstack.Params
+	if stack == "kernel" {
+		params = scaleTCP(ebs.KernelStackParams(), era.cpuScale)
+	} else {
+		params = scaleTCP(ebs.LunaStackParams(), era.cpuScale)
+	}
+	nCores := 1
+	if stress {
+		if stack == "kernel" {
+			nCores = era.kernelCores
+		} else {
+			nCores = era.lunaCores
+		}
+		return runRPCWith(opts, era, params, nCores)
+	}
+	return runRPCSingle(opts, era, params)
+}
+
+// runRPCSingle measures sequential single-RPC latency.
+func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat time.Duration, gbps, cores float64) {
+	eng := sim.NewEngine(opts.Seed)
+	fcfg := simnet.DefaultConfig()
+	fcfg.RacksPerPod = 2
+	fcfg.HostsPerRack = 4
+	fcfg.SpinesPerPod = 2
+	fcfg.CoresPerDC = 2
+	fcfg.HostLinkBps = era.linkBps
+	// Table 1 is a controlled two-endpoint test, not a production incast:
+	// deep buffers as on the testbed's dedicated path.
+	fcfg.BufferBytes = 8 << 20
+	fcfg.ECNThresholdBytes = 100 << 10
+	fab := simnet.New(eng, fcfg)
+
+	clientCores := sim.NewServer(eng, "client", 1)
+	client := tcpstack.New(eng, fab.Host(0, 0, 0, 0), clientCores, nil, params)
+	// Several server peers: production SAs hold one connection per block
+	// server, and a single 5-tuple can use only one bonded NIC port.
+	var serverAddrs []uint32
+	for i := 0; i < 8; i++ {
+		serverCores := sim.NewServer(eng, fmt.Sprintf("server%d", i), 16)
+		server := tcpstack.New(eng, fab.Host(0, 1, i/4, i%4), serverCores, nil, params)
+		server.SetHandler(func(src uint32, req *transport.Message, reply func(*transport.Response)) {
+			reply(&transport.Response{Data: make([]byte, 64)})
+		})
+		serverAddrs = append(serverAddrs, server.LocalAddr())
+	}
+
+	payload := make([]byte, 4096)
+	h := stats.NewHistogram()
+	n := opts.scale(400, 100)
+	done := 0
+	var next func()
+	next = func() {
+		start := eng.Now()
+		client.Call(serverAddrs[0], &transport.Message{Op: wire.RPCWriteReq, Data: payload},
+			func(*transport.Response) {
+				h.Record(eng.Now().Sub(start))
+				done++
+				if done < n {
+					next()
+				}
+			})
+	}
+	next()
+	eng.Run()
+	return h.Mean(), 0, 1
+}
+
+// runRPCWith runs the stress cell with explicit stack parameters and core
+// count (shared with the share-nothing ablation).
+func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int) (avgLat time.Duration, gbps, cores float64) {
+	eng := sim.NewEngine(opts.Seed)
+	fcfg := simnet.DefaultConfig()
+	fcfg.RacksPerPod = 2
+	fcfg.HostsPerRack = 4
+	fcfg.SpinesPerPod = 2
+	fcfg.CoresPerDC = 2
+	fcfg.HostLinkBps = era.linkBps
+	fcfg.BufferBytes = 8 << 20
+	fcfg.ECNThresholdBytes = 100 << 10
+	fab := simnet.New(eng, fcfg)
+
+	clientCores := sim.NewServer(eng, "client", nCores)
+	client := tcpstack.New(eng, fab.Host(0, 0, 0, 0), clientCores, nil, params)
+	var serverAddrs []uint32
+	for i := 0; i < 8; i++ {
+		serverCores := sim.NewServer(eng, fmt.Sprintf("server%d", i), 16)
+		server := tcpstack.New(eng, fab.Host(0, 1, i/4, i%4), serverCores, nil, params)
+		server.SetHandler(func(src uint32, req *transport.Message, reply func(*transport.Response)) {
+			reply(&transport.Response{Data: make([]byte, 64)})
+		})
+		serverAddrs = append(serverAddrs, server.LocalAddr())
+	}
+	payload := make([]byte, 4096)
+	h := stats.NewHistogram()
+
+	// Stress: a closed loop whose concurrency corresponds to the offered
+	// line-rate load with generous socket buffering.
+	concurrency := opts.scale(1280, 160)
+	window := time.Duration(opts.scale(80, 8)) * time.Millisecond
+	warmup := 10 * time.Millisecond
+
+	var bytesDone uint64
+	measuring := false
+	nextSrv := 0
+	var issue func()
+	issue = func() {
+		start := eng.Now()
+		dst := serverAddrs[nextSrv%len(serverAddrs)]
+		nextSrv++
+		client.Call(dst, &transport.Message{Op: wire.RPCWriteReq, Data: payload},
+			func(*transport.Response) {
+				if measuring {
+					h.Record(eng.Now().Sub(start))
+					bytesDone += 4096
+				}
+				issue()
+			})
+	}
+	for i := 0; i < concurrency; i++ {
+		issue()
+	}
+	eng.RunFor(warmup)
+	measuring = true
+	clientCores.ResetStats()
+	eng.RunFor(window)
+	util := clientCores.Utilization()
+	gbps = float64(bytesDone) * 8 / window.Seconds() / 1e9
+	return h.Mean(), gbps, util
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/internal/sa"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
+	"lunasolar/internal/wire"
+	"lunasolar/internal/workload"
+)
+
+// Fig3 regenerates the weekly traffic figure: hourly EBS vs total
+// throughput per server and R/W request rates over seven days (shown at a
+// 6-hour stride), plus the headline shares the paper quotes (EBS ≈ 63% of
+// TX, ≈ 51% overall; writes 3–4× reads).
+func Fig3(opts Options) *Table {
+	w := workload.NewWeekly(sim.NewRand(opts.Seed))
+	t := &Table{
+		Title:   "Figure 3: weekly EBS traffic over total traffic (per-server averages)",
+		Columns: []string{"hour", "EBS TX GB/s", "EBS RX GB/s", "All TX GB/s", "All RX GB/s", "write IO/s", "read IO/s"},
+	}
+	var ebsTx, allTx, ebsAll, allAll, writes, reads float64
+	for h := 0; h < 7*24; h++ {
+		s := w.At(h)
+		ebsTx += s.EBSTxGBs
+		allTx += s.AllTxGBs
+		ebsAll += s.EBSTxGBs + s.EBSRxGBs
+		allAll += s.AllTxGBs + s.AllRxGBs
+		writes += s.WriteIOPS
+		reads += s.ReadIOPS
+		if h%6 == 0 {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", h),
+				f2(s.EBSTxGBs), f2(s.EBSRxGBs), f2(s.AllTxGBs), f2(s.AllRxGBs),
+				f0(s.WriteIOPS), f0(s.ReadIOPS),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("EBS share of TX traffic: %.0f%% (paper: 63%%)", 100*ebsTx/allTx),
+		fmt.Sprintf("EBS share of all traffic: %.0f%% (paper: 51%%)", 100*ebsAll/allAll),
+		fmt.Sprintf("write:read request ratio: %.1fx (paper: 3-4x)", writes/reads),
+	)
+	return t
+}
+
+// Fig4 regenerates the diurnal IOPS figure: per-minute average IOPS for a
+// highly loaded compute server over a day, reported hourly.
+func Fig4(opts Options) *Table {
+	d := workload.NewDiurnal(sim.NewRand(opts.Seed))
+	t := &Table{
+		Title:   "Figure 4: average IOPS per minute over a day (highly-loaded server)",
+		Columns: []string{"hour", "avg IOPS", "min IOPS", "max IOPS"},
+	}
+	peak := 0.0
+	for h := 0; h < 24; h++ {
+		var sum, lo, hi float64
+		lo = 1e18
+		for m := 0; m < 60; m++ {
+			v := d.Rate(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute)
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > peak {
+			peak = hi
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%02d", h), f0(sum / 60), f0(lo), f0(hi),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("peak per-minute IOPS: %.0f (paper: up to ~200K)", peak))
+	return t
+}
+
+// Fig5 regenerates the size-distribution figure: the CDF of I/O sizes from
+// the workload model and of FN RPC sizes after the storage agent's segment
+// splitting, for reads and writes.
+func Fig5(opts Options) *Table {
+	r := sim.NewRand(opts.Seed)
+	n := opts.scale(200_000, 20_000)
+
+	segs := sa.NewSegmentTable()
+	if err := segs.Provision(1, 1<<30, []uint32{0x01010101, 0x01010102, 0x01010103, 0x01010104}); err != nil {
+		panic(err)
+	}
+
+	var ioR, ioW, rpcR, rpcW stats.CDF
+	collect := func(dist *workload.SizeDist, io *stats.CDF, rpc *stats.CDF) {
+		for i := 0; i < n; i++ {
+			size := dist.Sample()
+			io.Add(float64(size))
+			// Split at segment boundaries the way the SA does: RPC sizes
+			// are the per-segment pieces.
+			lba := uint64(r.Int63n(int64(1<<30 - 256<<10)))
+			lba &^= 4095
+			off := 0
+			for off < size {
+				cur := lba + uint64(off)
+				segEnd := (cur/sa.SegmentBytes + 1) * sa.SegmentBytes
+				piece := size - off
+				if uint64(piece) > segEnd-cur {
+					piece = int(segEnd - cur)
+				}
+				rpc.Add(float64(piece))
+				off += piece
+			}
+		}
+	}
+	collect(workload.NewReadSizes(r), &ioR, &rpcR)
+	collect(workload.NewWriteSizes(r), &ioW, &rpcW)
+
+	t := &Table{
+		Title:   "Figure 5: CDF of I/O and FN RPC sizes",
+		Columns: []string{"size", "IO read %", "IO write %", "RPC read %", "RPC write %"},
+	}
+	for _, kb := range []int{1, 4, 8, 16, 32, 64, 128, 256, 1024} {
+		s := float64(kb << 10)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dK", kb),
+			f1(100 * ioR.At(s)), f1(100 * ioW.At(s)),
+			f1(100 * rpcR.At(s)), f1(100 * rpcW.At(s)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("P(RPC write <= 4K) = %.0f%% (paper: ~40%%); all RPCs <= 128K: %v (paper: yes)",
+			100*rpcW.At(4096), rpcW.At(float64(128<<10)) == 1),
+		fmt.Sprintf("splitting is rare: RPC count / IO count = %.3f (paper: most I/Os complete in a single RPC)",
+			float64(rpcW.N()+rpcR.N())/float64(ioW.N()+ioR.N())),
+	)
+	_ = wire.BlockSize
+	return t
+}

@@ -1,0 +1,402 @@
+// Package p4 is a small P4-style abstract packet-processing machine: typed
+// headers parsed bit-by-bit from real packet bytes, match-action tables
+// with exact-match keys, a constrained action language (set/copy/add/drop/
+// meter), and a deparser that re-emits the packet.
+//
+// It exists to make §4.6 of the paper concrete: "the data path of SA can be
+// expressed with the P4 language and executed on the P4-compatible
+// pipeline." SolarWriteProgram and SolarReadProgram express the storage
+// agent's data path — QoS admission, Block-table address translation, Addr-
+// table matching — as programs for this machine, and the package's tests
+// differentially validate them against the imperative implementations in
+// the wire and sa packages: same bytes in, same bytes out.
+package p4
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldSpec declares one header field and its width in bits (≤ 64).
+type FieldSpec struct {
+	Name string
+	Bits int
+}
+
+// HeaderType declares a fixed-layout header.
+type HeaderType struct {
+	Name   string
+	Fields []FieldSpec
+}
+
+// SizeBits returns the header's total width.
+func (h *HeaderType) SizeBits() int {
+	n := 0
+	for _, f := range h.Fields {
+		n += f.Bits
+	}
+	return n
+}
+
+// SizeBytes returns the header's width in bytes (must be byte-aligned).
+func (h *HeaderType) SizeBytes() int { return h.SizeBits() / 8 }
+
+// Header is a parsed instance: field values by name.
+type Header struct {
+	Type   *HeaderType
+	Valid  bool
+	fields map[string]uint64
+}
+
+// Get returns a field value (0 for unknown names, like an uninitialized
+// P4 metadata read).
+func (h *Header) Get(field string) uint64 { return h.fields[field] }
+
+// Set writes a field value, masked to the field's declared width.
+func (h *Header) Set(field string, v uint64) {
+	for _, f := range h.Type.Fields {
+		if f.Name == field {
+			if f.Bits < 64 {
+				v &= (1 << uint(f.Bits)) - 1
+			}
+			h.fields[field] = v
+			return
+		}
+	}
+	panic(fmt.Sprintf("p4: header %s has no field %s", h.Type.Name, field))
+}
+
+// Context is the per-packet execution state: parsed headers, metadata
+// registers, the unparsed payload, and the verdict.
+type Context struct {
+	headers map[string]*Header
+	Meta    map[string]uint64
+	Payload []byte
+	Dropped bool
+	// Trace records table hits for debugging/verification.
+	Trace []string
+}
+
+// Header returns the named parsed header, or nil.
+func (c *Context) Header(name string) *Header { return c.headers[name] }
+
+// bitReader pulls big-endian bit fields off a byte slice.
+type bitReader struct {
+	data []byte
+	pos  int // in bits
+}
+
+func (r *bitReader) read(bits int) (uint64, error) {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := r.pos >> 3
+		if byteIdx >= len(r.data) {
+			return 0, fmt.Errorf("p4: parse underrun at bit %d", r.pos)
+		}
+		bit := (r.data[byteIdx] >> uint(7-(r.pos&7))) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// bitWriter appends big-endian bit fields.
+type bitWriter struct {
+	data []byte
+	pos  int
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		if w.pos&7 == 0 {
+			w.data = append(w.data, 0)
+		}
+		bit := byte(v>>uint(i)) & 1
+		w.data[w.pos>>3] |= bit << uint(7-(w.pos&7))
+		w.pos++
+	}
+}
+
+// Parser extracts a fixed sequence of headers from packet bytes (the
+// storage pipeline has no branching parse graph: RPC then EBS).
+type Parser struct {
+	Sequence []*HeaderType
+}
+
+// Parse consumes headers from pkt, leaving the rest as payload.
+func (p *Parser) Parse(pkt []byte) (*Context, error) {
+	ctx := &Context{headers: map[string]*Header{}, Meta: map[string]uint64{}}
+	r := &bitReader{data: pkt}
+	for _, ht := range p.Sequence {
+		h := &Header{Type: ht, Valid: true, fields: map[string]uint64{}}
+		for _, f := range ht.Fields {
+			v, err := r.read(f.Bits)
+			if err != nil {
+				return nil, err
+			}
+			h.fields[f.Name] = v
+		}
+		ctx.headers[ht.Name] = h
+	}
+	ctx.Payload = pkt[r.pos/8:]
+	return ctx, nil
+}
+
+// Deparse re-emits the headers in parse order followed by the payload.
+func (p *Parser) Deparse(ctx *Context) []byte {
+	w := &bitWriter{}
+	for _, ht := range p.Sequence {
+		h := ctx.headers[ht.Name]
+		for _, f := range ht.Fields {
+			w.write(h.fields[f.Name], f.Bits)
+		}
+	}
+	return append(w.data, ctx.Payload...)
+}
+
+// Ref names a value source/destination: "hdr.field" or "meta.key".
+type Ref string
+
+func (r Ref) resolve(ctx *Context) (hdr string, field string, meta bool) {
+	s := string(r)
+	i := strings.IndexByte(s, '.')
+	if i < 0 {
+		return "", s, true
+	}
+	if s[:i] == "meta" {
+		return "", s[i+1:], true
+	}
+	return s[:i], s[i+1:], false
+}
+
+// Load reads the referenced value.
+func (r Ref) Load(ctx *Context) uint64 {
+	hdr, field, meta := r.resolve(ctx)
+	if meta {
+		return ctx.Meta[field]
+	}
+	h := ctx.headers[hdr]
+	if h == nil {
+		return 0
+	}
+	return h.Get(field)
+}
+
+// Store writes the referenced value.
+func (r Ref) Store(ctx *Context, v uint64) {
+	hdr, field, meta := r.resolve(ctx)
+	if meta {
+		ctx.Meta[field] = v
+		return
+	}
+	h := ctx.headers[hdr]
+	if h == nil {
+		panic(fmt.Sprintf("p4: store to missing header %s", hdr))
+	}
+	h.Set(field, v)
+}
+
+// Op is one primitive in the constrained action language.
+type Op struct {
+	Kind OpKind
+	Dst  Ref
+	Src  Ref    // for Copy/Add
+	Imm  uint64 // for SetImm/AddImm
+}
+
+// OpKind enumerates the primitives — the subset of P4 actions the storage
+// pipeline needs.
+type OpKind int
+
+// Action primitives.
+const (
+	OpSetImm OpKind = iota // dst = imm
+	OpCopy                 // dst = src
+	OpAdd                  // dst = dst + src
+	OpAddImm               // dst = dst + imm
+	OpSub                  // dst = dst - src
+	OpShrImm               // dst = dst >> imm
+	OpDrop                 // drop the packet
+)
+
+// Action is a named sequence of primitives, optionally parameterized by
+// table-entry action data (bound to meta.arg0..argN before the ops run).
+type Action struct {
+	Name string
+	Ops  []Op
+}
+
+func (a *Action) apply(ctx *Context, args []uint64) {
+	for i, v := range args {
+		ctx.Meta[fmt.Sprintf("arg%d", i)] = v
+	}
+	for _, op := range a.Ops {
+		switch op.Kind {
+		case OpSetImm:
+			op.Dst.Store(ctx, op.Imm)
+		case OpCopy:
+			op.Dst.Store(ctx, op.Src.Load(ctx))
+		case OpAdd:
+			op.Dst.Store(ctx, op.Dst.Load(ctx)+op.Src.Load(ctx))
+		case OpAddImm:
+			op.Dst.Store(ctx, op.Dst.Load(ctx)+op.Imm)
+		case OpSub:
+			op.Dst.Store(ctx, op.Dst.Load(ctx)-op.Src.Load(ctx))
+		case OpShrImm:
+			op.Dst.Store(ctx, op.Dst.Load(ctx)>>uint(op.Imm))
+		case OpDrop:
+			ctx.Dropped = true
+		}
+	}
+}
+
+// Entry is one table row: matched action plus its action data.
+type Entry struct {
+	Action *Action
+	Args   []uint64
+}
+
+// Table is an exact-match match-action table.
+type Table struct {
+	Name    string
+	Keys    []Ref
+	entries map[string]Entry
+	Default *Entry // nil → no-op miss
+	hits    uint64
+	misses  uint64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, keys ...Ref) *Table {
+	return &Table{Name: name, Keys: keys, entries: map[string]Entry{}}
+}
+
+func keyString(vals []uint64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%x", v)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Insert adds (or replaces) an entry for the exact key values.
+func (t *Table) Insert(keyVals []uint64, action *Action, args ...uint64) {
+	if len(keyVals) != len(t.Keys) {
+		panic(fmt.Sprintf("p4: table %s wants %d keys", t.Name, len(t.Keys)))
+	}
+	t.entries[keyString(keyVals)] = Entry{Action: action, Args: args}
+}
+
+// Delete removes an entry.
+func (t *Table) Delete(keyVals []uint64) {
+	delete(t.entries, keyString(keyVals))
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Stats returns hit and miss counts.
+func (t *Table) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Apply looks up the key from ctx and runs the matched (or default) action.
+func (t *Table) Apply(ctx *Context) {
+	vals := make([]uint64, len(t.Keys))
+	for i, k := range t.Keys {
+		vals[i] = k.Load(ctx)
+	}
+	e, ok := t.entries[keyString(vals)]
+	if ok {
+		t.hits++
+		ctx.Trace = append(ctx.Trace, t.Name+":hit")
+		e.Action.apply(ctx, e.Args)
+		return
+	}
+	t.misses++
+	ctx.Trace = append(ctx.Trace, t.Name+":miss")
+	if t.Default != nil {
+		t.Default.Action.apply(ctx, t.Default.Args)
+	}
+}
+
+// Stage is one pipeline element: a table or a fixed function (externs like
+// the CRC engine live outside the match-action pipeline, as on real DPUs).
+type Stage interface {
+	Apply(ctx *Context)
+	stageName() string
+}
+
+func (t *Table) stageName() string { return t.Name }
+
+// Extern is a fixed-function stage (CRC, crypto, DMA) — opaque to the
+// pipeline, named for traces.
+type Extern struct {
+	Name string
+	Fn   func(ctx *Context)
+}
+
+// Apply runs the extern.
+func (e *Extern) Apply(ctx *Context) {
+	ctx.Trace = append(ctx.Trace, "extern:"+e.Name)
+	e.Fn(ctx)
+}
+
+func (e *Extern) stageName() string { return e.Name }
+
+// Program is a parser plus an ordered pipeline of stages.
+type Program struct {
+	Name     string
+	Parser   *Parser
+	Pipeline []Stage
+}
+
+// Run parses pkt, applies every stage, and deparses. A dropped packet
+// returns (nil, ctx, nil).
+func (p *Program) Run(pkt []byte) ([]byte, *Context, error) {
+	ctx, err := p.Parser.Parse(pkt)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, st := range p.Pipeline {
+		st.Apply(ctx)
+		if ctx.Dropped {
+			return nil, ctx, nil
+		}
+	}
+	return p.Parser.Deparse(ctx), ctx, nil
+}
+
+// Describe renders the program structure (the "P4 source view").
+func (p *Program) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	fmt.Fprintf(&b, "  parser:")
+	for _, h := range p.Parser.Sequence {
+		fmt.Fprintf(&b, " %s(%dB)", h.Name, h.SizeBytes())
+	}
+	b.WriteByte('\n')
+	for _, st := range p.Pipeline {
+		switch s := st.(type) {
+		case *Table:
+			keys := make([]string, len(s.Keys))
+			for i, k := range s.Keys {
+				keys[i] = string(k)
+			}
+			fmt.Fprintf(&b, "  table %s { key = %s; entries = %d }\n",
+				s.Name, strings.Join(keys, ", "), len(s.entries))
+		case *Extern:
+			fmt.Fprintf(&b, "  extern %s\n", s.Name)
+		}
+	}
+	return b.String()
+}
+
+// Entries lists a table's installed keys (sorted, for tests).
+func (t *Table) EntryKeys() []string {
+	out := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,271 @@
+package p4
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lunasolar/internal/crc"
+	"lunasolar/internal/sa"
+	"lunasolar/internal/wire"
+)
+
+// encodeSolarPacket builds real wire bytes: RPC + EBS + payload.
+func encodeSolarPacket(rpc wire.RPC, ebs wire.EBS, payload []byte) []byte {
+	buf := make([]byte, wire.RPCSize+wire.EBSSize+len(payload))
+	if err := rpc.Encode(buf); err != nil {
+		panic(err)
+	}
+	if err := ebs.Encode(buf[wire.RPCSize:]); err != nil {
+		panic(err)
+	}
+	copy(buf[wire.RPCSize+wire.EBSSize:], payload)
+	return buf
+}
+
+func TestHeaderLayoutsMatchWire(t *testing.T) {
+	if got := RPCHeader.SizeBytes(); got != wire.RPCSize {
+		t.Fatalf("rpc header %dB, wire %dB", got, wire.RPCSize)
+	}
+	if got := EBSHeader.SizeBytes(); got != wire.EBSSize {
+		t.Fatalf("ebs header %dB, wire %dB", got, wire.EBSSize)
+	}
+}
+
+// Differential parse: the P4 parser must extract exactly what the wire
+// package encoded, for arbitrary field values.
+func TestParserMatchesWireDecode(t *testing.T) {
+	parser := &Parser{Sequence: []*HeaderType{RPCHeader, EBSHeader}}
+	f := func(id uint64, pkt, num uint16, mt, fl uint8, salt uint16,
+		op, flags uint8, vd uint32, seg, lba uint64, blen, bcrc, gen uint32) bool {
+		rpc := wire.RPC{RPCID: id, PktID: pkt, NumPkts: num, MsgType: mt, Flags: fl, ConnSalt: salt}
+		ebs := wire.EBS{Version: wire.EBSVersion, Op: op, Flags: flags, VDisk: vd,
+			SegmentID: seg, LBA: lba, BlockLen: blen, BlockCRC: bcrc, Gen: gen}
+		raw := encodeSolarPacket(rpc, ebs, []byte{1, 2, 3})
+		ctx, err := parser.Parse(raw)
+		if err != nil {
+			return false
+		}
+		r, e := ctx.Header("rpc"), ctx.Header("ebs")
+		return r.Get("rpc_id") == id &&
+			r.Get("pkt_id") == uint64(pkt) &&
+			r.Get("num_pkts") == uint64(num) &&
+			r.Get("msg_type") == uint64(mt) &&
+			r.Get("conn_salt") == uint64(salt) &&
+			e.Get("op") == uint64(op) &&
+			e.Get("vdisk") == uint64(vd) &&
+			e.Get("segment_id") == seg &&
+			e.Get("lba") == lba &&
+			e.Get("block_len") == uint64(blen) &&
+			e.Get("block_crc") == uint64(bcrc) &&
+			e.Get("gen") == uint64(gen) &&
+			len(ctx.Payload) == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Differential deparse: parse ∘ deparse is the identity on real packets.
+func TestDeparseRoundTrip(t *testing.T) {
+	parser := &Parser{Sequence: []*HeaderType{RPCHeader, EBSHeader}}
+	f := func(id uint64, vd uint32, lba uint64, payload []byte) bool {
+		rpc := wire.RPC{RPCID: id, MsgType: wire.RPCWriteReq, NumPkts: 1}
+		ebs := wire.EBS{Version: wire.EBSVersion, Op: wire.OpWrite, VDisk: vd, LBA: lba,
+			BlockLen: uint32(len(payload))}
+		raw := encodeSolarPacket(rpc, ebs, payload)
+		ctx, err := parser.Parse(raw)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(parser.Deparse(ctx), raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The write pipeline's Block table must translate exactly like the
+// imperative segment table, for every segment of a provisioned disk.
+func TestWritePipelineMatchesSegmentTable(t *testing.T) {
+	segs := sa.NewSegmentTable()
+	const size = 32 << 20
+	if err := segs.Provision(7, size, []uint32{0xA1, 0xA2, 0xA3}); err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSolarWritePipeline()
+	sp.AdmitDisk(7)
+	sp.LoadSegmentTable(segs, 7, size)
+
+	payload := []byte("block payload for the pipeline")
+	for lba := uint64(0); lba < size; lba += 1 << 20 { // step half a segment
+		rpc := wire.RPC{RPCID: 9, MsgType: wire.RPCWriteReq, NumPkts: 1}
+		ebs := wire.EBS{Version: wire.EBSVersion, Op: wire.OpWrite, VDisk: 7, LBA: lba,
+			BlockLen: uint32(len(payload))}
+		out, ctx, err := sp.Program.Run(encodeSolarPacket(rpc, ebs, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctx.Dropped {
+			t.Fatalf("provisioned write dropped at lba %#x", lba)
+		}
+		ref, _ := segs.Lookup(7, lba)
+		var outEBS wire.EBS
+		if err := outEBS.Decode(out[wire.RPCSize:]); err != nil {
+			t.Fatal(err)
+		}
+		if outEBS.SegmentID != ref.SegmentID {
+			t.Fatalf("lba %#x: pipeline segment %d, table %d", lba, outEBS.SegmentID, ref.SegmentID)
+		}
+		if ctx.Meta["server"] != uint64(ref.Server) {
+			t.Fatalf("lba %#x: pipeline server %x, table %x", lba, ctx.Meta["server"], ref.Server)
+		}
+		// The CRC engine stamped the real checksum into the header.
+		if outEBS.BlockCRC != crc.Raw(payload) {
+			t.Fatalf("pipeline CRC %08x != %08x", outEBS.BlockCRC, crc.Raw(payload))
+		}
+	}
+}
+
+func TestWritePipelineDropsUnprovisioned(t *testing.T) {
+	sp := NewSolarWritePipeline()
+	sp.AdmitDisk(1)
+	rpc := wire.RPC{RPCID: 1, MsgType: wire.RPCWriteReq}
+
+	// Unknown disk → QoS drop.
+	ebs := wire.EBS{Version: wire.EBSVersion, VDisk: 99}
+	out, ctx, err := sp.Program.Run(encodeSolarPacket(rpc, ebs, nil))
+	if err != nil || out != nil || !ctx.Dropped {
+		t.Fatalf("unknown disk not dropped: %v %v", out, err)
+	}
+	if !strings.Contains(strings.Join(ctx.Trace, " "), "qos:miss") {
+		t.Fatalf("trace %v", ctx.Trace)
+	}
+
+	// Known disk, unmapped segment → Block drop.
+	ebs = wire.EBS{Version: wire.EBSVersion, VDisk: 1, LBA: 1 << 30}
+	_, ctx, err = sp.Program.Run(encodeSolarPacket(rpc, ebs, nil))
+	if err != nil || !ctx.Dropped {
+		t.Fatal("unmapped segment not dropped")
+	}
+	if !strings.Contains(strings.Join(ctx.Trace, " "), "block:miss") {
+		t.Fatalf("trace %v", ctx.Trace)
+	}
+}
+
+func TestReadPipelineAddrTable(t *testing.T) {
+	sp := NewSolarReadPipeline()
+	sp.ExpectBlock(42, 3, 0xDEAD0000)
+
+	payload := bytes.Repeat([]byte{5}, 256)
+	mk := func(rpcID uint64, pktID uint16, goodCRC bool) []byte {
+		sum := crc.Raw(payload)
+		if !goodCRC {
+			sum ^= 1
+		}
+		rpc := wire.RPC{RPCID: rpcID, PktID: pktID, MsgType: wire.RPCReadResp, NumPkts: 1}
+		ebs := wire.EBS{Version: wire.EBSVersion, Op: wire.OpRead,
+			BlockLen: uint32(len(payload)), BlockCRC: sum}
+		return encodeSolarPacket(rpc, ebs, payload)
+	}
+
+	// Expected block: matched, DMA address bound, CRC ok.
+	_, ctx, err := sp.Program.Run(mk(42, 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Dropped {
+		t.Fatal("expected block dropped")
+	}
+	if ctx.Meta["dma_addr"] != 0xDEAD0000 {
+		t.Fatalf("dma = %#x", ctx.Meta["dma_addr"])
+	}
+	if ctx.Meta["crc_ok"] != 1 {
+		t.Fatal("crc check failed on good block")
+	}
+
+	// Corrupted block: CRC flagged.
+	_, ctx, _ = sp.Program.Run(mk(42, 3, false))
+	if ctx.Meta["crc_ok"] != 0 {
+		t.Fatal("corrupted block passed CRC")
+	}
+
+	// Unknown (rpc, pkt) → dropped without CPU involvement.
+	_, ctx, _ = sp.Program.Run(mk(42, 4, true))
+	if !ctx.Dropped {
+		t.Fatal("unknown packet not dropped")
+	}
+
+	// Released entries stop matching (one-shot Addr semantics).
+	sp.Release(42, 3)
+	_, ctx, _ = sp.Program.Run(mk(42, 3, true))
+	if !ctx.Dropped {
+		t.Fatal("released entry still matches")
+	}
+}
+
+func TestTableStatsAndEntries(t *testing.T) {
+	tb := NewTable("t", "meta.k")
+	act := &Action{Name: "a", Ops: []Op{{Kind: OpSetImm, Dst: "meta.out", Imm: 7}}}
+	tb.Insert([]uint64{1}, act)
+	tb.Insert([]uint64{2}, act)
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	ctx := &Context{headers: map[string]*Header{}, Meta: map[string]uint64{"k": 1}}
+	tb.Apply(ctx)
+	if ctx.Meta["out"] != 7 {
+		t.Fatal("action not applied")
+	}
+	ctx.Meta["k"] = 9
+	tb.Apply(ctx)
+	h, m := tb.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats %d/%d", h, m)
+	}
+	if got := tb.EntryKeys(); len(got) != 2 || got[0] != "1" {
+		t.Fatalf("keys %v", got)
+	}
+}
+
+func TestActionPrimitives(t *testing.T) {
+	ctx := &Context{headers: map[string]*Header{}, Meta: map[string]uint64{}}
+	a := &Action{Ops: []Op{
+		{Kind: OpSetImm, Dst: "meta.x", Imm: 40},
+		{Kind: OpAddImm, Dst: "meta.x", Imm: 2},
+		{Kind: OpCopy, Dst: "meta.y", Src: "meta.x"},
+		{Kind: OpAdd, Dst: "meta.y", Src: "meta.x"},
+		{Kind: OpSub, Dst: "meta.y", Src: "meta.x"},
+		{Kind: OpShrImm, Dst: "meta.x", Imm: 1},
+	}}
+	a.apply(ctx, nil)
+	if ctx.Meta["x"] != 21 || ctx.Meta["y"] != 42 {
+		t.Fatalf("x=%d y=%d", ctx.Meta["x"], ctx.Meta["y"])
+	}
+}
+
+func TestFieldWidthMasking(t *testing.T) {
+	h := &Header{Type: RPCHeader, fields: map[string]uint64{}}
+	h.Set("pkt_id", 0x12345)
+	if h.Get("pkt_id") != 0x2345 {
+		t.Fatalf("16-bit field not masked: %x", h.Get("pkt_id"))
+	}
+}
+
+func TestParseUnderrun(t *testing.T) {
+	parser := &Parser{Sequence: []*HeaderType{RPCHeader, EBSHeader}}
+	if _, err := parser.Parse(make([]byte, 10)); err == nil {
+		t.Fatal("short packet parsed")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	sp := NewSolarWritePipeline()
+	out := sp.Program.Describe()
+	for _, want := range []string{"program solar_write", "table qos", "table block", "extern crc", "rpc(16B)", "ebs(48B)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package p4
+
+import (
+	"lunasolar/internal/crc"
+	"lunasolar/internal/sa"
+)
+
+// Bit-exact header declarations for the Solar wire formats (they mirror
+// wire.RPC and wire.EBS field for field; the differential tests prove it).
+
+// RPCHeader is the 16-byte RPC header.
+var RPCHeader = &HeaderType{
+	Name: "rpc",
+	Fields: []FieldSpec{
+		{"rpc_id", 64}, {"pkt_id", 16}, {"num_pkts", 16},
+		{"msg_type", 8}, {"flags", 8}, {"conn_salt", 16},
+	},
+}
+
+// EBSHeader is the 48-byte EBS header.
+var EBSHeader = &HeaderType{
+	Name: "ebs",
+	Fields: []FieldSpec{
+		{"version", 8}, {"op", 8}, {"flags", 8}, {"pad", 8},
+		{"vdisk", 32}, {"segment_id", 64}, {"lba", 64},
+		{"block_len", 32}, {"block_crc", 32}, {"gen", 32},
+		{"reserved", 32}, {"server_ns", 32}, {"ssd_ns", 32},
+	},
+}
+
+// segmentShift is log2 of the segment size (2 MiB).
+const segmentShift = 21
+
+// SolarWritePipeline is the §4.6 claim made executable: the storage agent's
+// WRITE data path — QoS admission, Block-table virtual-to-physical
+// translation, CRC engine — as a P4 program over the real packet bytes.
+// Unprovisioned disks and unmapped segments drop, exactly as the imperative
+// agent errors.
+type SolarWritePipeline struct {
+	Program *Program
+	QoS     *Table
+	Block   *Table
+}
+
+// NewSolarWritePipeline builds the program with empty tables.
+func NewSolarWritePipeline() *SolarWritePipeline {
+	drop := &Action{Name: "drop", Ops: []Op{{Kind: OpDrop}}}
+
+	qos := NewTable("qos", "ebs.vdisk")
+	qos.Default = &Entry{Action: drop}
+	// Admitted disks pass through (metering state lives in an extern
+	// register on real hardware): admission here is provisioned-or-drop.
+
+	// segidx = lba >> 21 (which segment of the virtual disk).
+	segIdx := &Action{Name: "seg_idx", Ops: []Op{
+		{Kind: OpCopy, Dst: "meta.segidx", Src: "ebs.lba"},
+		{Kind: OpShrImm, Dst: "meta.segidx", Imm: segmentShift},
+	}}
+
+	// Block-table entries use a set_segment(segment_id, server) action —
+	// installed per entry by LoadSegmentTable (Fig. 12's Block step).
+	block := NewTable("block", "ebs.vdisk", "meta.segidx")
+	block.Default = &Entry{Action: drop}
+
+	crcEngine := &Extern{Name: "crc", Fn: func(ctx *Context) {
+		n := int(ctx.Header("ebs").Get("block_len"))
+		if n > len(ctx.Payload) {
+			n = len(ctx.Payload)
+		}
+		ctx.Header("ebs").Set("block_crc", uint64(crc.Raw(ctx.Payload[:n])))
+	}}
+
+	p := &Program{
+		Name:   "solar_write",
+		Parser: &Parser{Sequence: []*HeaderType{RPCHeader, EBSHeader}},
+		Pipeline: []Stage{
+			qos,
+			&Extern{Name: "seg_idx", Fn: func(ctx *Context) { segIdx.apply(ctx, nil) }},
+			block,
+			crcEngine,
+		},
+	}
+	return &SolarWritePipeline{Program: p, QoS: qos, Block: block}
+}
+
+// AdmitDisk installs a QoS pass-through entry for a virtual disk.
+func (sp *SolarWritePipeline) AdmitDisk(vdisk uint32) {
+	sp.QoS.Insert([]uint64{uint64(vdisk)}, &Action{Name: "allow"})
+}
+
+// LoadSegmentTable mirrors the management plane populating the hardware
+// Block table from the agent's segment table.
+func (sp *SolarWritePipeline) LoadSegmentTable(t *sa.SegmentTable, vdisk uint32, sizeBytes uint64) {
+	for lba := uint64(0); lba < sizeBytes; lba += sa.SegmentBytes {
+		ref, ok := t.Lookup(vdisk, lba)
+		if !ok {
+			continue
+		}
+		sp.Block.Insert(
+			[]uint64{uint64(vdisk), lba >> segmentShift},
+			&Action{Name: "set_segment", Ops: []Op{
+				{Kind: OpCopy, Dst: "ebs.segment_id", Src: "meta.arg0"},
+				{Kind: OpCopy, Dst: "meta.server", Src: "meta.arg1"},
+			}},
+			ref.SegmentID, uint64(ref.Server),
+		)
+	}
+}
+
+// SolarReadPipeline is the client-side READ-response path of Fig. 13: the
+// Addr table maps (RPC, packet) to the guest memory destination; unknown
+// packets drop without touching the CPU; the CRC engine checks the block.
+type SolarReadPipeline struct {
+	Program *Program
+	Addr    *Table
+}
+
+// NewSolarReadPipeline builds the program with an empty Addr table.
+func NewSolarReadPipeline() *SolarReadPipeline {
+	drop := &Action{Name: "drop", Ops: []Op{{Kind: OpDrop}}}
+	addr := NewTable("addr", "rpc.rpc_id", "rpc.pkt_id")
+	addr.Default = &Entry{Action: drop}
+
+	verify := &Extern{Name: "crc_check", Fn: func(ctx *Context) {
+		ebs := ctx.Header("ebs")
+		n := int(ebs.Get("block_len"))
+		if n > len(ctx.Payload) {
+			n = len(ctx.Payload)
+		}
+		if uint64(crc.Raw(ctx.Payload[:n])) == ebs.Get("block_crc") {
+			ctx.Meta["crc_ok"] = 1
+		} else {
+			ctx.Meta["crc_ok"] = 0
+		}
+	}}
+
+	p := &Program{
+		Name:   "solar_read_resp",
+		Parser: &Parser{Sequence: []*HeaderType{RPCHeader, EBSHeader}},
+		Pipeline: []Stage{
+			addr,
+			verify,
+		},
+	}
+	return &SolarReadPipeline{Program: p, Addr: addr}
+}
+
+// ExpectBlock installs an Addr-table entry: the DMA destination for one
+// outstanding (rpc, pkt).
+func (sp *SolarReadPipeline) ExpectBlock(rpcID uint64, pktID uint16, guestAddr uint64) {
+	sp.Addr.Insert(
+		[]uint64{rpcID, uint64(pktID)},
+		&Action{Name: "set_dma", Ops: []Op{
+			{Kind: OpCopy, Dst: "meta.dma_addr", Src: "meta.arg0"},
+		}},
+		guestAddr,
+	)
+}
+
+// Release removes the entry after the block lands (the one-shot semantics
+// of Fig. 13).
+func (sp *SolarReadPipeline) Release(rpcID uint64, pktID uint16) {
+	sp.Addr.Delete([]uint64{rpcID, uint64(pktID)})
+}

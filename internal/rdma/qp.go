@@ -1,0 +1,305 @@
+package rdma
+
+import (
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// pktHdrSize is the fixed header of every RC data packet: BTH (reusing the
+// 20-byte segment header layout: ports = QPNs, Seq = PSN, Ack = cumulative
+// PSN) + RPC header + EBS header.
+const pktHdrSize = wire.TCPSegSize + wire.RPCSize + wire.EBSSize
+
+// outPkt is one unacknowledged data packet.
+type outPkt struct {
+	psn     uint32
+	payload []byte // full frame payload including headers
+}
+
+// qp is one reliable-connection queue pair: go-back-N over PSNs.
+type qp struct {
+	s   *Stack
+	key qpKey
+
+	// Sender.
+	sndQueue []outPkt // [acked... inflight... unsent]; index 0 has psn sndUna
+	sndUna   uint32
+	sndNxt   uint32 // next psn to (re)transmit; within queue bounds
+	nextPSN  uint32 // psn for the next freshly built packet
+	rtt      *transport.RTT
+	rtoTimer *sim.Event
+	backoff  int
+
+	samplePSN   uint32
+	sampleAt    sim.Time
+	sampleValid bool
+
+	// Receiver.
+	expectPSN uint32
+	nakSent   bool // one NAK per gap (RC behaviour), cleared on in-order
+	assembler map[uint64]*inMsg
+
+	lastRewind sim.Time // rate-limits go-back-N to once per RTT
+}
+
+type inMsg struct {
+	ebs      wire.EBS
+	msgType  uint8
+	numPkts  int
+	received int
+	payload  []byte
+}
+
+func newQP(s *Stack, k qpKey) *qp {
+	return &qp{
+		s:         s,
+		key:       k,
+		rtt:       transport.NewRTT(s.params.MinRTO, s.params.MaxRTO),
+		assembler: map[uint64]*inMsg{},
+	}
+}
+
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// sendMessage segments one RPC message into MTU packets and queues them.
+func (q *qp) sendMessage(id uint64, op uint8, req *transport.Message, resp *transport.Response) {
+	var payload []byte
+	ebs := wire.EBS{Version: wire.EBSVersion}
+	if req != nil {
+		payload = req.Data
+		ebs.Op = op
+		ebs.VDisk = req.VDisk
+		ebs.SegmentID = req.SegmentID
+		ebs.LBA = req.LBA
+		ebs.Gen = req.Gen
+		ebs.Flags = req.Flags
+		ebs.BlockLen = uint32(req.ReadLen)
+	} else {
+		payload = resp.Data
+		ebs.ServerNS = uint32(resp.ServerWall.Nanoseconds())
+		ebs.SSDNS = uint32(resp.SSDTime.Nanoseconds())
+	}
+	mtu := q.s.params.MTU
+	numPkts := (len(payload) + mtu - 1) / mtu
+	if numPkts == 0 {
+		numPkts = 1
+	}
+	for i := 0; i < numPkts; i++ {
+		lo := i * mtu
+		hi := lo + mtu
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		chunk := payload[lo:hi]
+		buf := make([]byte, pktHdrSize+len(chunk))
+		rpc := wire.RPC{RPCID: id, PktID: uint16(i), NumPkts: uint16(numPkts), MsgType: op}
+		if resp != nil {
+			rpc.MsgType = wire.RPCWriteResp
+		}
+		// BTH is encoded at transmit time (PSN/ack fields are dynamic).
+		if err := rpc.Encode(buf[wire.TCPSegSize:]); err != nil {
+			panic(err)
+		}
+		if err := ebs.Encode(buf[wire.TCPSegSize+wire.RPCSize:]); err != nil {
+			panic(err)
+		}
+		copy(buf[pktHdrSize:], chunk)
+		q.sndQueue = append(q.sndQueue, outPkt{psn: q.nextPSN, payload: buf})
+		q.nextPSN++
+	}
+	q.pump()
+}
+
+func (q *qp) inflight() int { return int(q.sndNxt - q.sndUna) }
+
+// pump transmits packets within the static window.
+func (q *qp) pump() {
+	for q.inflight() < q.s.params.WindowPkts {
+		idx := int(q.sndNxt - q.sndUna)
+		if idx >= len(q.sndQueue) {
+			break
+		}
+		p := q.sndQueue[idx]
+		if !q.sampleValid {
+			q.samplePSN = p.psn + 1
+			q.sampleAt = q.s.eng.Now()
+			q.sampleValid = true
+		}
+		q.transmit(p)
+		q.sndNxt++
+	}
+	if q.inflight() > 0 && q.rtoTimer == nil {
+		q.armRTO()
+	}
+}
+
+// transmit sends one packet, paying cache and PCIe costs.
+func (q *qp) transmit(p outPkt) {
+	send := func() {
+		bth := wire.TCPSeg{
+			SrcPort: q.key.localQPN,
+			DstPort: q.key.remoteQPN,
+			Seq:     p.psn,
+			Ack:     q.expectPSN,
+			Flags:   wire.TCPFlagACK,
+		}
+		if err := bth.Encode(p.payload); err != nil {
+			panic(err)
+		}
+		q.s.host.Send(&simnet.Packet{
+			Dst:      q.key.peer,
+			Proto:    Proto,
+			SrcPort:  q.key.localQPN,
+			DstPort:  q.key.remoteQPN,
+			Payload:  p.payload,
+			Overhead: simnet.EthOverhead + wire.IPv4Size,
+			SentAt:   q.s.eng.Now(),
+		})
+	}
+	step := func() {
+		data := len(p.payload) - pktHdrSize
+		if q.s.pcie != nil && data > 0 {
+			q.s.pcie.Transfer(2*data, send)
+		} else {
+			send()
+		}
+	}
+	q.s.touchCache(q.key, step)
+}
+
+// control sends a pure ACK or NAK frame.
+func (q *qp) control(nak bool) {
+	var flags uint8 = wire.TCPFlagACK
+	if nak {
+		flags |= wire.TCPFlagRST
+	}
+	bth := wire.TCPSeg{
+		SrcPort: q.key.localQPN,
+		DstPort: q.key.remoteQPN,
+		Seq:     q.nextPSN,
+		Ack:     q.expectPSN,
+		Flags:   flags,
+	}
+	buf := make([]byte, wire.TCPSegSize)
+	if err := bth.Encode(buf); err != nil {
+		panic(err)
+	}
+	q.s.host.Send(&simnet.Packet{
+		Dst:      q.key.peer,
+		Proto:    Proto,
+		SrcPort:  q.key.localQPN,
+		DstPort:  q.key.remoteQPN,
+		Payload:  buf,
+		Overhead: simnet.EthOverhead + wire.IPv4Size,
+		SentAt:   q.s.eng.Now(),
+	})
+}
+
+func (q *qp) armRTO() {
+	q.clearRTO()
+	q.rtoTimer = q.s.eng.Schedule(q.rtt.Backoff(q.backoff), q.onRTO)
+}
+
+func (q *qp) clearRTO() {
+	if q.rtoTimer != nil {
+		q.rtoTimer.Cancel()
+		q.rtoTimer = nil
+	}
+}
+
+// onRTO rewinds to the first unacknowledged PSN (go-back-N).
+func (q *qp) onRTO() {
+	q.rtoTimer = nil
+	if q.inflight() == 0 && int(q.sndNxt-q.sndUna) >= len(q.sndQueue) {
+		return
+	}
+	q.backoff++
+	q.goBackN()
+	q.armRTO()
+}
+
+func (q *qp) goBackN() {
+	// At most one rewind per RTT: in-flight packets beyond the gap keep
+	// arriving out of order and would otherwise trigger rewind storms.
+	now := q.s.eng.Now()
+	srtt := q.rtt.SRTT()
+	if srtt <= 0 {
+		srtt = q.s.params.MinRTO
+	}
+	if q.lastRewind != 0 && now.Sub(q.lastRewind) < srtt {
+		return
+	}
+	q.lastRewind = now
+	q.s.Retransmits++
+	q.sampleValid = false // Karn: retransmitted PSNs give no samples
+	q.sndNxt = q.sndUna
+	q.pump()
+}
+
+// packetArrived processes one inbound frame on this QP.
+func (q *qp) packetArrived(bth wire.TCPSeg, rest []byte) {
+	// Acknowledgment side (cumulative; NAK flagged with RST).
+	ack := bth.Ack
+	if seqLT(q.sndUna, ack) && !seqLT(q.sndNxt, ack) {
+		n := int(ack - q.sndUna)
+		q.sndQueue = q.sndQueue[n:]
+		q.sndUna = ack
+		q.backoff = 0
+		if q.sampleValid && !seqLT(ack, q.samplePSN) {
+			q.rtt.Observe(q.s.eng.Now().Sub(q.sampleAt))
+			q.sampleValid = false
+		}
+		if q.inflight() > 0 || len(q.sndQueue) > 0 {
+			q.armRTO()
+			q.pump()
+		} else {
+			q.clearRTO()
+		}
+	}
+	if bth.Flags&wire.TCPFlagRST != 0 && ack == q.sndUna && q.inflight() > 0 {
+		// NAK: receiver saw a gap. Rewind immediately.
+		q.goBackN()
+	}
+
+	if len(rest) == 0 {
+		return
+	}
+	// Data side: strict in-order acceptance (go-back-N receiver).
+	if bth.Seq != q.expectPSN {
+		if seqLT(q.expectPSN, bth.Seq) {
+			if !q.nakSent {
+				q.control(true) // one NAK per gap
+				q.nakSent = true
+			}
+		} else {
+			q.control(false) // duplicate: re-ACK
+		}
+		return
+	}
+	q.expectPSN++
+	q.nakSent = false
+	q.control(false)
+
+	var rpc wire.RPC
+	if err := rpc.Decode(rest); err != nil {
+		return
+	}
+	var ebs wire.EBS
+	if err := ebs.Decode(rest[wire.RPCSize:]); err != nil {
+		return
+	}
+	chunk := rest[wire.RPCSize+wire.EBSSize:]
+	m := q.assembler[rpc.RPCID]
+	if m == nil {
+		m = &inMsg{ebs: ebs, msgType: rpc.MsgType, numPkts: int(rpc.NumPkts)}
+		q.assembler[rpc.RPCID] = m
+	}
+	m.payload = append(m.payload, chunk...)
+	m.received++
+	if m.received == m.numPkts {
+		delete(q.assembler, rpc.RPCID)
+		q.s.deliver(q, rpc.RPCID, m.msgType, m.ebs, m.payload)
+	}
+}

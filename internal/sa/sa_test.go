@@ -1,0 +1,255 @@
+package sa
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/trace"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// fakeFN is an in-process transport that records calls and replies after a
+// configurable delay with trace annotations.
+type fakeFN struct {
+	eng   *sim.Engine
+	delay time.Duration
+	calls []*transport.Message
+	store map[uint64][]byte
+}
+
+func (f *fakeFN) Call(dst uint32, req *transport.Message, done func(*transport.Response)) {
+	cp := *req
+	f.calls = append(f.calls, &cp)
+	f.eng.Schedule(f.delay, func() {
+		resp := &transport.Response{
+			ServerWall: 30 * time.Microsecond,
+			SSDTime:    12 * time.Microsecond,
+		}
+		if req.Op == wire.RPCReadReq {
+			resp.Data = make([]byte, req.ReadLen)
+			if b, ok := f.store[req.LBA]; ok {
+				copy(resp.Data, b)
+			}
+		} else if f.store != nil {
+			f.store[req.LBA] = append([]byte(nil), req.Data...)
+		}
+		done(resp)
+	})
+}
+
+func newAgent(t *testing.T, params Params) (*sim.Engine, *Agent, *fakeFN, *SegmentTable) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	fn := &fakeFN{eng: eng, delay: 50 * time.Microsecond, store: map[uint64][]byte{}}
+	segs := NewSegmentTable()
+	if err := segs.Provision(1, 64<<20, []uint32{0xA1, 0xA2, 0xA3}); err != nil {
+		t.Fatal(err)
+	}
+	cores := sim.NewServer(eng, "cpu", 4)
+	a := New(eng, cores, fn, segs, params)
+	return eng, a, fn, segs
+}
+
+func TestSegmentTableProvisionLookup(t *testing.T) {
+	st := NewSegmentTable()
+	if err := st.Provision(7, 10<<20, []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// 10 MiB → 5 segments striped round-robin.
+	servers := map[uint32]bool{}
+	var ids []uint64
+	for lba := uint64(0); lba < 10<<20; lba += SegmentBytes {
+		ref, ok := st.Lookup(7, lba)
+		if !ok {
+			t.Fatalf("lookup failed at %#x", lba)
+		}
+		servers[ref.Server] = true
+		ids = append(ids, ref.SegmentID)
+	}
+	if len(servers) != 3 {
+		t.Fatalf("striping used %d servers", len(servers))
+	}
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("segment IDs not unique")
+		}
+		seen[id] = true
+	}
+	if _, ok := st.Lookup(7, 10<<20); ok {
+		t.Fatal("lookup past the end succeeded")
+	}
+	if _, ok := st.Lookup(99, 0); ok {
+		t.Fatal("unknown disk lookup succeeded")
+	}
+	if err := st.Provision(7, 1<<20, []uint32{1}); err == nil {
+		t.Fatal("double provision allowed")
+	}
+}
+
+func TestWriteSingleSegment(t *testing.T) {
+	eng, a, fn, _ := newAgent(t, SoftwareParams())
+	var res Result
+	a.Write(1, 0x1000, make([]byte, 8192), func(r Result) { res = r })
+	eng.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(fn.calls) != 1 {
+		t.Fatalf("calls = %d, want 1 (no split)", len(fn.calls))
+	}
+	if fn.calls[0].SegmentID == 0 {
+		t.Fatal("segment not resolved")
+	}
+	// Trace components all populated.
+	if res.Span.Get(trace.SA) <= 0 || res.Span.Get(trace.FN) <= 0 ||
+		res.Span.Get(trace.BN) <= 0 || res.Span.Get(trace.SSD) <= 0 {
+		t.Fatalf("span incomplete: %v %v %v %v",
+			res.Span.Get(trace.SA), res.Span.Get(trace.FN), res.Span.Get(trace.BN), res.Span.Get(trace.SSD))
+	}
+	// FN = wall - ServerWall; BN = 30-12=18µs; SSD = 12µs.
+	if res.Span.Get(trace.BN) != 18*time.Microsecond || res.Span.Get(trace.SSD) != 12*time.Microsecond {
+		t.Fatalf("BN/SSD attribution wrong: %v/%v", res.Span.Get(trace.BN), res.Span.Get(trace.SSD))
+	}
+}
+
+func TestCrossSegmentSplit(t *testing.T) {
+	eng, a, fn, _ := newAgent(t, SoftwareParams())
+	lba := uint64(SegmentBytes) - 4096
+	done := false
+	a.Write(1, lba, make([]byte, 12288), func(r Result) { done = r.Err == nil })
+	eng.Run()
+	if !done {
+		t.Fatal("split write failed")
+	}
+	if len(fn.calls) != 2 {
+		t.Fatalf("calls = %d, want 2", len(fn.calls))
+	}
+	if fn.calls[0].SegmentID == fn.calls[1].SegmentID {
+		t.Fatal("split pieces share a segment")
+	}
+	if len(fn.calls[0].Data)+len(fn.calls[1].Data) != 12288 {
+		t.Fatal("split lost bytes")
+	}
+	if a.Splits != 1 {
+		t.Fatalf("Splits = %d", a.Splits)
+	}
+}
+
+func TestReadReassemblesSplit(t *testing.T) {
+	eng, a, fn, _ := newAgent(t, SoftwareParams())
+	lba := uint64(SegmentBytes) - 8192
+	data := make([]byte, 16384)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	a.Write(1, lba, data, nil)
+	eng.Run()
+	var got []byte
+	a.Read(1, lba, len(data), func(r Result) { got = r.Data })
+	eng.Run()
+	if len(got) != len(data) {
+		t.Fatalf("read %d bytes", len(got))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	_ = fn
+}
+
+func TestUnprovisionedErrors(t *testing.T) {
+	eng, a, _, _ := newAgent(t, SoftwareParams())
+	var res Result
+	a.Read(1, 1<<30, 4096, func(r Result) { res = r })
+	eng.Run()
+	if res.Err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	a.Write(42, 0, make([]byte, 4096), func(r Result) { res = r })
+	eng.Run()
+	if res.Err == nil {
+		t.Fatal("unknown-disk write succeeded")
+	}
+}
+
+func TestQoSPacing(t *testing.T) {
+	eng, a, _, _ := newAgent(t, OffloadedParams())
+	a.SetQoS(1, QoSSpec{IOPS: 1000, BandwidthBps: 1e9, BurstWindow: time.Millisecond})
+	done := 0
+	for i := 0; i < 50; i++ {
+		a.Write(1, uint64(i)<<12, make([]byte, 4096), func(Result) { done++ })
+	}
+	eng.Run()
+	if done != 50 {
+		t.Fatalf("done %d/50", done)
+	}
+	// 50 I/Os at 1000 IOPS with 1ms burst → ≥ ~45ms.
+	if eng.Now().Duration() < 40*time.Millisecond {
+		t.Fatalf("finished in %v; pacing absent", eng.Now().Duration())
+	}
+	if a.QoSDelay == 0 {
+		t.Fatal("no QoS delay accounted")
+	}
+}
+
+func TestOffloadedSATiny(t *testing.T) {
+	eng, a, _, _ := newAgent(t, OffloadedParams())
+	var soft Result
+	a.Write(1, 0, make([]byte, 4096), func(r Result) { soft = r })
+	eng.Run()
+	if sa := soft.Span.Get(trace.SA); sa > 5*time.Microsecond {
+		t.Fatalf("offloaded SA = %v, want ~1.2µs", sa)
+	}
+
+	eng2, a2, _, _ := newAgent(t, SoftwareParams())
+	var sw Result
+	a2.Write(1, 0, make([]byte, 4096), func(r Result) { sw = r })
+	eng2.Run()
+	if sw.Span.Get(trace.SA) < 4*soft.Span.Get(trace.SA) {
+		t.Fatalf("software SA %v not ≫ offloaded %v", sw.Span.Get(trace.SA), soft.Span.Get(trace.SA))
+	}
+}
+
+// Property: splitting covers the range exactly, never crosses a segment
+// boundary, and pieces are contiguous.
+func TestSplitProperty(t *testing.T) {
+	eng := sim.NewEngine(4)
+	segs := NewSegmentTable()
+	if err := segs.Provision(1, 64<<20, []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	a := New(eng, sim.NewServer(eng, "cpu", 1), &fakeFN{eng: eng}, segs, OffloadedParams())
+	f := func(lbaRaw uint32, sizeRaw uint16) bool {
+		lba := uint64(lbaRaw) % (63 << 20)
+		lba &^= 4095
+		size := int(sizeRaw)%(256<<10) + 1
+		if lba+uint64(size) > 64<<20 {
+			return true
+		}
+		pieces, ok := a.split(1, lba, size)
+		if !ok {
+			return false
+		}
+		covered := 0
+		next := lba
+		for _, p := range pieces {
+			if p.lba != next {
+				return false
+			}
+			if p.lba/SegmentBytes != (p.lba+uint64(p.n)-1)/SegmentBytes {
+				return false // piece crosses a segment boundary
+			}
+			covered += p.n
+			next += uint64(p.n)
+		}
+		return covered == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

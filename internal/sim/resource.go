@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"time"
+)
+
+// Server models a pool of identical FIFO servers — CPU cores, DMA engines,
+// accelerator lanes. Jobs submitted to a Server queue until a unit is free,
+// occupy it for their service time, then complete. Queueing delay therefore
+// emerges from contention, which is how "consumed cores" and saturation
+// behaviour arise in the stack models rather than being hard-coded.
+type Server struct {
+	eng   *Engine
+	name  string
+	units int
+
+	busy    int
+	queue   []serverJob
+	busyNS  int64 // integral of busy units over time, for utilization
+	lastUpd Time
+	resetAt Time
+	served  uint64
+	maxQ    int
+}
+
+type serverJob struct {
+	service time.Duration
+	done    func()
+}
+
+// NewServer creates a pool with the given number of service units.
+func NewServer(eng *Engine, name string, units int) *Server {
+	if units <= 0 {
+		panic("sim: server needs at least one unit")
+	}
+	return &Server{eng: eng, name: name, units: units, lastUpd: eng.Now()}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Units returns the pool size.
+func (s *Server) Units() int { return s.units }
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// InService returns the number of busy units.
+func (s *Server) InService() int { return s.busy }
+
+// Served returns the number of completed jobs.
+func (s *Server) Served() uint64 { return s.served }
+
+// MaxQueue returns the high-water mark of the wait queue.
+func (s *Server) MaxQueue() int { return s.maxQ }
+
+func (s *Server) account() {
+	now := s.eng.Now()
+	s.busyNS += int64(s.busy) * int64(now-s.lastUpd)
+	s.lastUpd = now
+}
+
+// Utilization returns average busy units since the last Reset (or creation):
+// e.g. 2.7 means 2.7 cores were busy on average. This is the "consumed
+// cores" metric of Table 1.
+func (s *Server) Utilization() float64 {
+	s.account()
+	elapsed := int64(s.eng.Now() - s.resetAt)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.busyNS) / float64(elapsed)
+}
+
+// Submit enqueues a job with the given service time; done (may be nil) runs
+// at completion.
+func (s *Server) Submit(service time.Duration, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	if s.busy < s.units {
+		s.start(serverJob{service, done})
+		return
+	}
+	s.queue = append(s.queue, serverJob{service, done})
+	if len(s.queue) > s.maxQ {
+		s.maxQ = len(s.queue)
+	}
+}
+
+func (s *Server) start(j serverJob) {
+	s.account()
+	s.busy++
+	s.eng.Schedule(j.service, func() {
+		s.account()
+		s.busy--
+		s.served++
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.start(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}
+
+// ResetStats restarts utilization and counter accounting from the current
+// virtual time.
+func (s *Server) ResetStats() {
+	s.account()
+	s.busyNS = 0
+	s.served = 0
+	s.maxQ = len(s.queue)
+	s.resetAt = s.eng.Now()
+	s.lastUpd = s.eng.Now()
+}
+
+// Channel models a bandwidth-limited serial pipe: an Ethernet link NIC-side
+// serializer, or the ALI-DPU's internal PCIe channel. Transfers serialize
+// one after another at the configured rate; the completion callback fires
+// when the last byte has passed.
+type Channel struct {
+	eng      *Engine
+	name     string
+	bitsPerS float64
+
+	free     Time // when the pipe next becomes idle
+	queued   int
+	xferred  uint64
+	busyNS   int64
+	resetAt2 Time
+}
+
+// NewChannel creates a pipe with the given rate in bits per second.
+func NewChannel(eng *Engine, name string, bitsPerSecond float64) *Channel {
+	if bitsPerSecond <= 0 {
+		panic("sim: channel needs positive rate")
+	}
+	return &Channel{eng: eng, name: name, bitsPerS: bitsPerSecond}
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Channel) Name() string { return c.name }
+
+// Rate returns the configured rate in bits per second.
+func (c *Channel) Rate() float64 { return c.bitsPerS }
+
+// SerializationDelay returns how long n bytes occupy the pipe.
+func (c *Channel) SerializationDelay(n int) time.Duration {
+	return time.Duration(float64(n*8) / c.bitsPerS * float64(time.Second))
+}
+
+// Transfer schedules n bytes through the pipe; done fires when the transfer
+// completes (after any queueing behind earlier transfers).
+func (c *Channel) Transfer(n int, done func()) {
+	now := c.eng.Now()
+	start := c.free
+	if start < now {
+		start = now
+	}
+	ser := c.SerializationDelay(n)
+	end := start.Add(ser)
+	c.busyNS += int64(ser)
+	c.free = end
+	c.xferred += uint64(n)
+	c.queued++
+	c.eng.At(end, func() {
+		c.queued--
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Backlog returns how far in the future the pipe is already committed.
+func (c *Channel) Backlog() time.Duration {
+	now := c.eng.Now()
+	if c.free <= now {
+		return 0
+	}
+	return c.free.Sub(now)
+}
+
+// Transferred returns total bytes moved since the last ResetStats.
+func (c *Channel) Transferred() uint64 { return c.xferred }
+
+// Utilization returns the fraction of time the pipe was busy since the last
+// ResetStats.
+func (c *Channel) Utilization() float64 {
+	elapsed := int64(c.eng.Now() - c.resetAt2)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(c.busyNS) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetStats restarts throughput accounting.
+func (c *Channel) ResetStats() {
+	c.xferred = 0
+	c.busyNS = 0
+	c.resetAt2 = c.eng.Now()
+}
+
+// TokenBucket is a virtual-time token bucket used by the QoS table to
+// enforce per-virtual-disk IOPS and bandwidth service levels.
+type TokenBucket struct {
+	eng     *Engine
+	rate    float64 // tokens per second
+	burst   float64
+	tokens  float64
+	lastFil Time
+}
+
+// NewTokenBucket creates a bucket that refills at rate tokens/second up to
+// burst, starting full.
+func NewTokenBucket(eng *Engine, rate, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &TokenBucket{eng: eng, rate: rate, burst: burst, tokens: burst, lastFil: eng.Now()}
+}
+
+func (b *TokenBucket) refill() {
+	now := b.eng.Now()
+	dt := now.Sub(b.lastFil).Seconds()
+	if dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.lastFil = now
+	}
+}
+
+// TryTake consumes n tokens if available, reporting success.
+func (b *TokenBucket) TryTake(n float64) bool {
+	b.refill()
+	if b.tokens >= n {
+		b.tokens -= n
+		return true
+	}
+	return false
+}
+
+// Available returns the current token count.
+func (b *TokenBucket) Available() float64 {
+	b.refill()
+	return b.tokens
+}
+
+// Delay returns how long until n tokens will be available (zero if they
+// already are). It does not consume.
+func (b *TokenBucket) Delay(n float64) time.Duration {
+	b.refill()
+	if b.tokens >= n {
+		return 0
+	}
+	need := n - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second))
+}
+
+// Rate returns the refill rate in tokens/second.
+func (b *TokenBucket) Rate() float64 { return b.rate }
+
+// SetRate changes the refill rate (management-plane updates to the QoS
+// table).
+func (b *TokenBucket) SetRate(rate float64) {
+	b.refill()
+	b.rate = rate
+}

@@ -1,0 +1,233 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other subsystem in this repository: a virtual clock, a cancellable event
+// heap, FIFO service resources (used to model CPU cores and PCIe channels),
+// token buckets (used by QoS admission), and seeded random distributions.
+//
+// All simulated latencies in the repository are measured in virtual time
+// produced by this package, so results are exactly reproducible for a fixed
+// seed regardless of host machine speed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Durations are expressed with time.Duration, which uses the
+// same nanosecond unit.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and s (t - s).
+func (t Time) Sub(s Time) time.Duration { return time.Duration(t - s) }
+
+// Duration converts t to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the caller's
+// goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	Rand   *Rand
+
+	processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{Rand: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+// The returned event may be cancelled.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is an error
+// in the model; it panics to surface the bug immediately.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step executes the next event, advancing the clock. It returns false when
+// no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for duration d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Rand wraps math/rand with the distributions the models need.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic random source.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream from r, so subsystems can consume
+// randomness without perturbing each other's sequences.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Int63())
+}
+
+// Exp samples an exponential distribution with the given mean.
+func (r *Rand) Exp(mean time.Duration) time.Duration {
+	return time.Duration(r.ExpFloat64() * float64(mean))
+}
+
+// LogNormal samples a log-normal distribution parameterised by its median
+// and sigma (the shape parameter of the underlying normal). Latency tails in
+// the models use this shape: p50 = median, p95 ≈ median·e^(1.64σ).
+func (r *Rand) LogNormal(median time.Duration, sigma float64) time.Duration {
+	return time.Duration(float64(median) * math.Exp(sigma*r.NormFloat64()))
+}
+
+// Pareto samples a bounded Pareto distribution with the given minimum and
+// shape alpha. Used for heavy-tailed flow sizes.
+func (r *Rand) Pareto(min float64, alpha float64) float64 {
+	u := r.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	return min / math.Pow(u, 1/alpha)
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f].
+func (r *Rand) Jitter(d time.Duration, f float64) time.Duration {
+	scale := 1 + f*(2*r.Float64()-1)
+	return time.Duration(float64(d) * scale)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	eng.Schedule(30*time.Microsecond, func() { got = append(got, 3) })
+	eng.Schedule(10*time.Microsecond, func() { got = append(got, 1) })
+	eng.Schedule(20*time.Microsecond, func() { got = append(got, 2) })
+	eng.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if eng.Now() != Time(30*time.Microsecond) {
+		t.Fatalf("clock = %v, want 30µs", eng.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Microsecond, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	ev := eng.Schedule(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		d := d
+		eng.Schedule(d, func() { fired = append(fired, d) })
+	}
+	eng.RunUntil(Time(2 * time.Millisecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if eng.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock = %v, want 2ms", eng.Now())
+	}
+	eng.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(fired))
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine(1)
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 100 {
+			eng.Schedule(time.Microsecond, step)
+		}
+	}
+	eng.Schedule(0, step)
+	eng.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	eng := NewEngine(1)
+	eng.Schedule(time.Millisecond, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	eng.At(Time(0), func() {})
+}
+
+func TestServerSingleUnit(t *testing.T) {
+	eng := NewEngine(1)
+	srv := NewServer(eng, "cpu", 1)
+	var doneAt []Time
+	for i := 0; i < 3; i++ {
+		srv.Submit(10*time.Microsecond, func() { doneAt = append(doneAt, eng.Now()) })
+	}
+	eng.Run()
+	want := []Time{Time(10 * time.Microsecond), Time(20 * time.Microsecond), Time(30 * time.Microsecond)}
+	for i, w := range want {
+		if doneAt[i] != w {
+			t.Fatalf("job %d done at %v, want %v", i, doneAt[i], w)
+		}
+	}
+	if srv.Served() != 3 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+}
+
+func TestServerParallelUnits(t *testing.T) {
+	eng := NewEngine(1)
+	srv := NewServer(eng, "cpu", 2)
+	var doneAt []Time
+	for i := 0; i < 4; i++ {
+		srv.Submit(10*time.Microsecond, func() { doneAt = append(doneAt, eng.Now()) })
+	}
+	eng.Run()
+	// Two at 10µs, two at 20µs.
+	if doneAt[1] != Time(10*time.Microsecond) || doneAt[3] != Time(20*time.Microsecond) {
+		t.Fatalf("completion times %v", doneAt)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	eng := NewEngine(1)
+	srv := NewServer(eng, "cpu", 4)
+	// Keep 2 of 4 units busy for the whole run.
+	for i := 0; i < 2; i++ {
+		srv.Submit(time.Millisecond, nil)
+	}
+	eng.Run()
+	u := srv.Utilization()
+	if math.Abs(u-2.0) > 0.01 {
+		t.Fatalf("utilization = %v, want ~2.0 busy units", u)
+	}
+}
+
+func TestChannelSerialization(t *testing.T) {
+	eng := NewEngine(1)
+	// 1 Gbit/s → 1000 bytes take 8µs.
+	ch := NewChannel(eng, "pcie", 1e9)
+	var doneAt []Time
+	ch.Transfer(1000, func() { doneAt = append(doneAt, eng.Now()) })
+	ch.Transfer(1000, func() { doneAt = append(doneAt, eng.Now()) })
+	eng.Run()
+	if doneAt[0] != Time(8*time.Microsecond) {
+		t.Fatalf("first transfer at %v, want 8µs", doneAt[0])
+	}
+	if doneAt[1] != Time(16*time.Microsecond) {
+		t.Fatalf("second transfer at %v, want 16µs (queued)", doneAt[1])
+	}
+	if got := ch.Transferred(); got != 2000 {
+		t.Fatalf("transferred = %d", got)
+	}
+}
+
+func TestChannelBacklog(t *testing.T) {
+	eng := NewEngine(1)
+	ch := NewChannel(eng, "pcie", 1e9)
+	ch.Transfer(125000, nil) // 1ms worth
+	if b := ch.Backlog(); b != time.Millisecond {
+		t.Fatalf("backlog = %v, want 1ms", b)
+	}
+	eng.Run()
+	if b := ch.Backlog(); b != 0 {
+		t.Fatalf("backlog after drain = %v", b)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	eng := NewEngine(1)
+	b := NewTokenBucket(eng, 1000, 10) // 1000/s, burst 10
+	for i := 0; i < 10; i++ {
+		if !b.TryTake(1) {
+			t.Fatalf("take %d failed within burst", i)
+		}
+	}
+	if b.TryTake(1) {
+		t.Fatal("take succeeded on empty bucket")
+	}
+	if d := b.Delay(1); d != time.Millisecond {
+		t.Fatalf("delay = %v, want 1ms", d)
+	}
+	// Advance 5ms → 5 tokens.
+	eng.Schedule(5*time.Millisecond, func() {})
+	eng.Run()
+	for i := 0; i < 5; i++ {
+		if !b.TryTake(1) {
+			t.Fatalf("take %d failed after refill", i)
+		}
+	}
+	if b.TryTake(1) {
+		t.Fatal("bucket over-refilled")
+	}
+}
+
+func TestTokenBucketNeverExceedsBurst(t *testing.T) {
+	eng := NewEngine(7)
+	b := NewTokenBucket(eng, 100, 5)
+	eng.Schedule(time.Hour, func() {})
+	eng.Run()
+	if got := b.Available(); got != 5 {
+		t.Fatalf("available = %v, want burst cap 5", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandLogNormalMedian(t *testing.T) {
+	r := NewRand(42)
+	const n = 20000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(r.LogNormal(100*time.Microsecond, 0.5))
+	}
+	// Median should be near 100µs.
+	count := 0
+	for _, s := range samples {
+		if s < float64(100*time.Microsecond) {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("median fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(42)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(time.Millisecond))
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(time.Millisecond)) > float64(time.Millisecond)*0.05 {
+		t.Fatalf("mean = %v, want ~1ms", time.Duration(mean))
+	}
+}
+
+// Property: for any sequence of Submit calls, a 1-unit server completes jobs
+// in FIFO order and total busy time equals the sum of service times.
+func TestServerFIFOProperty(t *testing.T) {
+	f := func(services []uint16) bool {
+		if len(services) == 0 {
+			return true
+		}
+		if len(services) > 200 {
+			services = services[:200]
+		}
+		eng := NewEngine(3)
+		srv := NewServer(eng, "cpu", 1)
+		var order []int
+		var total time.Duration
+		for i, s := range services {
+			i := i
+			d := time.Duration(s) * time.Nanosecond
+			total += d
+			srv.Submit(d, func() { order = append(order, i) })
+		}
+		eng.Run()
+		for i, v := range order {
+			if v != i {
+				return false
+			}
+		}
+		return eng.Now() == Time(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: token bucket never goes negative and never exceeds burst.
+func TestTokenBucketInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		eng := NewEngine(5)
+		b := NewTokenBucket(eng, 500, 20)
+		for _, op := range ops {
+			eng.Schedule(time.Duration(op)*time.Microsecond, func() {})
+			eng.Run()
+			b.TryTake(float64(op % 7))
+			if a := b.Available(); a < 0 || a > 20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelUtilizationAndReset(t *testing.T) {
+	eng := NewEngine(1)
+	ch := NewChannel(eng, "pipe", 1e9)
+	ch.Transfer(125_000, nil) // 1ms of pipe time
+	eng.Schedule(2*time.Millisecond, func() {})
+	eng.Run()
+	u := ch.Utilization()
+	if u < 0.45 || u > 0.55 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+	ch.ResetStats()
+	if ch.Transferred() != 0 || ch.Utilization() != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestServerResetStats(t *testing.T) {
+	eng := NewEngine(1)
+	srv := NewServer(eng, "cpu", 2)
+	srv.Submit(time.Millisecond, nil)
+	eng.Run()
+	if srv.Served() != 1 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+	srv.ResetStats()
+	if srv.Served() != 0 || srv.Utilization() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	srv.Submit(time.Millisecond, nil)
+	eng.Run()
+	// Utilization reports average busy units: one unit busy the whole time.
+	if got := srv.Utilization(); got < 0.95 || got > 1.05 {
+		t.Fatalf("post-reset utilization = %v, want ~1 busy unit", got)
+	}
+}
+
+func TestEventAtAccessor(t *testing.T) {
+	eng := NewEngine(1)
+	ev := eng.Schedule(7*time.Microsecond, func() {})
+	if ev.At() != Time(7*time.Microsecond) {
+		t.Fatalf("At = %v", ev.At())
+	}
+	eng.Run()
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(10 * time.Microsecond)
+	if a.Add(5*time.Microsecond) != Time(15*time.Microsecond) {
+		t.Fatal("Add broken")
+	}
+	if a.Sub(Time(4*time.Microsecond)) != 6*time.Microsecond {
+		t.Fatal("Sub broken")
+	}
+	if a.String() != "10µs" {
+		t.Fatalf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,205 @@
+package simnet
+
+import (
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/wire"
+)
+
+// Node is anything a port can belong to: a Host or a Switch.
+type Node interface {
+	// Receive handles a packet arriving on one of the node's ports.
+	Receive(pkt *Packet, ingress *Port)
+	// Alive reports whether the node is currently functioning.
+	Alive() bool
+	// nodeName is a diagnostic label.
+	nodeName() string
+}
+
+// Port is one end of a link. Each port owns the egress direction: a
+// store-and-forward output queue drained by a serializer at the link rate,
+// with tail drop at the buffer limit, ECN marking above the threshold, and
+// INT stamping at enqueue.
+type Port struct {
+	owner Node
+	peer  *Port
+	fab   *Fabric
+
+	id        int // port index on the owner, for diagnostics
+	hopID     uint16
+	rateBps   float64
+	propDelay time.Duration
+	bufBytes  int
+	ecnThresh int
+
+	up bool
+
+	busyUntil   sim.Time
+	queuedBytes int
+	txBytes     uint64
+	taildrops   uint64
+	sent        uint64
+}
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Owner returns the node the port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// Up reports whether the port is administratively and physically up.
+func (p *Port) Up() bool { return p.up }
+
+// SetUp changes the port's link state (both directions of a link fail
+// independently; FailLink takes both down).
+func (p *Port) SetUp(up bool) { p.up = up }
+
+// QueuedBytes returns the current output-queue occupancy.
+func (p *Port) QueuedBytes() int { return p.queuedBytes }
+
+// TxBytes returns cumulative bytes serialized out of this port.
+func (p *Port) TxBytes() uint64 { return p.txBytes }
+
+// TailDrops returns packets lost to buffer overflow.
+func (p *Port) TailDrops() uint64 { return p.taildrops }
+
+// RateBps returns the link rate in bits/second.
+func (p *Port) RateBps() float64 { return p.rateBps }
+
+// serialization returns how long a frame of n bytes occupies the wire.
+func (p *Port) serialization(n int) time.Duration {
+	return time.Duration(float64(n*8) / p.rateBps * float64(time.Second))
+}
+
+// Send enqueues pkt on the port's output queue. It returns false if the
+// packet was dropped (link down or tail drop). Delivery to the peer's owner
+// happens after queueing + serialization + propagation.
+func (p *Port) Send(pkt *Packet) bool {
+	eng := p.fab.Eng
+	if !p.up || p.peer == nil || !p.peer.up {
+		p.fab.countDrop("linkdown")
+		return false
+	}
+	size := pkt.WireSize()
+	if p.queuedBytes+size > p.bufBytes {
+		p.taildrops++
+		p.fab.countDrop("taildrop")
+		return false
+	}
+	// ECN: mark at enqueue if the queue already exceeds the threshold and
+	// the flow is ECN-capable.
+	if p.queuedBytes > p.ecnThresh && pkt.ECN == wire.ECNECT0 {
+		pkt.ECN = wire.ECNCE
+	}
+	// INT: stamp telemetry at enqueue (queue depth seen by this packet).
+	if pkt.INT != nil {
+		pkt.INT.Push(wire.INTHop{
+			HopID:   p.hopID,
+			QLenB:   uint32(p.queuedBytes),
+			TxBytes: p.txBytes,
+			RateMbs: uint32(p.rateBps / 1e6),
+			TSNanos: uint64(eng.Now()),
+		})
+	}
+	p.queuedBytes += size
+	now := eng.Now()
+	start := p.busyUntil
+	if start < now {
+		start = now
+	}
+	ser := p.serialization(size)
+	end := start.Add(ser)
+	p.busyUntil = end
+	p.sent++
+	peer := p.peer
+	eng.At(end, func() {
+		p.queuedBytes -= size
+		p.txBytes += uint64(size)
+	})
+	eng.At(end.Add(p.propDelay), func() {
+		if peer.up && peer.owner.Alive() {
+			peer.owner.Receive(pkt, peer)
+		} else {
+			p.fab.countDrop("deadpeer")
+		}
+	})
+	return true
+}
+
+// connect wires two ports as a full-duplex link.
+func connect(f *Fabric, a, b Node, rateBps float64, prop time.Duration, buf, ecn int) (*Port, *Port) {
+	f.hopSeq++
+	pa := &Port{owner: a, fab: f, rateBps: rateBps, propDelay: prop, bufBytes: buf, ecnThresh: ecn, up: true, hopID: f.hopSeq}
+	f.hopSeq++
+	pb := &Port{owner: b, fab: f, rateBps: rateBps, propDelay: prop, bufBytes: buf, ecnThresh: ecn, up: true, hopID: f.hopSeq}
+	pa.peer, pb.peer = pb, pa
+	return pa, pb
+}
+
+// Host is a server attached to the fabric via two ports (one to each ToR of
+// its rack's pair). The attached network stack registers a Handler to
+// receive frames.
+type Host struct {
+	fab     *Fabric
+	addr    uint32
+	ports   []*Port
+	Handler func(pkt *Packet)
+	name    string
+
+	rxPackets uint64
+	txPackets uint64
+}
+
+// Addr returns the host's fabric address.
+func (h *Host) Addr() uint32 { return h.addr }
+
+// Name returns the host's diagnostic name.
+func (h *Host) Name() string { return h.name }
+
+// Alive always reports true: the experiments fail the network, not hosts.
+func (h *Host) Alive() bool { return true }
+
+func (h *Host) nodeName() string { return h.name }
+
+// Receive delivers a frame to the registered handler.
+func (h *Host) Receive(pkt *Packet, _ *Port) {
+	h.rxPackets++
+	if h.Handler != nil {
+		h.Handler(pkt)
+	}
+}
+
+// RxPackets returns frames delivered to the host.
+func (h *Host) RxPackets() uint64 { return h.rxPackets }
+
+// TxPackets returns frames the host attempted to send.
+func (h *Host) TxPackets() uint64 { return h.txPackets }
+
+// Send transmits a packet, selecting among the host's up ports by flow
+// hash (NIC bonding). It returns false if the frame was dropped locally.
+func (h *Host) Send(pkt *Packet) bool {
+	h.txPackets++
+	pkt.Src = h.addr
+	if pkt.TTL == 0 {
+		pkt.TTL = 64
+	}
+	// NIC bonding reacts to link signal only: a ToR that hangs with its
+	// ports electrically up keeps receiving (and losing) the flows hashed
+	// to it — the scenario that hurts single-path stacks in Table 2.
+	var up []*Port
+	for _, p := range h.ports {
+		if p.up && p.peer.up {
+			up = append(up, p)
+		}
+	}
+	if len(up) == 0 {
+		h.fab.countDrop("hostdark")
+		return false
+	}
+	port := up[FlowHash(pkt, 0x9e3779b9)%uint32(len(up))]
+	return port.Send(pkt)
+}
+
+// Ports exposes the host's NIC ports (tests and failure drills use this).
+func (h *Host) Ports() []*Port { return h.ports }

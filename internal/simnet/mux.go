@@ -1,0 +1,28 @@
+package simnet
+
+// Mux demultiplexes a host's inbound frames to multiple stacks by IP
+// protocol number — storage servers run their frontend stack (TCP for
+// kernel/Luna, UDP for Solar) alongside the backend RDMA stack on the same
+// host.
+type Mux struct {
+	byProto map[uint8]func(*Packet)
+}
+
+// NewMux installs a protocol demultiplexer as the host's handler.
+func NewMux(h *Host) *Mux {
+	m := &Mux{byProto: map[uint8]func(*Packet){}}
+	h.Handler = m.dispatch
+	return m
+}
+
+// Handle registers fn for the given protocol number, replacing any previous
+// registration.
+func (m *Mux) Handle(proto uint8, fn func(*Packet)) {
+	m.byProto[proto] = fn
+}
+
+func (m *Mux) dispatch(pkt *Packet) {
+	if fn, ok := m.byProto[pkt.Proto]; ok {
+		fn(pkt)
+	}
+}

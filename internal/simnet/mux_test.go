@@ -1,0 +1,58 @@
+package simnet
+
+import (
+	"testing"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/wire"
+)
+
+func TestMuxRoutesByProtocol(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.RacksPerPod = 1
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 1
+	cfg.CoresPerDC = 1
+	f := New(eng, cfg)
+	src, dst := f.Host(0, 0, 0, 0), f.Host(0, 0, 0, 1)
+
+	mux := NewMux(dst)
+	var tcp, udp, other int
+	mux.Handle(wire.ProtoTCP, func(*Packet) { tcp++ })
+	mux.Handle(wire.ProtoUDP, func(*Packet) { udp++ })
+
+	send := func(proto uint8) {
+		src.Send(&Packet{Dst: dst.Addr(), Proto: proto, SrcPort: 1, DstPort: 2,
+			Payload: make([]byte, 64), Overhead: DefaultOverheadUDP})
+	}
+	send(wire.ProtoTCP)
+	send(wire.ProtoUDP)
+	send(wire.ProtoUDP)
+	send(99) // unregistered: silently ignored
+	eng.Run()
+	if tcp != 1 || udp != 2 || other != 0 {
+		t.Fatalf("tcp=%d udp=%d other=%d", tcp, udp, other)
+	}
+}
+
+func TestMuxReplaceHandler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.RacksPerPod = 1
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 1
+	cfg.CoresPerDC = 1
+	f := New(eng, cfg)
+	src, dst := f.Host(0, 0, 0, 0), f.Host(0, 0, 0, 1)
+	mux := NewMux(dst)
+	a, b := 0, 0
+	mux.Handle(wire.ProtoUDP, func(*Packet) { a++ })
+	mux.Handle(wire.ProtoUDP, func(*Packet) { b++ }) // replaces
+	src.Send(&Packet{Dst: dst.Addr(), Proto: wire.ProtoUDP,
+		Payload: make([]byte, 8), Overhead: DefaultOverheadUDP})
+	eng.Run()
+	if a != 0 || b != 1 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+}

@@ -1,0 +1,97 @@
+// Package simnet is the discrete-event datacenter fabric that carries EBS
+// frontend-network traffic: hosts with dual-homed NICs, store-and-forward
+// switches with shallow per-port output buffers, ECN marking, in-band
+// telemetry (INT) stamping, a four-tier Clos/region topology (ToR pair →
+// pod spine → DC core → region DC-router), consistent-hash ECMP, and the
+// failure modes the paper evaluates (fail-stop, reboot, random drop, and
+// silent blackholes).
+//
+// Packet payloads from the RPC header onward are real bytes produced by the
+// wire package; the IP/UDP envelope is carried as struct fields (plus a
+// byte-count overhead) so switches do not reparse headers at every hop.
+package simnet
+
+import (
+	"lunasolar/internal/sim"
+	"lunasolar/internal/wire"
+)
+
+// EthOverhead is the per-frame link-layer cost counted against link
+// bandwidth: Ethernet header+FCS (18) plus preamble and inter-frame gap
+// (20).
+const EthOverhead = 38
+
+// Packet is one frame in flight. The 5-tuple lives in struct fields (the
+// envelope); Payload holds the real bytes from the RPC header onward.
+type Packet struct {
+	Src, Dst uint32 // host addresses (see Addr)
+	Proto    uint8  // wire.ProtoTCP or wire.ProtoUDP
+	SrcPort  uint16 // Solar's path ID rides here
+	DstPort  uint16
+	ECN      uint8 // wire ECN codepoint; switches may set ECNCE
+	TTL      uint8
+
+	Payload  []byte // RPC header onward
+	Overhead int    // envelope bytes: Eth + IP + transport header
+
+	INT *wire.INTStack // non-nil when the sender requested telemetry
+
+	SentAt sim.Time // stamped by the sender for RTT accounting
+}
+
+// WireSize returns the frame's size on the wire in bytes.
+func (p *Packet) WireSize() int { return p.Overhead + len(p.Payload) }
+
+// DefaultOverheadUDP is the envelope size for UDP-borne packets.
+const DefaultOverheadUDP = EthOverhead + wire.IPv4Size + wire.UDPSize
+
+// DefaultOverheadTCP is the envelope size for TCP-borne packets.
+const DefaultOverheadTCP = EthOverhead + wire.IPv4Size + wire.TCPSegSize
+
+// FlowHash computes the consistent ECMP hash of the packet's 5-tuple mixed
+// with a per-switch salt (FNV-1a). The same flow always hashes identically
+// at a given switch, so a flow's path is stable until its source port — the
+// path ID — changes.
+func FlowHash(p *Packet, salt uint32) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= prime32
+			v >>= 8
+		}
+	}
+	mix(p.Src)
+	mix(p.Dst)
+	mix(uint32(p.SrcPort)<<16 | uint32(p.DstPort))
+	mix(uint32(p.Proto))
+	mix(salt)
+	return h
+}
+
+// Addr packs (dc, pod, rack, host) into a 32-bit host address. Components
+// are 1-based so no valid address is zero.
+func Addr(dc, pod, rack, host int) uint32 {
+	return uint32(dc+1)<<24 | uint32(pod+1)<<16 | uint32(rack+1)<<8 | uint32(host+1)
+}
+
+// AddrDC extracts the datacenter component of an address.
+func AddrDC(a uint32) int { return int(a>>24) - 1 }
+
+// AddrPod extracts the pod component.
+func AddrPod(a uint32) int { return int(a>>16&0xff) - 1 }
+
+// AddrRack extracts the rack component.
+func AddrRack(a uint32) int { return int(a>>8&0xff) - 1 }
+
+// AddrHost extracts the host component.
+func AddrHost(a uint32) int { return int(a&0xff) - 1 }
+
+// Prefix keys for the routing tables.
+func dcKey(a uint32) uint32   { return a & 0xff000000 }
+func podKey(a uint32) uint32  { return a & 0xffff0000 }
+func rackKey(a uint32) uint32 { return a & 0xffffff00 }

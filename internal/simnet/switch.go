@@ -1,0 +1,237 @@
+package simnet
+
+import (
+	"time"
+
+	"lunasolar/internal/sim"
+)
+
+// Tier identifies a switch's position in the fabric.
+type Tier int
+
+// Fabric tiers, bottom up.
+const (
+	TierToR Tier = iota
+	TierSpine
+	TierCore
+	TierDCR
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierToR:
+		return "tor"
+	case TierSpine:
+		return "spine"
+	case TierCore:
+		return "core"
+	case TierDCR:
+		return "dcr"
+	}
+	return "?"
+}
+
+// ecmpGroup is a set of candidate egress ports for a destination prefix.
+type ecmpGroup struct {
+	ports []*Port
+}
+
+// Switch is a store-and-forward fabric switch with prefix routing and
+// consistent-hash ECMP. Failure modes:
+//
+//   - Hang (Fail): the switch silently stops forwarding while its links stay
+//     electrically up. Routing neighbours exclude it after DetectDelay;
+//     hosts (which have no routing protocol) never do.
+//   - Port failure (FailPort): link-down signal, excluded immediately by
+//     both ends.
+//   - DropRate: uniform random loss on transiting packets.
+//   - Blackhole: a hash-selected fraction of flows is silently dropped —
+//     invisible to any fabric-level detection, escapable only by endpoint
+//     path change.
+type Switch struct {
+	fab  *Fabric
+	name string
+	tier Tier
+	salt uint32
+
+	latency time.Duration
+	ports   []*Port
+
+	hostRoutes map[uint32]*ecmpGroup // /32, ToR only
+	rackRoutes map[uint32]*ecmpGroup // dc|pod|rack
+	podRoutes  map[uint32]*ecmpGroup // dc|pod
+	dcRoutes   map[uint32]*ecmpGroup // dc, DCR only
+	defaultUp  *ecmpGroup            // toward the higher tier
+
+	alive  bool
+	downAt sim.Time
+
+	dropRate      float64
+	blackholeFrac float64
+	blackholeSalt uint32
+
+	rx, forwarded, dropped uint64
+}
+
+func newSwitch(f *Fabric, name string, tier Tier, latency time.Duration, salt uint32) *Switch {
+	return &Switch{
+		fab:        f,
+		name:       name,
+		tier:       tier,
+		salt:       salt,
+		latency:    latency,
+		hostRoutes: map[uint32]*ecmpGroup{},
+		rackRoutes: map[uint32]*ecmpGroup{},
+		podRoutes:  map[uint32]*ecmpGroup{},
+		dcRoutes:   map[uint32]*ecmpGroup{},
+		alive:      true,
+	}
+}
+
+// Name returns the switch's diagnostic name.
+func (s *Switch) Name() string { return s.name }
+
+func (s *Switch) nodeName() string { return s.name }
+
+// Tier returns the switch's fabric tier.
+func (s *Switch) Tier() Tier { return s.tier }
+
+// Alive reports whether the switch is forwarding.
+func (s *Switch) Alive() bool { return s.alive }
+
+// Fail hangs the switch: it stops forwarding but its links stay up.
+func (s *Switch) Fail() {
+	if s.alive {
+		s.alive = false
+		s.downAt = s.fab.Eng.Now()
+	}
+}
+
+// Repair brings a failed switch back.
+func (s *Switch) Repair() {
+	s.alive = true
+	s.dropRate = 0
+	s.blackholeFrac = 0
+}
+
+// SetDropRate makes the switch drop transiting packets with probability p.
+func (s *Switch) SetDropRate(p float64) { s.dropRate = p }
+
+// SetBlackhole silently drops the given fraction of flows (selected by
+// hash), modelling a corrupted forwarding entry or failing linecard.
+func (s *Switch) SetBlackhole(frac float64, salt uint32) {
+	s.blackholeFrac = frac
+	s.blackholeSalt = salt
+}
+
+// Ports exposes the switch's ports.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// Forwarded returns packets successfully enqueued toward a next hop.
+func (s *Switch) Forwarded() uint64 { return s.forwarded }
+
+// Dropped returns packets dropped at this switch (all causes).
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// usable reports whether an ECMP member port should be considered: the
+// link must be up, and a hung peer switch is excluded only once the
+// detection delay has elapsed since it failed.
+func (s *Switch) usable(p *Port) bool {
+	if !p.up || p.peer == nil || !p.peer.up {
+		return false
+	}
+	if peer, ok := p.peer.owner.(*Switch); ok && !peer.alive {
+		if s.fab.Eng.Now() >= peer.downAt.Add(s.fab.cfg.DetectDelay) {
+			return false
+		}
+	}
+	return true
+}
+
+// pick selects a member of g for pkt by consistent hash over the usable
+// ports. Returns nil if no port is usable.
+func (s *Switch) pick(g *ecmpGroup, pkt *Packet) *Port {
+	if g == nil || len(g.ports) == 0 {
+		return nil
+	}
+	usable := make([]*Port, 0, len(g.ports))
+	for _, p := range g.ports {
+		if s.usable(p) {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+	return usable[FlowHash(pkt, s.salt)%uint32(len(usable))]
+}
+
+// route resolves the egress ECMP group for dst via longest-prefix order:
+// host (/32), rack, pod, dc, then the default up-group.
+func (s *Switch) route(dst uint32) *ecmpGroup {
+	if g, ok := s.hostRoutes[dst]; ok {
+		return g
+	}
+	if g, ok := s.rackRoutes[rackKey(dst)]; ok {
+		return g
+	}
+	if g, ok := s.podRoutes[podKey(dst)]; ok {
+		return g
+	}
+	if g, ok := s.dcRoutes[dcKey(dst)]; ok {
+		return g
+	}
+	return s.defaultUp
+}
+
+// Receive forwards a packet after the switch pipeline latency.
+func (s *Switch) Receive(pkt *Packet, _ *Port) {
+	s.rx++
+	if !s.alive {
+		s.dropped++
+		s.fab.countDrop("hang:" + s.name)
+		return
+	}
+	if s.dropRate > 0 && s.fab.rand.Bernoulli(s.dropRate) {
+		s.dropped++
+		s.fab.countDrop("rand:" + s.name)
+		return
+	}
+	if s.blackholeFrac > 0 {
+		h := FlowHash(pkt, s.blackholeSalt)
+		if float64(h%10000) < s.blackholeFrac*10000 {
+			s.dropped++
+			s.fab.countDrop("blackhole:" + s.name)
+			return
+		}
+	}
+	if pkt.TTL == 0 {
+		s.dropped++
+		s.fab.countDrop("ttl")
+		return
+	}
+	pkt.TTL--
+	g := s.route(pkt.Dst)
+	egress := s.pick(g, pkt)
+	if egress == nil {
+		s.dropped++
+		s.fab.countDrop("noroute:" + s.name)
+		return
+	}
+	s.forwarded++
+	s.fab.Eng.Schedule(s.latency, func() {
+		if !s.alive { // failed while the packet was in the pipeline
+			s.fab.countDrop("hang:" + s.name)
+			return
+		}
+		egress.Send(pkt)
+	})
+}
+
+func addPort(g *ecmpGroup, p *Port) *ecmpGroup {
+	if g == nil {
+		g = &ecmpGroup{}
+	}
+	g.ports = append(g.ports, p)
+	return g
+}

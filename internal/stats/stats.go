@@ -1,0 +1,318 @@
+// Package stats provides the measurement primitives shared by the
+// experiment harness: HDR-style log-bucketed latency histograms with
+// percentile queries, CDFs, counters, and fixed-interval time series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-bucketed histogram of time.Duration values offering
+// ~1% relative precision across nanoseconds to minutes, with O(1) record.
+// The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     int64
+	max     int64
+}
+
+// bucketsPerOctave controls precision: 128 sub-buckets per power of two
+// gives worst-case relative error of ~0.55%.
+const bucketsPerOctave = 128
+
+// numOctaves covers 1ns .. ~2^40ns (~18 minutes).
+const numOctaves = 41
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		buckets: make([]uint64, numOctaves*bucketsPerOctave),
+		min:     math.MaxInt64,
+	}
+}
+
+func bucketIndex(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	exp := 63 - leadingZeros64(uint64(v))
+	if exp >= numOctaves {
+		exp = numOctaves - 1
+	}
+	var frac int64
+	if exp > 0 {
+		frac = ((v - (1 << uint(exp))) * bucketsPerOctave) >> uint(exp)
+	}
+	if frac >= bucketsPerOctave {
+		frac = bucketsPerOctave - 1
+	}
+	return exp*bucketsPerOctave + int(frac)
+}
+
+func bucketLow(i int) int64 {
+	exp := i / bucketsPerOctave
+	frac := int64(i % bucketsPerOctave)
+	base := int64(1) << uint(exp)
+	return base + (base*frac)/bucketsPerOctave
+}
+
+func leadingZeros64(x uint64) int { return bits.LeadingZeros64(x) }
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the q-quantile (q in [0,1]), e.g. 0.5 for the median,
+// 0.95 and 0.99 for tails. Precision is the bucket width (~1%).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return time.Duration(lo)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
+
+// P95 is Quantile(0.95).
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Merge adds all observations from o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Summary renders "p50=… p95=… p99=… mean=… n=…" for logs.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v mean=%v max=%v n=%d",
+		h.Median().Round(100*time.Nanosecond),
+		h.P95().Round(100*time.Nanosecond),
+		h.P99().Round(100*time.Nanosecond),
+		h.Mean().Round(100*time.Nanosecond),
+		h.Max().Round(100*time.Nanosecond),
+		h.count)
+}
+
+// CDF is an empirical cumulative distribution over float64 samples, used
+// for the Fig. 5 size distributions.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= v).
+func (c *CDF) At(v float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, v)
+	// Include equal values.
+	for i < len(c.samples) && c.samples[i] <= v {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile of the samples.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	i := int(q * float64(len(c.samples)))
+	if i >= len(c.samples) {
+		i = len(c.samples) - 1
+	}
+	return c.samples[i]
+}
+
+// Counter is a monotonically increasing event counter with a rate helper.
+type Counter struct {
+	n     uint64
+	since time.Duration
+}
+
+// Inc adds delta.
+func (c *Counter) Inc(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// MarkWindow records the window start for Rate.
+func (c *Counter) MarkWindow(at time.Duration) { c.since = at }
+
+// Rate returns events/second between the window mark and now.
+func (c *Counter) Rate(now time.Duration) float64 {
+	dt := (now - c.since).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(c.n) / dt
+}
+
+// TimeSeries accumulates values into fixed-width time bins — hourly traffic
+// (Fig. 3), per-minute IOPS (Fig. 4), quarterly averages (Fig. 7).
+type TimeSeries struct {
+	binWidth time.Duration
+	bins     []float64
+	counts   []uint64
+}
+
+// NewTimeSeries creates a series with the given bin width.
+func NewTimeSeries(binWidth time.Duration) *TimeSeries {
+	return &TimeSeries{binWidth: binWidth}
+}
+
+func (ts *TimeSeries) grow(i int) {
+	for len(ts.bins) <= i {
+		ts.bins = append(ts.bins, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+}
+
+// Add accumulates v into the bin containing time at.
+func (ts *TimeSeries) Add(at time.Duration, v float64) {
+	i := int(at / ts.binWidth)
+	if i < 0 {
+		i = 0
+	}
+	ts.grow(i)
+	ts.bins[i] += v
+	ts.counts[i]++
+}
+
+// Sum returns the accumulated value in bin i.
+func (ts *TimeSeries) Sum(i int) float64 {
+	if i < 0 || i >= len(ts.bins) {
+		return 0
+	}
+	return ts.bins[i]
+}
+
+// Avg returns the mean of values recorded in bin i.
+func (ts *TimeSeries) Avg(i int) float64 {
+	if i < 0 || i >= len(ts.bins) || ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.bins[i] / float64(ts.counts[i])
+}
+
+// Len returns the number of bins touched.
+func (ts *TimeSeries) Len() int { return len(ts.bins) }
+
+// BinWidth returns the configured bin width.
+func (ts *TimeSeries) BinWidth() time.Duration { return ts.binWidth }

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 || h.Min() != 100*time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Fatalf("single-sample stats wrong: %s", h.Summary())
+	}
+}
+
+func TestHistogramQuantilePrecision(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		err := float64(got-tc.want) / float64(tc.want)
+		if err < -0.02 || err > 0.02 {
+			t.Fatalf("q%.2f = %v, want %v ± 2%%", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10 * time.Microsecond)
+	h.Record(30 * time.Microsecond)
+	if got := h.Mean(); got != 20*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Duration(i+1) * time.Microsecond)
+		b.Record(time.Duration(i+101) * time.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Microsecond || a.Max() != 200*time.Microsecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(time.Duration(-5)) // clamped to 0→bucket 1ns
+	h.Record(20 * time.Minute)  // beyond top octave, clamped
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1) < 17*time.Minute {
+		t.Fatalf("max quantile = %v", h.Quantile(1))
+	}
+}
+
+// Property: quantile is monotonically non-decreasing in q and bounded by
+// min/max.
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			if cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: relative bucket error stays under ~1.2% across magnitudes.
+func TestHistogramRelativeError(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(1 + r.Int63n(int64(10*time.Second)))
+		h := NewHistogram()
+		h.Record(v)
+		got := h.Quantile(0.5)
+		relErr := float64(v-got) / float64(v)
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 0.012 {
+			t.Fatalf("value %v recovered as %v (err %.4f)", v, got, relErr)
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.At(40); got != 0.40 {
+		t.Fatalf("At(40) = %v", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(1000); got != 1 {
+		t.Fatalf("At(1000) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 51 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+}
+
+func TestCDFInterleavedAddQuery(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	_ = c.At(5)
+	c.Add(1) // must re-sort
+	if got := c.At(1); got != 0.5 {
+		t.Fatalf("At(1) = %v after re-add", got)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.MarkWindow(10 * time.Second)
+	c.Inc(500)
+	if got := c.Rate(15 * time.Second); got != 100 {
+		t.Fatalf("rate = %v, want 100/s", got)
+	}
+	if got := c.Rate(10 * time.Second); got != 0 {
+		t.Fatalf("zero-width window rate = %v", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Hour)
+	ts.Add(30*time.Minute, 5)
+	ts.Add(45*time.Minute, 7)
+	ts.Add(90*time.Minute, 3)
+	if got := ts.Sum(0); got != 12 {
+		t.Fatalf("bin0 sum = %v", got)
+	}
+	if got := ts.Avg(0); got != 6 {
+		t.Fatalf("bin0 avg = %v", got)
+	}
+	if got := ts.Sum(1); got != 3 {
+		t.Fatalf("bin1 sum = %v", got)
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	if got := ts.Sum(99); got != 0 {
+		t.Fatalf("missing bin = %v", got)
+	}
+}

@@ -1,0 +1,313 @@
+package tcpstack
+
+import (
+	"time"
+
+	"lunasolar/internal/cc"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// seqLT reports a < b in 32-bit wraparound arithmetic.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// conn is one direction-pair of a persistent connection. Both peers hold a
+// conn with mirrored ports; each side sends its own byte stream and acks
+// the other's.
+type conn struct {
+	s   *Stack
+	key connKey
+
+	ctrl cc.Controller
+	rtt  *transport.RTT
+
+	// Sender state.
+	outBuf   []byte // bytes [sndUna, sndUna+len)
+	sndUna   uint32
+	sndNxt   uint32
+	maxSent  uint32 // high-water mark of sndNxt (survives RTO rewinds)
+	dupAcks  int
+	rtoTimer *sim.Event
+	backoff  int
+
+	// NewReno fast recovery: while inFastRec, each partial ack below
+	// recover retransmits the next hole immediately instead of waiting for
+	// an RTO per lost segment.
+	inFastRec bool
+	recover   uint32
+
+	sampleSeq   uint32
+	sampleAt    sim.Time
+	sampleValid bool
+
+	txSegs uint64 // for TSO amortization
+
+	// Receiver state.
+	rcvNxt   uint32
+	ooo      map[uint32][]byte
+	inStream []byte
+}
+
+func newConn(s *Stack, k connKey) *conn {
+	p := s.params
+	var ctrl cc.Controller
+	// Luna runs DCTCP over ECN; the kernel baseline runs plain AIMD (the
+	// same controller never sees marks, so it reduces only on loss).
+	ctrl = cc.NewDCTCP(p.MSS, p.InitCwnd, p.MaxCwnd)
+	return &conn{
+		s:    s,
+		key:  k,
+		ctrl: ctrl,
+		rtt:  transport.NewRTT(p.MinRTO, p.MaxRTO),
+		ooo:  map[uint32][]byte{},
+	}
+}
+
+// enqueueRecord appends a framed record to the send stream and pumps.
+func (c *conn) enqueueRecord(rec []byte) {
+	c.outBuf = append(c.outBuf, rec...)
+	c.pump()
+}
+
+// inflight returns unacknowledged bytes.
+func (c *conn) inflight() int { return int(c.sndNxt - c.sndUna) }
+
+// unsent returns bytes queued but not yet transmitted.
+func (c *conn) unsent() int { return len(c.outBuf) - c.inflight() }
+
+// pump transmits while the congestion window allows.
+func (c *conn) pump() {
+	p := c.s.params
+	for c.unsent() > 0 && c.inflight() < c.ctrl.Window() {
+		n := c.unsent()
+		if n > p.MSS {
+			n = p.MSS
+		}
+		off := c.inflight()
+		seg := c.outBuf[off : off+n]
+		seq := c.sndNxt
+		c.sndNxt += uint32(n)
+		if seqLT(c.maxSent, c.sndNxt) {
+			c.maxSent = c.sndNxt
+		}
+		if !c.sampleValid {
+			c.sampleSeq = c.sndNxt
+			c.sampleAt = c.s.eng.Now()
+			c.sampleValid = true
+		}
+		c.transmit(seq, seg, false)
+	}
+	if c.inflight() > 0 && c.rtoTimer == nil {
+		c.armRTO()
+	}
+}
+
+// transmit sends one segment (data or retransmission).
+func (c *conn) transmit(seq uint32, payload []byte, isRetx bool) {
+	p := c.s.params
+	cost := p.PerPktTxCPU
+	if p.TSOBatch > 1 {
+		cost = time.Duration(int64(cost) / int64(p.TSOBatch))
+	}
+	cost += c.s.contention()
+	c.txSegs++
+	send := func() {
+		pkt := c.makePacket(seq, payload, 0)
+		c.s.host.Send(pkt)
+	}
+	step := func() {
+		if c.s.pcie != nil && len(payload) > 0 {
+			c.s.pcie.Transfer(2*len(payload), send)
+		} else {
+			send()
+		}
+	}
+	if isRetx {
+		c.s.Retransmits++
+	}
+	c.s.cores.Submit(cost, step)
+}
+
+// makePacket builds the frame: TCP header + stream payload.
+func (c *conn) makePacket(seq uint32, payload []byte, extraFlags uint8) *simnet.Packet {
+	hdr := wire.TCPSeg{
+		SrcPort: c.key.localPort,
+		DstPort: c.key.remotePort,
+		Seq:     seq,
+		Ack:     c.rcvNxt,
+		Flags:   wire.TCPFlagACK | extraFlags,
+		Window:  65535,
+	}
+	buf := make([]byte, wire.TCPSegSize+len(payload))
+	if err := hdr.Encode(buf); err != nil {
+		panic(err)
+	}
+	copy(buf[wire.TCPSegSize:], payload)
+	ecn := uint8(wire.ECNNotECT)
+	if c.s.params.UseECN {
+		ecn = wire.ECNECT0
+	}
+	return &simnet.Packet{
+		Dst:      c.key.peer,
+		Proto:    wire.ProtoTCP,
+		SrcPort:  c.key.localPort,
+		DstPort:  c.key.remotePort,
+		ECN:      ecn,
+		Payload:  buf,
+		Overhead: simnet.EthOverhead + wire.IPv4Size,
+		SentAt:   c.s.eng.Now(),
+	}
+}
+
+// sendPureAck acknowledges received data; ece echoes a CE mark.
+func (c *conn) sendPureAck(ece bool) {
+	p := c.s.params
+	var flags uint8
+	if ece {
+		flags |= wire.TCPFlagECE
+	}
+	cost := p.PerPktTxCPU / 2
+	c.s.cores.Submit(cost, func() {
+		c.s.host.Send(c.makePacket(c.sndNxt, nil, flags))
+	})
+}
+
+func (c *conn) armRTO() {
+	c.clearRTO()
+	d := c.rtt.Backoff(c.backoff)
+	c.rtoTimer = c.s.eng.Schedule(d, c.onRTO)
+}
+
+func (c *conn) clearRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+}
+
+func (c *conn) onRTO() {
+	c.rtoTimer = nil
+	if c.inflight() == 0 {
+		return
+	}
+	c.s.Timeouts++
+	c.s.Retransmits++
+	c.backoff++
+	c.inFastRec = false
+	c.ctrl.OnTimeout()
+	c.sampleValid = false // Karn: never sample retransmissions
+	// Slow-start retransmission: rewind to the hole so the window governs
+	// recovery (everything past sndUna is presumed lost or will be re-acked
+	// cumulatively). Keeping sndNxt forward would wedge the pipe: inflight
+	// could exceed the collapsed window forever.
+	c.sndNxt = c.sndUna
+	c.pump()
+	c.armRTO()
+}
+
+// retransmitHead resends the first unacknowledged segment.
+func (c *conn) retransmitHead() {
+	n := c.inflight()
+	if n > c.s.params.MSS {
+		n = c.s.params.MSS
+	}
+	if n <= 0 {
+		return
+	}
+	c.transmit(c.sndUna, c.outBuf[:n], true)
+}
+
+// segmentArrived processes an inbound segment (data, ack, or both).
+func (c *conn) segmentArrived(hdr wire.TCPSeg, payload []byte, ce bool) {
+	c.processAck(hdr, len(payload) == 0)
+	if len(payload) > 0 {
+		c.processData(hdr.Seq, payload, ce)
+	}
+}
+
+func (c *conn) processAck(hdr wire.TCPSeg, pureAck bool) {
+	ack := hdr.Ack
+	if seqLT(c.sndUna, ack) && !seqLT(c.maxSent, ack) {
+		// After an RTO rewind, data sent before the rewind may still be
+		// delivered and acknowledged beyond sndNxt; accept anything up to
+		// the high-water mark and fast-forward sndNxt over it.
+		if seqLT(c.sndNxt, ack) {
+			c.sndNxt = ack
+		}
+		acked := int(ack - c.sndUna)
+		c.outBuf = c.outBuf[acked:]
+		c.sndUna = ack
+		c.dupAcks = 0
+		c.backoff = 0
+		if c.sampleValid && !seqLT(ack, c.sampleSeq) {
+			c.rtt.Observe(c.s.eng.Now().Sub(c.sampleAt))
+			c.sampleValid = false
+		}
+		if c.inFastRec {
+			if seqLT(ack, c.recover) {
+				// Partial ack: the next hole is lost too — retransmit it
+				// now (NewReno) rather than stalling for an RTO.
+				c.retransmitHead()
+			} else {
+				c.inFastRec = false
+			}
+		}
+		c.ctrl.OnAck(cc.Feedback{
+			RTT:        c.rtt.SRTT(),
+			AckedBytes: acked,
+			ECNMarked:  hdr.Flags&wire.TCPFlagECE != 0,
+		})
+		if c.inflight() > 0 {
+			c.armRTO()
+		} else {
+			c.clearRTO()
+		}
+		c.pump()
+		return
+	}
+	if pureAck && ack == c.sndUna && c.inflight() > 0 {
+		c.dupAcks++
+		if c.dupAcks == 3 && !c.inFastRec {
+			// Fast retransmit; enter NewReno recovery.
+			c.inFastRec = true
+			c.recover = c.sndNxt
+			c.ctrl.OnLoss()
+			c.sampleValid = false
+			c.retransmitHead()
+		}
+	}
+}
+
+func (c *conn) processData(seq uint32, payload []byte, ce bool) {
+	switch {
+	case seq == c.rcvNxt:
+		c.inStream = append(c.inStream, payload...)
+		c.rcvNxt += uint32(len(payload))
+		// Drain contiguous out-of-order segments.
+		for {
+			seg, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.inStream = append(c.inStream, seg...)
+			c.rcvNxt += uint32(len(seg))
+		}
+		c.inStream = parseRecords(c.inStream, func(rec record) {
+			c.s.dispatchRecord(c, rec)
+		})
+	case seqLT(c.rcvNxt, seq):
+		// Out of order: buffer if capacity allows (head-of-line blocking —
+		// the cost Solar's design eliminates).
+		if len(c.ooo) < c.s.params.RxBufferSegs {
+			if _, dup := c.ooo[seq]; !dup {
+				c.ooo[seq] = append([]byte(nil), payload...)
+			}
+		}
+	default:
+		// Old duplicate; re-ack below.
+	}
+	c.sendPureAck(ce)
+}

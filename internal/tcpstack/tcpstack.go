@@ -1,0 +1,370 @@
+// Package tcpstack is a message-oriented reliable byte-stream transport
+// over the simulated fabric — the engine behind both the kernel TCP
+// baseline and Luna. The protocol machinery is genuine (byte-sequenced
+// sliding window, cumulative ACKs with wraparound arithmetic, fast
+// retransmit on duplicate ACKs, RTO with exponential backoff, bounded
+// out-of-order reassembly buffers, ECN echo); what distinguishes kernel TCP
+// from Luna is the Params cost model (per-packet/per-RPC CPU busy time and
+// non-busy latency adders, copies vs zero-copy, TSO batching) — exactly the
+// paper's framing, where Luna is "a user-space TCP stack" whose wins come
+// from run-to-complete, zero-copy and share-nothing scheduling rather than
+// protocol changes.
+package tcpstack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// ListenPort is the well-known block-service port.
+const ListenPort = 5010
+
+// Params is the stack cost and protocol model.
+type Params struct {
+	StackName string
+	MSS       int // segment payload bytes (1448 kernel-era, 4096 with jumbo)
+	InitCwnd  int
+	MaxCwnd   int
+	MinRTO    time.Duration
+	MaxRTO    time.Duration
+	UseECN    bool // DCTCP-style marking/echo (Luna); plain AIMD otherwise
+
+	// CPU busy time charged to the core pool.
+	PerRPCTxCPU time.Duration // marshalling + socket work per request/response
+	PerRPCRxCPU time.Duration
+	PerPktTxCPU time.Duration // per segment (and per pure ACK at half cost)
+	PerPktRxCPU time.Duration
+	CopyPer4K   time.Duration // payload copy cost per 4 KiB (zero for Luna)
+
+	// Latency adders that do not consume CPU: syscall/wakeup/interrupt
+	// coalescing for the kernel path; near zero for run-to-complete Luna.
+	PerRPCTxDelay time.Duration
+	PerRPCRxDelay time.Duration
+
+	// TSOBatch > 1 amortizes PerPktTxCPU over that many segments
+	// (TSO/GSO offload).
+	TSOBatch int
+
+	// LockPenalty models a stack WITHOUT Luna's "lock-free and
+	// share-nothing" thread arrangement: every packet pays this extra CPU
+	// per additional core in the pool (cache-line bouncing and lock
+	// contention grow with parallelism). Zero for Luna; used by the
+	// share-nothing ablation.
+	LockPenalty time.Duration
+
+	// RxBufferSegs bounds the out-of-order reassembly buffer per
+	// connection; segments beyond it are dropped (receiver memory
+	// pressure).
+	RxBufferSegs int
+}
+
+func (p *Params) norm() {
+	if p.MSS <= 0 {
+		p.MSS = 1448
+	}
+	if p.InitCwnd <= 0 {
+		p.InitCwnd = 10 * p.MSS
+	}
+	if p.MaxCwnd <= 0 {
+		p.MaxCwnd = 1 << 20
+	}
+	if p.MinRTO <= 0 {
+		p.MinRTO = 2 * time.Millisecond
+	}
+	if p.MaxRTO <= 0 {
+		p.MaxRTO = time.Second
+	}
+	if p.TSOBatch <= 0 {
+		p.TSOBatch = 1
+	}
+	if p.RxBufferSegs <= 0 {
+		p.RxBufferSegs = 256
+	}
+}
+
+// Stack is one host endpoint. It implements transport.Stack.
+type Stack struct {
+	eng    *sim.Engine
+	host   *simnet.Host
+	params Params
+	cores  *sim.Server
+	pcie   *sim.Channel // optional DPU internal PCIe: payload crosses twice
+
+	handler  transport.Handler
+	conns    map[connKey]*conn
+	pending  map[uint64]func(*transport.Response)
+	ids      transport.IDAlloc
+	nextPort uint16
+
+	// Stats.
+	Retransmits uint64
+	Timeouts    uint64
+}
+
+type connKey struct {
+	peer       uint32
+	localPort  uint16
+	remotePort uint16
+}
+
+// New attaches a stack to a fabric host. cores is the CPU pool charged for
+// stack processing; pcie, when non-nil, is the bare-metal DPU's internal
+// channel every payload byte must cross twice (Fig. 10a).
+func New(eng *sim.Engine, host *simnet.Host, cores *sim.Server, pcie *sim.Channel, params Params) *Stack {
+	params.norm()
+	s := &Stack{
+		eng:      eng,
+		host:     host,
+		params:   params,
+		cores:    cores,
+		pcie:     pcie,
+		conns:    map[connKey]*conn{},
+		pending:  map[uint64]func(*transport.Response){},
+		nextPort: 20000,
+	}
+	if host.Handler == nil {
+		host.Handler = s.receive
+	}
+	return s
+}
+
+// Name returns the configured stack name.
+func (s *Stack) Name() string { return s.params.StackName }
+
+// LocalAddr returns the host's fabric address.
+func (s *Stack) LocalAddr() uint32 { return s.host.Addr() }
+
+// SetHandler installs the server-side request handler.
+func (s *Stack) SetHandler(h transport.Handler) { s.handler = h }
+
+// Params returns the stack's cost model (read-only copy).
+func (s *Stack) Params() Params { return s.params }
+
+// connTo returns (creating if needed) the client connection to dst.
+func (s *Stack) connTo(dst uint32) *conn {
+	// One persistent connection per peer, like production SA↔block-server
+	// sessions.
+	for k, c := range s.conns {
+		if k.peer == dst && k.remotePort == ListenPort {
+			return c
+		}
+	}
+	s.nextPort++
+	k := connKey{peer: dst, localPort: s.nextPort, remotePort: ListenPort}
+	c := newConn(s, k)
+	s.conns[k] = c
+	return c
+}
+
+// Call implements transport.Client.
+func (s *Stack) Call(dst uint32, req *transport.Message, done func(*transport.Response)) {
+	id := s.ids.Next()
+	s.pending[id] = done
+	c := s.connTo(dst)
+	// Per-RPC CPU + non-busy latency, then enqueue on the stream.
+	s.cores.Submit(s.params.PerRPCTxCPU+s.copyCost(len(req.Data)), func() {
+		s.eng.Schedule(s.params.PerRPCTxDelay, func() {
+			c.enqueueRecord(encodeRecord(id, req.Op, req, nil))
+		})
+	})
+}
+
+func (s *Stack) copyCost(payload int) time.Duration {
+	if s.params.CopyPer4K == 0 || payload == 0 {
+		return 0
+	}
+	return time.Duration(float64(s.params.CopyPer4K) * float64(payload) / 4096)
+}
+
+// reply sends a response record on the server side of an established conn.
+func (s *Stack) reply(c *conn, id uint64, resp *transport.Response) {
+	s.cores.Submit(s.params.PerRPCTxCPU+s.copyCost(len(resp.Data)), func() {
+		s.eng.Schedule(s.params.PerRPCTxDelay, func() {
+			c.enqueueRecord(encodeRecord(id, wire.RPCWriteResp, nil, resp))
+		})
+	})
+}
+
+// ReceivePacket feeds one inbound frame into the stack; hosts running
+// multiple stacks route frames here through a simnet.Mux.
+func (s *Stack) ReceivePacket(pkt *simnet.Packet) { s.receive(pkt) }
+
+// contention returns the per-packet lock/contention surcharge.
+func (s *Stack) contention() time.Duration {
+	if s.params.LockPenalty == 0 {
+		return 0
+	}
+	return time.Duration(int64(s.params.LockPenalty) * int64(s.cores.Units()-1))
+}
+
+// receive demultiplexes an arriving frame to its connection.
+func (s *Stack) receive(pkt *simnet.Packet) {
+	var hdr wire.TCPSeg
+	if err := hdr.Decode(pkt.Payload); err != nil {
+		return
+	}
+	k := connKey{peer: pkt.Src, localPort: hdr.DstPort, remotePort: hdr.SrcPort}
+	c := s.conns[k]
+	if c == nil {
+		if hdr.DstPort != ListenPort {
+			return // stale segment for a forgotten connection
+		}
+		c = newConn(s, k)
+		s.conns[k] = c
+	}
+	payload := pkt.Payload[wire.TCPSegSize:]
+	ce := pkt.ECN == wire.ECNCE
+
+	// Per-packet receive CPU (pure ACKs cost half), then protocol
+	// processing. PCIe crossing for payload-bearing segments.
+	cost := s.params.PerPktRxCPU + s.contention()
+	if len(payload) == 0 {
+		cost /= 2
+	}
+	deliver := func() {
+		s.cores.Submit(cost, func() { c.segmentArrived(hdr, payload, ce) })
+	}
+	if s.pcie != nil && len(payload) > 0 {
+		s.pcie.Transfer(2*len(payload), deliver)
+	} else {
+		deliver()
+	}
+}
+
+// dispatchRecord hands one complete record up the stack.
+func (s *Stack) dispatchRecord(c *conn, rec record) {
+	s.cores.Submit(s.params.PerRPCRxCPU+s.copyCost(len(rec.payload)), func() {
+		s.eng.Schedule(s.params.PerRPCRxDelay, func() {
+			switch rec.rpc.MsgType {
+			case wire.RPCWriteReq, wire.RPCReadReq:
+				if s.handler == nil {
+					return
+				}
+				req := recordToMessage(rec)
+				id := rec.rpc.RPCID
+				s.handler(c.key.peer, req, func(resp *transport.Response) {
+					s.reply(c, id, resp)
+				})
+			default: // response
+				if done, ok := s.pending[rec.rpc.RPCID]; ok {
+					delete(s.pending, rec.rpc.RPCID)
+					done(&transport.Response{
+						Data:       rec.payload,
+						ServerWall: time.Duration(rec.ebs.ServerNS),
+						SSDTime:    time.Duration(rec.ebs.SSDNS),
+					})
+				}
+			}
+		})
+	})
+}
+
+// Conns returns the number of live connections (tests).
+func (s *Stack) Conns() int { return len(s.conns) }
+
+// --- stream records -------------------------------------------------------
+
+// record is one framed RPC on the stream:
+// [u32 totalLen][wire.RPC][wire.EBS][payload].
+type record struct {
+	rpc     wire.RPC
+	ebs     wire.EBS
+	payload []byte
+}
+
+const recordHdrSize = 4 + wire.RPCSize + wire.EBSSize
+
+func encodeRecord(id uint64, op uint8, req *transport.Message, resp *transport.Response) []byte {
+	var payload []byte
+	ebs := wire.EBS{Version: wire.EBSVersion}
+	msgType := op
+	if req != nil {
+		payload = req.Data
+		ebs.Op = op
+		ebs.VDisk = req.VDisk
+		ebs.SegmentID = req.SegmentID
+		ebs.LBA = req.LBA
+		ebs.Gen = req.Gen
+		ebs.Flags = req.Flags
+		ebs.BlockLen = uint32(req.ReadLen)
+	} else {
+		payload = resp.Data
+		ebs.ServerNS = uint32(resp.ServerWall.Nanoseconds())
+		ebs.SSDNS = uint32(resp.SSDTime.Nanoseconds())
+	}
+	buf := make([]byte, recordHdrSize+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)))
+	rpc := wire.RPC{RPCID: id, MsgType: msgType, NumPkts: 1}
+	if err := rpc.Encode(buf[4:]); err != nil {
+		panic(err)
+	}
+	if err := ebs.Encode(buf[4+wire.RPCSize:]); err != nil {
+		panic(err)
+	}
+	copy(buf[recordHdrSize:], payload)
+	return buf
+}
+
+func recordToMessage(rec record) *transport.Message {
+	return &transport.Message{
+		Op:        rec.rpc.MsgType,
+		VDisk:     rec.ebs.VDisk,
+		SegmentID: rec.ebs.SegmentID,
+		LBA:       rec.ebs.LBA,
+		Gen:       rec.ebs.Gen,
+		Flags:     rec.ebs.Flags,
+		ReadLen:   int(rec.ebs.BlockLen),
+		Data:      rec.payload,
+	}
+}
+
+// parseRecords consumes complete records from the in-order stream buffer,
+// returning the remaining bytes.
+func parseRecords(buf []byte, emit func(record)) []byte {
+	for {
+		if len(buf) < 4 {
+			return buf
+		}
+		total := int(binary.BigEndian.Uint32(buf))
+		if total < recordHdrSize {
+			// Corrupt framing: drop the stream content (connection would
+			// reset in production; the simulation re-frames on retransmit).
+			return nil
+		}
+		if len(buf) < total {
+			return buf
+		}
+		var rec record
+		if err := rec.rpc.Decode(buf[4:]); err != nil {
+			return nil
+		}
+		if err := rec.ebs.Decode(buf[4+wire.RPCSize:]); err != nil {
+			return nil
+		}
+		rec.payload = append([]byte(nil), buf[recordHdrSize:total]...)
+		emit(rec)
+		buf = buf[total:]
+	}
+}
+
+var _ transport.Stack = (*Stack)(nil)
+
+func (k connKey) String() string {
+	return fmt.Sprintf("%08x:%d->%d", k.peer, k.localPort, k.remotePort)
+}
+
+// DebugState renders per-connection transport state for diagnostics.
+func (s *Stack) DebugState() string {
+	out := fmt.Sprintf("stack %s @%08x: %d conns, retx=%d to=%d\n", s.params.StackName, s.LocalAddr(), len(s.conns), s.Retransmits, s.Timeouts)
+	for k, c := range s.conns {
+		out += fmt.Sprintf("  %v una=%d nxt=%d inflight=%d unsent=%d cwnd=%d dupAcks=%d fastRec=%v timer=%v rcvNxt=%d ooo=%d instream=%d\n",
+			k, c.sndUna, c.sndNxt, c.inflight(), c.unsent(), c.ctrl.Window(), c.dupAcks, c.inFastRec, c.rtoTimer != nil, c.rcvNxt, len(c.ooo), len(c.inStream))
+	}
+	return out
+}

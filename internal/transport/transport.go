@@ -1,0 +1,179 @@
+// Package transport defines the interface every frontend-network stack
+// (kernel TCP, Luna, RDMA, Solar) implements, plus the pieces they share:
+// Jacobson RTT estimation, retransmission timer state, and RPC ID
+// allocation. The storage agent and block server are written against this
+// interface, which is how every cross-stack comparison in the paper's
+// evaluation runs on identical storage code.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Message is one storage RPC: a WRITE carrying block data toward a block
+// server, or a READ requesting blocks back. Addressing fields mirror the
+// EBS wire header; Data is real bytes.
+type Message struct {
+	Op        uint8 // wire.RPCWriteReq or wire.RPCReadReq
+	VDisk     uint32
+	SegmentID uint64
+	LBA       uint64
+	Gen       uint32
+	Flags     uint8
+	Data      []byte // WRITE: payload (multiple 4 KiB blocks)
+	ReadLen   int    // READ: bytes requested
+}
+
+// Response is the outcome of a Call. ServerWall and SSDTime are the
+// distributed-trace annotations Fig. 6's latency breakdown needs: total
+// residence time in the block server (BN replication + media) and the
+// media portion alone.
+type Response struct {
+	Data []byte // READ: payload
+	Err  error
+
+	ServerWall time.Duration // block-server residence time (BN + SSD)
+	SSDTime    time.Duration // chunk-server + media portion
+}
+
+// Handler processes an inbound request on the server side and must
+// eventually invoke reply exactly once.
+type Handler func(src uint32, req *Message, reply func(*Response))
+
+// Client issues RPCs to remote hosts.
+type Client interface {
+	// Call sends req to the host with fabric address dst; done is invoked
+	// when the response arrives. Stacks retry internally — like production
+	// storage stacks they never give up, so a network that heals late
+	// yields a late (not failed) response. Callers measure hang time.
+	Call(dst uint32, req *Message, done func(*Response))
+}
+
+// Stack is a full FN endpoint: client and server on one host.
+type Stack interface {
+	Client
+	// SetHandler installs the server-side request handler.
+	SetHandler(Handler)
+	// LocalAddr returns the host's fabric address.
+	LocalAddr() uint32
+	// Name identifies the stack ("kernel", "luna", "rdma", "solar").
+	Name() string
+}
+
+// ErrAdmission is returned when QoS admission rejects an I/O outright
+// (callers normally see queueing, not errors).
+var ErrAdmission = errors.New("transport: rejected by QoS admission")
+
+// RTT tracks smoothed RTT and variance per Jacobson/Karels and derives the
+// retransmission timeout.
+type RTT struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	minRTO time.Duration
+	maxRTO time.Duration
+	init   bool
+}
+
+// NewRTT creates an estimator with the given RTO clamp.
+func NewRTT(minRTO, maxRTO time.Duration) *RTT {
+	return &RTT{minRTO: minRTO, maxRTO: maxRTO}
+}
+
+// Observe folds in one RTT sample.
+func (r *RTT) Observe(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Nanosecond
+	}
+	if !r.init {
+		r.srtt = sample
+		r.rttvar = sample / 2
+		r.init = true
+		return
+	}
+	d := r.srtt - sample
+	if d < 0 {
+		d = -d
+	}
+	r.rttvar = (3*r.rttvar + d) / 4
+	r.srtt = (7*r.srtt + sample) / 8
+}
+
+// SRTT returns the smoothed RTT (zero before the first sample).
+func (r *RTT) SRTT() time.Duration { return r.srtt }
+
+// RTO returns the current retransmission timeout: srtt + 4·rttvar, clamped.
+func (r *RTT) RTO() time.Duration {
+	rto := r.srtt + 4*r.rttvar
+	if !r.init || rto < r.minRTO {
+		rto = r.minRTO
+	}
+	if rto > r.maxRTO {
+		rto = r.maxRTO
+	}
+	return rto
+}
+
+// Backoff returns the RTO after n consecutive timeouts (exponential,
+// clamped).
+func (r *RTT) Backoff(n int) time.Duration {
+	rto := r.RTO()
+	for i := 0; i < n && rto < r.maxRTO; i++ {
+		rto *= 2
+	}
+	if rto > r.maxRTO {
+		rto = r.maxRTO
+	}
+	return rto
+}
+
+// IDAlloc hands out unique RPC IDs.
+type IDAlloc struct{ next uint64 }
+
+// Next returns a fresh non-zero ID.
+func (a *IDAlloc) Next() uint64 {
+	a.next++
+	return a.next
+}
+
+// Loopback is an in-process transport: Call invokes the local handler after
+// a fixed latency, with no network underneath. It models the paper's §4.8
+// "Integrated EBS with DPU" direction, where the storage agent and the
+// block server share the DPU and the frontend-network hop disappears.
+type Loopback struct {
+	schedule func(d time.Duration, fn func())
+	latency  time.Duration
+	local    uint32
+	handler  Handler
+}
+
+// NewLoopback builds a loopback endpoint. schedule is the event-engine hook
+// (sim.Engine.Schedule fits); latency is the intra-DPU handover cost.
+func NewLoopback(schedule func(time.Duration, func()), latency time.Duration, local uint32) *Loopback {
+	return &Loopback{schedule: schedule, latency: latency, local: local}
+}
+
+// Call implements Client: deliver to the local handler after the handover
+// latency.
+func (l *Loopback) Call(dst uint32, req *Message, done func(*Response)) {
+	l.schedule(l.latency, func() {
+		if l.handler == nil {
+			done(&Response{Err: ErrAdmission})
+			return
+		}
+		l.handler(l.local, req, func(resp *Response) {
+			l.schedule(l.latency, func() { done(resp) })
+		})
+	})
+}
+
+// SetHandler implements Stack.
+func (l *Loopback) SetHandler(h Handler) { l.handler = h }
+
+// LocalAddr implements Stack.
+func (l *Loopback) LocalAddr() uint32 { return l.local }
+
+// Name implements Stack.
+func (l *Loopback) Name() string { return "loopback" }
+
+var _ Stack = (*Loopback)(nil)

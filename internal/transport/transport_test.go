@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTFirstSample(t *testing.T) {
+	r := NewRTT(time.Millisecond, time.Second)
+	r.Observe(10 * time.Microsecond)
+	if r.SRTT() != 10*time.Microsecond {
+		t.Fatalf("srtt = %v", r.SRTT())
+	}
+	// RTO clamped to min.
+	if r.RTO() != time.Millisecond {
+		t.Fatalf("rto = %v", r.RTO())
+	}
+}
+
+func TestRTTConverges(t *testing.T) {
+	r := NewRTT(time.Microsecond, time.Second)
+	for i := 0; i < 100; i++ {
+		r.Observe(50 * time.Microsecond)
+	}
+	if got := r.SRTT(); got < 45*time.Microsecond || got > 55*time.Microsecond {
+		t.Fatalf("srtt = %v after steady samples", got)
+	}
+	// Steady samples → variance decays → RTO approaches srtt.
+	if got := r.RTO(); got > 70*time.Microsecond {
+		t.Fatalf("rto = %v, want close to srtt", got)
+	}
+}
+
+func TestRTTSpikesRaiseRTO(t *testing.T) {
+	r := NewRTT(time.Microsecond, time.Second)
+	for i := 0; i < 50; i++ {
+		r.Observe(10 * time.Microsecond)
+	}
+	base := r.RTO()
+	r.Observe(time.Millisecond)
+	if r.RTO() <= base {
+		t.Fatal("latency spike did not raise RTO")
+	}
+}
+
+func TestRTOBackoff(t *testing.T) {
+	r := NewRTT(time.Millisecond, 100*time.Millisecond)
+	if got := r.Backoff(3); got != 8*time.Millisecond {
+		t.Fatalf("backoff(3) = %v", got)
+	}
+	if got := r.Backoff(20); got != 100*time.Millisecond {
+		t.Fatalf("backoff clamp = %v", got)
+	}
+}
+
+func TestRTTNonPositiveSample(t *testing.T) {
+	r := NewRTT(time.Millisecond, time.Second)
+	r.Observe(0)
+	r.Observe(-time.Second)
+	if r.SRTT() <= 0 {
+		t.Fatalf("srtt = %v", r.SRTT())
+	}
+}
+
+func TestIDAlloc(t *testing.T) {
+	var a IDAlloc
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := a.Next()
+		if id == 0 || seen[id] {
+			t.Fatalf("duplicate or zero id %d", id)
+		}
+		seen[id] = true
+	}
+}

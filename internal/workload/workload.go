@@ -1,0 +1,232 @@
+// Package workload provides the traffic models behind the paper's
+// measurement figures and the load generators that drive the experiments:
+// the I/O-size mixture of Fig. 5 (40% of requests ≤4 KiB, everything
+// ≤128 KiB, spikes at 4/16/64 KiB), the diurnal per-server IOPS pattern of
+// Fig. 4 (~200 K peaks), the weekly EBS-vs-VPC traffic shares of Fig. 3
+// (EBS ≈ 63% of TX, writes 3–4× reads), and a fio-like closed-loop driver
+// (queue depth, block size, R/W mix) used by Figs. 14–15 and Table 2.
+package workload
+
+import (
+	"math"
+	"time"
+
+	"lunasolar/internal/sim"
+)
+
+// SizeDist is the I/O request size mixture. Weights follow Fig. 5's CDF:
+// strong modes at 4K, 8K, 16K, 64K with a thin tail to 128K.
+type SizeDist struct {
+	sizes   []int
+	cum     []float64
+	rand    *sim.Rand
+	isWrite bool
+}
+
+type sizePoint struct {
+	size   int
+	weight float64
+}
+
+// Fig. 5: "about 40% RPCs are up to 4K bytes", typical sizes 4K/16K/64K,
+// everything under 128K. Writes skew slightly smaller than reads (databases
+// journaling small records).
+var writeMix = []sizePoint{
+	{4 << 10, 0.42}, {8 << 10, 0.16}, {16 << 10, 0.22},
+	{32 << 10, 0.08}, {64 << 10, 0.09}, {128 << 10, 0.03},
+}
+
+var readMix = []sizePoint{
+	{4 << 10, 0.38}, {8 << 10, 0.13}, {16 << 10, 0.24},
+	{32 << 10, 0.09}, {64 << 10, 0.12}, {128 << 10, 0.04},
+}
+
+func newSizeDist(points []sizePoint, r *sim.Rand) *SizeDist {
+	d := &SizeDist{rand: r}
+	total := 0.0
+	for _, p := range points {
+		total += p.weight
+	}
+	cum := 0.0
+	for _, p := range points {
+		cum += p.weight / total
+		d.sizes = append(d.sizes, p.size)
+		d.cum = append(d.cum, cum)
+	}
+	return d
+}
+
+// NewWriteSizes returns the write-size mixture.
+func NewWriteSizes(r *sim.Rand) *SizeDist { return newSizeDist(writeMix, r) }
+
+// NewReadSizes returns the read-size mixture.
+func NewReadSizes(r *sim.Rand) *SizeDist { return newSizeDist(readMix, r) }
+
+// Sample draws one I/O size in bytes.
+func (d *SizeDist) Sample() int {
+	u := d.rand.Float64()
+	for i, c := range d.cum {
+		if u <= c {
+			return d.sizes[i]
+		}
+	}
+	return d.sizes[len(d.sizes)-1]
+}
+
+// Diurnal models the per-server request rate over a day (Fig. 4): a
+// business-hours sinusoid over a base load, plus bursty noise and occasional
+// spikes, peaking around 200 K IOPS for a highly loaded server.
+type Diurnal struct {
+	BaseIOPS float64 // overnight floor
+	PeakIOPS float64 // mid-day crest
+	Noise    float64 // multiplicative noise amplitude
+	rand     *sim.Rand
+}
+
+// NewDiurnal returns the Fig. 4 model for a highly loaded server.
+func NewDiurnal(r *sim.Rand) *Diurnal {
+	return &Diurnal{BaseIOPS: 60_000, PeakIOPS: 200_000, Noise: 0.18, rand: r}
+}
+
+// Rate returns the target IOPS at time-of-day t.
+func (d *Diurnal) Rate(t time.Duration) float64 {
+	hours := t.Hours()
+	frac := hours / 24 * 2 * math.Pi
+	// Crest at 14:00, trough at 02:00.
+	shape := 0.5 - 0.5*math.Cos(frac-14.0/24*2*math.Pi+math.Pi)
+	base := d.BaseIOPS + (d.PeakIOPS-d.BaseIOPS)*shape
+	noise := 1 + d.Noise*(2*d.rand.Float64()-1)
+	// Occasional sharp spikes (batch jobs, compactions).
+	if d.rand.Bernoulli(0.01) {
+		noise *= 1.35
+	}
+	return base * noise
+}
+
+// Weekly models the fleet-wide traffic of Fig. 3: hourly EBS and total
+// (EBS+VPC) throughput per server in GB/s, and read/write request rates,
+// over seven days. EBS is ~63% of TX; writes are 3–4× reads.
+type Weekly struct {
+	rand *sim.Rand
+}
+
+// NewWeekly returns the Fig. 3 model.
+func NewWeekly(r *sim.Rand) *Weekly { return &Weekly{rand: r} }
+
+// HourSample is one hourly fleet-average sample.
+type HourSample struct {
+	EBSTxGBs  float64 // EBS transmit throughput per server
+	EBSRxGBs  float64
+	AllTxGBs  float64 // all traffic including VPC
+	AllRxGBs  float64
+	WriteIOPS float64 // fleet-average write request rate per server
+	ReadIOPS  float64
+}
+
+// At returns the sample for hour h (0-based) of the week.
+func (w *Weekly) At(h int) HourSample {
+	day := time.Duration(h%24) * time.Hour
+	// Reuse the diurnal shape with weekday/weekend modulation.
+	d := Diurnal{BaseIOPS: 0.55, PeakIOPS: 1.0, Noise: 0.06, rand: w.rand}
+	shape := d.Rate(day)
+	if (h/24)%7 >= 5 {
+		shape *= 0.85 // weekend dip
+	}
+	// Per-server averages: EBS TX ≈ 1.05 GB/s at peak; writes dominate TX.
+	ebsTx := 1.05 * shape
+	ebsRx := 0.36 * shape
+	allTx := ebsTx / 0.63 // EBS ≈ 63% of server TX
+	allRx := ebsRx / 0.51
+	writes := 5200.0 * shape // Fig. 3b: ~5K writes/s/server average
+	reads := writes / 3.6    // writes 3–4× reads
+	return HourSample{
+		EBSTxGBs: ebsTx, EBSRxGBs: ebsRx,
+		AllTxGBs: allTx, AllRxGBs: allRx,
+		WriteIOPS: writes, ReadIOPS: reads,
+	}
+}
+
+// FioConfig is a fio-like closed-loop job: Depth outstanding I/Os per
+// worker, fixed BlockSize, ReadFrac reads (by count), running until
+// stopped.
+type FioConfig struct {
+	Depth     int
+	BlockSize int
+	ReadFrac  float64
+	// SpanBytes is the LBA range the job touches (wraps around).
+	SpanBytes uint64
+}
+
+// IOFunc issues one I/O of the given kind and size at the given offset;
+// done must be invoked at completion.
+type IOFunc func(write bool, lba uint64, size int, done func())
+
+// Fio drives a closed loop of Depth outstanding I/Os against an issue
+// function, counting completions and bytes.
+type Fio struct {
+	cfg  FioConfig
+	eng  *sim.Engine
+	rand *sim.Rand
+	io   IOFunc
+
+	next    uint64
+	stopped bool
+
+	Completed uint64
+	Bytes     uint64
+}
+
+// NewFio creates a driver.
+func NewFio(eng *sim.Engine, cfg FioConfig, io IOFunc) *Fio {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.SpanBytes == 0 {
+		cfg.SpanBytes = 64 << 20
+	}
+	return &Fio{cfg: cfg, eng: eng, rand: eng.Rand.Fork(), io: io}
+}
+
+// Start primes the queue to its depth.
+func (f *Fio) Start() {
+	for i := 0; i < f.cfg.Depth; i++ {
+		f.issue()
+	}
+}
+
+// Stop ends the loop: outstanding I/Os drain, no new ones are issued.
+func (f *Fio) Stop() { f.stopped = true }
+
+func (f *Fio) issue() {
+	if f.stopped {
+		return
+	}
+	write := !f.rand.Bernoulli(f.cfg.ReadFrac)
+	lba := f.next % f.cfg.SpanBytes
+	f.next += uint64(f.cfg.BlockSize)
+	size := f.cfg.BlockSize
+	f.io(write, lba, size, func() {
+		f.Completed++
+		f.Bytes += uint64(size)
+		f.issue()
+	})
+}
+
+// ThroughputMBs returns goodput in MB/s over elapsed virtual time.
+func (f *Fio) ThroughputMBs(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(f.Bytes) / elapsed.Seconds() / 1e6
+}
+
+// IOPS returns completions per second over elapsed virtual time.
+func (f *Fio) IOPS(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(f.Completed) / elapsed.Seconds()
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
+)
+
+func TestSizeDistMatchesFig5(t *testing.T) {
+	r := sim.NewRand(1)
+	var c stats.CDF
+	d := NewWriteSizes(r)
+	for i := 0; i < 50000; i++ {
+		s := d.Sample()
+		c.Add(float64(s))
+		if s > 128<<10 {
+			t.Fatalf("size %d exceeds 128K", s)
+		}
+		if s < 4096 {
+			t.Fatalf("size %d below a block", s)
+		}
+	}
+	// ~40% at 4K (Fig. 5).
+	at4k := c.At(4096)
+	if at4k < 0.35 || at4k > 0.50 {
+		t.Fatalf("P(size<=4K) = %v, want ~0.42", at4k)
+	}
+	if got := c.At(128 << 10); got != 1 {
+		t.Fatalf("P(size<=128K) = %v", got)
+	}
+}
+
+func TestReadWritesDistinct(t *testing.T) {
+	r := sim.NewRand(2)
+	w, rd := NewWriteSizes(r), NewReadSizes(r)
+	var wsum, rsum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		wsum += float64(w.Sample())
+		rsum += float64(rd.Sample())
+	}
+	// Reads skew slightly larger on average.
+	if rsum/n <= wsum/n {
+		t.Fatalf("mean read %v <= mean write %v", rsum/n, wsum/n)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := NewDiurnal(sim.NewRand(3))
+	// Average over repeats to smooth noise.
+	avg := func(h int) float64 {
+		var s float64
+		for i := 0; i < 200; i++ {
+			s += d.Rate(time.Duration(h) * time.Hour)
+		}
+		return s / 200
+	}
+	night, midday := avg(2), avg(14)
+	if midday <= 1.5*night {
+		t.Fatalf("no diurnal swing: night=%v midday=%v", night, midday)
+	}
+	if midday < 150_000 || midday > 260_000 {
+		t.Fatalf("peak %v not ~200K IOPS", midday)
+	}
+	if night < 30_000 {
+		t.Fatalf("floor %v too low", night)
+	}
+}
+
+func TestWeeklyShares(t *testing.T) {
+	w := NewWeekly(sim.NewRand(4))
+	var ebsTx, allTx, writes, reads float64
+	for h := 0; h < 7*24; h++ {
+		s := w.At(h)
+		ebsTx += s.EBSTxGBs
+		allTx += s.AllTxGBs
+		writes += s.WriteIOPS
+		reads += s.ReadIOPS
+		if s.EBSTxGBs > s.AllTxGBs {
+			t.Fatal("EBS exceeds total traffic")
+		}
+	}
+	share := ebsTx / allTx
+	if share < 0.58 || share > 0.68 {
+		t.Fatalf("EBS TX share = %v, want ~0.63", share)
+	}
+	ratio := writes / reads
+	if ratio < 3 || ratio > 4 {
+		t.Fatalf("write/read ratio = %v, want 3–4x", ratio)
+	}
+}
+
+func TestFioClosedLoop(t *testing.T) {
+	eng := sim.NewEngine(5)
+	inflight, maxInflight := 0, 0
+	fio := NewFio(eng, FioConfig{Depth: 8, BlockSize: 4096, ReadFrac: 0.5}, func(write bool, lba uint64, size int, done func()) {
+		inflight++
+		if inflight > maxInflight {
+			maxInflight = inflight
+		}
+		eng.Schedule(10*time.Microsecond, func() {
+			inflight--
+			done()
+		})
+	})
+	fio.Start()
+	eng.RunFor(10 * time.Millisecond)
+	fio.Stop()
+	eng.Run()
+	if maxInflight != 8 {
+		t.Fatalf("max inflight = %d, want depth 8", maxInflight)
+	}
+	// 8 outstanding at 10µs service → ~800K IOPS → ~8000 in 10ms.
+	if fio.Completed < 7000 || fio.Completed > 9000 {
+		t.Fatalf("completed = %d", fio.Completed)
+	}
+	if got := fio.IOPS(10 * time.Millisecond); got < 700_000 {
+		t.Fatalf("IOPS = %v", got)
+	}
+	if got := fio.ThroughputMBs(10 * time.Millisecond); got < 2800 {
+		t.Fatalf("throughput = %v MB/s", got)
+	}
+}
+
+func TestFioStops(t *testing.T) {
+	eng := sim.NewEngine(6)
+	fio := NewFio(eng, FioConfig{Depth: 2, BlockSize: 4096}, func(write bool, lba uint64, size int, done func()) {
+		eng.Schedule(time.Microsecond, done)
+	})
+	fio.Start()
+	eng.RunFor(time.Millisecond)
+	fio.Stop()
+	eng.Run() // must terminate
+	if fio.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestFioWrapsSpan(t *testing.T) {
+	eng := sim.NewEngine(7)
+	var maxLBA uint64
+	fio := NewFio(eng, FioConfig{Depth: 1, BlockSize: 4096, SpanBytes: 1 << 20}, func(write bool, lba uint64, size int, done func()) {
+		if lba > maxLBA {
+			maxLBA = lba
+		}
+		eng.Schedule(time.Microsecond, done)
+	})
+	fio.Start()
+	eng.RunFor(5 * time.Millisecond)
+	fio.Stop()
+	eng.Run()
+	if maxLBA >= 1<<20 {
+		t.Fatalf("lba %#x outside span", maxLBA)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := sim.NewRand(11)
+	recs := GenerateTrace(r, 100*time.Millisecond, 10000, 0.3, 64<<20)
+	if len(recs) < 800 || len(recs) > 1200 {
+		t.Fatalf("generated %d records, want ~1000", len(recs))
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d/%d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTraceParsing(t *testing.T) {
+	in := "# comment\n\n1000,W,4096,8192\n500,r,0,4096\n"
+	recs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("len=%d", len(recs))
+	}
+	// Sorted by time.
+	if recs[0].At != 500 || recs[0].Write {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if recs[1].At != 1000 || !recs[1].Write || recs[1].Size != 8192 {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+	for _, bad := range []string{"x,W,0,4096", "1,Q,0,4096", "1,W,z,4096", "1,W,0,-1", "1,W,0"} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReplayerTiming(t *testing.T) {
+	eng := sim.NewEngine(12)
+	recs := []TraceRecord{
+		{At: time.Millisecond, Write: true, LBA: 0, Size: 4096},
+		{At: 3 * time.Millisecond, Write: false, LBA: 4096, Size: 4096},
+	}
+	var issuedAt []time.Duration
+	rp := NewReplayer(eng, recs, func(write bool, lba uint64, size int, done func()) {
+		issuedAt = append(issuedAt, eng.Now().Duration())
+		eng.Schedule(10*time.Microsecond, done)
+	})
+	rp.Start()
+	eng.Run()
+	if rp.Issued != 2 || rp.Completed != 2 {
+		t.Fatalf("issued=%d completed=%d", rp.Issued, rp.Completed)
+	}
+	if issuedAt[0] != time.Millisecond || issuedAt[1] != 3*time.Millisecond {
+		t.Fatalf("issue times %v", issuedAt)
+	}
+}
+
+func TestGenerateTraceRates(t *testing.T) {
+	r := sim.NewRand(13)
+	recs := GenerateTrace(r, time.Second, 5000, 0.25, 1<<30)
+	writes := 0
+	for _, rec := range recs {
+		if rec.Write {
+			writes++
+		}
+		if rec.LBA%4096 != 0 {
+			t.Fatal("unaligned lba")
+		}
+	}
+	frac := float64(writes) / float64(len(recs))
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("write fraction %v, want ~0.75", frac)
+	}
+}
