@@ -1,0 +1,26 @@
+# Repo-wide checks. `make check` is the pre-commit gate: build, vet, the
+# full test suite under the race detector (the parallel runner is the main
+# customer), and a short benchmark smoke to catch perf-metric regressions.
+
+GO ?= go
+
+.PHONY: build vet test race bench-smoke check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One quick experiment benchmark plus the raw event-loop benchmark: enough
+# to verify the events/sec and sim-µs/wall-ms metrics still report.
+bench-smoke:
+	$(GO) test -run xxx -bench 'Fig6|SimulatorEventRate' -benchtime 1x .
+
+check: build vet race bench-smoke

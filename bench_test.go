@@ -28,15 +28,27 @@ func benchOpts(b *testing.B) experiments.Options {
 }
 
 // runExperiment executes fn once per b.N and prints the regenerated table
-// on the first iteration.
+// on the first iteration. Experiments that run share-nothing shards report
+// the fleet's simulator throughput: engine events per second of shard wall
+// time, and how many simulated microseconds advance per wall millisecond.
 func runExperiment(b *testing.B, name string, fn func(experiments.Options) *experiments.Table) {
 	b.Helper()
 	opts := benchOpts(b)
+	var events, simMicros, wallMs float64
 	for i := 0; i < b.N; i++ {
 		t := fn(opts)
 		if i == 0 && !benchQuiet {
 			fmt.Printf("\n%s", t.Format())
 		}
+		if t.Perf != nil {
+			events += float64(t.Perf.Events())
+			simMicros += float64(t.Perf.SimTime().Microseconds())
+			wallMs += float64(t.Perf.WallTime().Nanoseconds()) / 1e6
+		}
+	}
+	if wallMs > 0 {
+		b.ReportMetric(events/(wallMs/1e3), "events/sec")
+		b.ReportMetric(simMicros/wallMs, "sim-µs/wall-ms")
 	}
 }
 
@@ -55,6 +67,8 @@ func BenchmarkFig15WriteLatency(b *testing.B) { runExperiment(b, "fig15", experi
 func BenchmarkTable1RPC(b *testing.B)         { runExperiment(b, "table1", experiments.Table1) }
 func BenchmarkTable2Failures(b *testing.B)    { runExperiment(b, "table2", experiments.Table2) }
 func BenchmarkTable3Resources(b *testing.B)   { runExperiment(b, "table3", experiments.Table3) }
+func BenchmarkAblations(b *testing.B)         { runExperiment(b, "ablate", experiments.Ablations) }
+func BenchmarkRDMACliff(b *testing.B)         { runExperiment(b, "rdmacliff", experiments.RDMACliff) }
 
 // benchIO measures simulated 4 KiB write performance per stack: b.N I/Os
 // through a full cluster. Reported metrics: simulated microseconds per I/O

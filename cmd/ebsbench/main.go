@@ -3,10 +3,16 @@
 //
 //	ebsbench -exp fig6            # 4KB latency breakdown, kernel/luna/solar
 //	ebsbench -exp table2 -quick   # failure scenarios at reduced scale
-//	ebsbench -exp all             # everything (minutes)
+//	ebsbench -exp all             # everything, experiments running in parallel
+//	ebsbench -exp fig14 -json     # machine-readable metric rows
+//
+// Independent experiments (and the independent cells inside each one) run as
+// share-nothing simulation shards on a worker pool; -workers 1 forces a fully
+// serial run that produces bit-identical tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +21,7 @@ import (
 	"time"
 
 	"lunasolar/internal/experiments"
+	"lunasolar/internal/sim/runtime"
 )
 
 var registry = map[string]struct {
@@ -41,6 +48,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (fig3..fig15, table1..table3, or 'all')")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit one JSON metric row per line instead of tables")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -53,32 +62,61 @@ func main() {
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, id := range ids {
-			fmt.Printf("  %-7s %s\n", id, registry[id].brief)
+			fmt.Printf("  %-9s %s\n", id, registry[id].brief)
 		}
 		if *exp == "" {
 			os.Exit(0)
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	run := func(id string) {
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+
+	// render runs one experiment and returns its full text block, so
+	// concurrent experiments never interleave on stdout.
+	render := func(id string) string {
 		e, ok := registry[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 			os.Exit(1)
 		}
 		start := time.Now()
-		fmt.Print(e.fn(opts).Format())
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		tab := e.fn(opts)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *jsonOut {
+			var b strings.Builder
+			enc := json.NewEncoder(&b)
+			for _, m := range tab.Metrics(id, *seed) {
+				if err := enc.Encode(m); err != nil {
+					fmt.Fprintf(os.Stderr, "json encode: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			return b.String()
+		}
+		var b strings.Builder
+		b.WriteString(tab.Format())
+		if perf := tab.PerfSummary(); perf != "" {
+			fmt.Fprintf(&b, "[%s perf: %s]\n", id, perf)
+		}
+		fmt.Fprintf(&b, "[%s completed in %v]\n\n", id, elapsed)
+		return b.String()
 	}
 
+	var run []string
 	if *exp == "all" {
-		for _, id := range ids {
-			run(id)
+		run = ids
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			run = append(run, strings.TrimSpace(id))
 		}
-		return
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(id))
+
+	// Experiments are independent of each other: fan them out on the same
+	// worker pool and print the buffered blocks in id order.
+	outs := runtime.Map(runtime.Runner{Workers: *workers}, len(run), func(i int) string {
+		return render(run[i])
+	})
+	for _, out := range outs {
+		fmt.Print(out)
 	}
 }

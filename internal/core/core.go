@@ -141,6 +141,17 @@ type Stack struct {
 	ids     transport.IDAlloc
 	ciphers map[uint32]*seccrypto.BlockCipher // SEC engine keys, per vdisk
 
+	// Hot-path free lists (see pool.go). All are engine-owned: one stack,
+	// one engine, one goroutine at a time.
+	pool          *simnet.PacketPool
+	freePkts      []*outPkt
+	freeTx        []*wireTx
+	freeMsgs      []*transport.Message
+	freeWriteJobs []*writeJob
+	freeReadJobs  []*readJob
+	freeCommits   []*commitJob
+	freeAckJobs   []*ackJob
+
 	writes map[uint64]*outWrite
 	reads  map[uint64]*outRead
 	serves map[serveKey]*outServe // read responses we are sourcing
@@ -188,6 +199,7 @@ func New(eng *sim.Engine, host *simnet.Host, cores *sim.Server, card *dpu.DPU, p
 		addrCap:    addrCap,
 		nextEphem:  30000,
 		randomizer: eng.Rand.Fork(),
+		pool:       host.PacketPool(),
 	}
 	if host.Handler == nil {
 		host.Handler = s.ReceivePacket

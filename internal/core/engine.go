@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lunasolar/internal/crc"
+	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
@@ -94,8 +95,9 @@ func (s *Stack) callWrite(dst uint32, req *transport.Message, done func(*transpo
 			}
 			w.blocks = append(w.blocks, orig)
 
-			tx := append([]byte(nil), orig...) // what streams through the FPGA
-			sum := s.txCRC(tx)                 // may corrupt tx and lie (Offloaded)
+			tx := s.pool.GetBuf(len(orig)) // what streams through the FPGA
+			copy(tx, orig)
+			sum := s.txCRC(tx) // may corrupt tx and lie (Offloaded)
 
 			// Software CRC aggregation: the CPU folds the trusted per-block
 			// value (one cheap XOR-accumulate pass over guest memory) and
@@ -107,17 +109,17 @@ func (s *Stack) callWrite(dst uint32, req *transport.Message, done func(*transpo
 			if i == n-1 {
 				flags |= wire.EBSFlagLastBlock
 			}
-			e := &outPkt{
-				key:     pktKey{rpcID: id, pktID: uint16(i)},
-				msgType: wire.RPCWriteReq,
-				ebs: wire.EBS{
-					Version: wire.EBSVersion, Op: wire.OpWrite, Flags: flags,
-					VDisk: req.VDisk, SegmentID: req.SegmentID,
-					LBA: req.LBA + uint64(lo), Gen: req.Gen,
-					BlockLen: uint32(hi - lo), BlockCRC: sum,
-				},
-				payload: tx,
+			e := s.newOutPkt()
+			e.key = pktKey{rpcID: id, pktID: uint16(i)}
+			e.msgType = wire.RPCWriteReq
+			e.ebs = wire.EBS{
+				Version: wire.EBSVersion, Op: wire.OpWrite, Flags: flags,
+				VDisk: req.VDisk, SegmentID: req.SegmentID,
+				LBA: req.LBA + uint64(lo), Gen: req.Gen,
+				BlockLen: uint32(hi - lo), BlockCRC: sum,
 			}
+			e.payload = tx
+			e.payloadPooled = true
 			e.size = wire.RPCSize + wire.EBSSize + len(tx)
 			w.pkts = append(w.pkts, e)
 		}
@@ -135,7 +137,7 @@ func (s *Stack) callWrite(dst uint32, req *transport.Message, done func(*transpo
 			for i, e := range w.pkts {
 				trusted := crc.Raw(w.blocks[i])
 				if crc.Raw(e.payload) != trusted || e.ebs.BlockCRC != trusted {
-					e.payload = append([]byte(nil), w.blocks[i]...)
+					copy(e.payload, w.blocks[i]) // same length: tx was copied from this block
 					e.ebs.BlockCRC = trusted
 					fixCPU += s.params.SoftCRCPer4K
 				}
@@ -201,14 +203,13 @@ func (s *Stack) issueRead(dst uint32, req *transport.Message, n int, done func(*
 	s.reads[id] = r
 	s.cores.Submit(s.params.PerRPCIssueCPU, func() {
 		pe := s.peerFor(dst)
-		e := &outPkt{
-			key:     pktKey{rpcID: id, pktID: readReqPktID},
-			msgType: wire.RPCReadReq,
-			ebs: wire.EBS{
-				Version: wire.EBSVersion, Op: wire.OpRead, Flags: req.Flags,
-				VDisk: req.VDisk, SegmentID: req.SegmentID,
-				LBA: req.LBA, Gen: req.Gen, BlockLen: uint32(req.ReadLen),
-			},
+		e := s.newOutPkt()
+		e.key = pktKey{rpcID: id, pktID: readReqPktID}
+		e.msgType = wire.RPCReadReq
+		e.ebs = wire.EBS{
+			Version: wire.EBSVersion, Op: wire.OpRead, Flags: req.Flags,
+			VDisk: req.VDisk, SegmentID: req.SegmentID,
+			LBA: req.LBA, Gen: req.Gen, BlockLen: uint32(req.ReadLen),
 		}
 		e.size = wire.RPCSize + wire.EBSSize
 		s.sendPkt(pe, e)
@@ -243,6 +244,7 @@ func (s *Stack) drainBacklog(pe *peer) {
 
 func (s *Stack) transmitOn(pe *peer, p *path, e *outPkt) {
 	s.out[outKey{peer: pe.addr, k: e.key}] = e
+	e.pe = pe
 	e.path = p
 	p.seq++
 	e.pathSeq = p.seq
@@ -252,58 +254,57 @@ func (s *Stack) transmitOn(pe *peer, p *path, e *outPkt) {
 		e.firstSend = e.sentAt
 	}
 	p.inflightBytes += e.size
-	p.outstanding = append(p.outstanding, e)
+	p.outstanding = append(p.outstanding, outRef{e: e, gen: e.gen})
 	p.sent++
 
+	// The frame is encoded now, from a pooled buffer; the placement events
+	// below only model where the bytes travel before reaching the NIC.
 	dataLen := len(e.payload)
-	send := func() {
-		buf := make([]byte, wire.RPCSize+wire.EBSSize+dataLen)
-		rpc := wire.RPC{
-			RPCID: e.key.rpcID, PktID: e.key.pktID,
-			NumPkts: 1, MsgType: e.msgType, Flags: e.flags,
-		}
-		if err := rpc.Encode(buf); err != nil {
-			panic(err)
-		}
-		if err := e.ebs.Encode(buf[wire.RPCSize:]); err != nil {
-			panic(err)
-		}
-		copy(buf[wire.RPCSize+wire.EBSSize:], e.payload)
-		s.host.Send(&simnet.Packet{
-			Dst:      pe.addr,
-			Proto:    wire.ProtoUDP,
-			SrcPort:  p.id,
-			DstPort:  ListenPort,
-			ECN:      wire.ECNECT0,
-			Payload:  buf,
-			Overhead: simnet.DefaultOverheadUDP,
-			INT:      &wire.INTStack{},
-			SentAt:   e.sentAt,
-		})
-	}
+	x := s.getTx(s.buildWire(e, p.id), dataLen)
 
 	// Data-path placement: Offloaded blocks ride the FPGA pipeline;
 	// CPUPath pays PCIe (×2) and per-block CPU; servers pay per-block CPU.
 	switch {
 	case s.params.Mode == Offloaded && s.card != nil && dataLen > 0:
-		s.eng.Schedule(s.card.PipelineWriteLatency(s.params.Encrypted), send)
+		s.eng.ScheduleArg(s.card.PipelineWriteLatency(s.params.Encrypted), wireTxSend, x)
 	case s.params.Mode == CPUPath && s.card != nil && dataLen > 0:
-		s.cores.Submit(s.params.PerBlockCPU, func() {
-			s.card.PCIe.Transfer(2*dataLen, send)
-		})
+		s.cores.SubmitArg(s.params.PerBlockCPU, wireTxPCIe, x)
 	case dataLen > 0:
-		s.cores.Submit(s.params.PerBlockCPU, send)
+		s.cores.SubmitArg(s.params.PerBlockCPU, wireTxSend, x)
 	default:
-		send()
+		wireTxSend(x)
 	}
 
-	s.armTimer(pe, e)
+	s.armTimer(e)
 }
 
-func (s *Stack) armTimer(pe *peer, e *outPkt) {
-	if e.timer != nil {
-		e.timer.Cancel()
+// buildWire encodes e into a pooled frame addressed down the given path.
+func (s *Stack) buildWire(e *outPkt, pathID uint16) *simnet.Packet {
+	pkt := s.pool.Get(e.size)
+	rpc := wire.RPC{
+		RPCID: e.key.rpcID, PktID: e.key.pktID,
+		NumPkts: 1, MsgType: e.msgType, Flags: e.flags,
 	}
+	if err := rpc.Encode(pkt.Payload); err != nil {
+		panic(err)
+	}
+	if err := e.ebs.Encode(pkt.Payload[wire.RPCSize:]); err != nil {
+		panic(err)
+	}
+	copy(pkt.Payload[wire.RPCSize+wire.EBSSize:], e.payload)
+	pkt.Dst = e.pe.addr
+	pkt.Proto = wire.ProtoUDP
+	pkt.SrcPort = pathID
+	pkt.DstPort = ListenPort
+	pkt.ECN = wire.ECNECT0
+	pkt.Overhead = simnet.DefaultOverheadUDP
+	pkt.ResetINT()
+	pkt.SentAt = e.sentAt
+	return pkt
+}
+
+func (s *Stack) armTimer(e *outPkt) {
+	e.timer.Cancel()
 	// Backoff is capped low: retransmissions are idempotent and the SLA
 	// punishes hangs, not duplicates.
 	retries := e.retries
@@ -311,13 +312,20 @@ func (s *Stack) armTimer(pe *peer, e *outPkt) {
 		retries = 3
 	}
 	d := e.path.rtt.Backoff(retries)
-	e.timer = s.eng.Schedule(d, func() { s.onTimeout(pe, e) })
+	e.timer = s.eng.ScheduleArg(d, timerExpired, e)
+}
+
+// timerExpired is the pooled-event RTO trampoline. The record cannot have
+// been recycled: recycling cancels the timer first.
+func timerExpired(a any) {
+	e := a.(*outPkt)
+	e.owner.onTimeout(e.pe, e)
 }
 
 // onTimeout handles a per-packet RTO: selective retransmission, and path
 // failover after consecutive timeouts.
 func (s *Stack) onTimeout(pe *peer, e *outPkt) {
-	e.timer = nil
+	e.timer = sim.Timer{}
 	if e.acked {
 		return
 	}
@@ -365,9 +373,10 @@ func (s *Stack) retransmit(pe *peer, e *outPkt) {
 func (s *Stack) earlyRetransmit(pe *peer, p *path) {
 	live := p.outstanding[:0]
 	var lost []*outPkt
-	for _, e := range p.outstanding {
-		if e.acked || e.path != p {
-			continue // lazily drop acked/re-homed entries
+	for _, r := range p.outstanding {
+		e := r.e
+		if !r.live() || e.acked || e.path != p {
+			continue // lazily drop recycled/acked/re-homed entries
 		}
 		// Write blocks are excluded: their (durable) ACKs return in
 		// persistence order, not arrival order, so ack counting would
@@ -379,7 +388,7 @@ func (s *Stack) earlyRetransmit(pe *peer, p *path) {
 			lost = append(lost, e)
 			continue
 		}
-		live = append(live, e)
+		live = append(live, r)
 	}
 	p.outstanding = live
 	for _, e := range lost {

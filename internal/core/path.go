@@ -29,16 +29,27 @@ type path struct {
 	inflightBytes int
 	consecTO      int
 	ackCount      uint64
-	lastAckAt     sim.Time  // for idle-path probing
-	seq           uint64    // per-path transmission sequence
-	maxAckedSeq   uint64    // highest pathSeq acknowledged
-	outstanding   []*outPkt // send order; acked entries skipped lazily
+	lastAckAt     sim.Time // for idle-path probing
+	seq           uint64   // per-path transmission sequence
+	maxAckedSeq   uint64   // highest pathSeq acknowledged
+	outstanding   []outRef // send order; stale/acked entries skipped lazily
 
 	sent, acked, failed uint64
 }
 
+// outRef is a generation-checked reference into a path's send queue.
+// Packet records recycle when acknowledged; a ref whose generation no
+// longer matches points at a recycled record and is skipped.
+type outRef struct {
+	e   *outPkt
+	gen uint32
+}
+
+func (r outRef) live() bool { return r.e.gen == r.gen }
+
 // outPkt is one reliably-delivered Solar packet (a write block, a read
-// request, or a read-response block).
+// request, or a read-response block). Records are pooled per stack; see
+// pool.go for the recycling rules.
 type outPkt struct {
 	key     pktKey
 	msgType uint8
@@ -48,13 +59,17 @@ type outPkt struct {
 	payload []byte
 	size    int // wire payload size (headers + data)
 
-	path      *path
-	timer     *sim.Event
-	sentAck   uint64 // path.ackCount at (re)send, for OOO loss detection
-	sentAt    sim.Time
-	retries   int
-	acked     bool
-	firstSend sim.Time
+	owner         *Stack
+	pe            *peer
+	path          *path
+	timer         sim.Timer
+	gen           uint32 // bumped on recycle; validates outRefs
+	payloadPooled bool   // payload returns to the buffer pool on recycle
+	sentAck       uint64 // path.ackCount at (re)send, for OOO loss detection
+	sentAt        sim.Time
+	retries       int
+	acked         bool
+	firstSend     sim.Time
 }
 
 type pktKey struct {
@@ -168,9 +183,9 @@ func (s *Stack) failover(pe *peer, old *path) *path {
 		}
 	}
 	// Re-home the old path's outstanding packets.
-	for _, e := range old.outstanding {
-		if !e.acked && e.path == old {
-			e.path = np
+	for _, r := range old.outstanding {
+		if r.live() && !r.e.acked && r.e.path == old {
+			r.e.path = np
 		}
 	}
 	np.outstanding = append(np.outstanding, old.outstanding...)

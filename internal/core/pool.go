@@ -1,0 +1,253 @@
+package core
+
+import (
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// The Solar hot path runs allocation-free in steady state: outbound packet
+// records, wire frames, acknowledgment jobs and server-side request
+// envelopes all come from stack-owned free lists. Plain LIFO slices (not
+// sync.Pool) keep reuse order deterministic for a fixed seed and share
+// nothing between engines, which is what lets independent shards run on
+// separate goroutines with no coordination.
+
+// newOutPkt takes a packet record from the stack's free list. Records are
+// recycled when their acknowledgment completes; generation counters make
+// stale references (path send-queue entries) detectable.
+func (s *Stack) newOutPkt() *outPkt {
+	if n := len(s.freePkts); n > 0 {
+		e := s.freePkts[n-1]
+		s.freePkts[n-1] = nil
+		s.freePkts = s.freePkts[:n-1]
+		return e
+	}
+	return &outPkt{owner: s}
+}
+
+// freeOutPkt recycles an acknowledged packet record: the retransmission
+// timer dies, the pooled payload goes back to the buffer pool, and the
+// generation bump turns any surviving outRef into a no-op.
+func (s *Stack) freeOutPkt(e *outPkt) {
+	e.timer.Cancel()
+	if e.payloadPooled && e.payload != nil {
+		s.pool.PutBuf(e.payload)
+	}
+	gen := e.gen + 1
+	*e = outPkt{owner: s, gen: gen}
+	s.freePkts = append(s.freePkts, e)
+}
+
+// wireTx carries one fully built frame through the data-path placement
+// events (FPGA pipeline latency, per-block CPU, PCIe transfer) to the NIC.
+// The frame is encoded at transmit-decision time, so a packet record that
+// is recycled while its frame sits in the pipeline cannot corrupt it.
+type wireTx struct {
+	s   *Stack
+	pkt *simnet.Packet
+	n   int // block bytes, sizing the PCIe crossing in CPUPath mode
+}
+
+func (s *Stack) getTx(pkt *simnet.Packet, n int) *wireTx {
+	var x *wireTx
+	if ln := len(s.freeTx); ln > 0 {
+		x = s.freeTx[ln-1]
+		s.freeTx[ln-1] = nil
+		s.freeTx = s.freeTx[:ln-1]
+	} else {
+		x = &wireTx{}
+	}
+	x.s, x.pkt, x.n = s, pkt, n
+	return x
+}
+
+func wireTxSend(a any) {
+	x := a.(*wireTx)
+	s, pkt := x.s, x.pkt
+	x.s, x.pkt, x.n = nil, nil, 0
+	s.freeTx = append(s.freeTx, x)
+	if !s.host.Send(pkt) {
+		pkt.Release() // dropped at the NIC: ownership stayed with us
+	}
+}
+
+func wireTxPCIe(a any) {
+	x := a.(*wireTx)
+	x.s.card.PCIe.TransferArg(2*x.n, wireTxSend, x)
+}
+
+// getMsg builds a pooled server-side request envelope with a pooled Data
+// buffer of dataLen bytes. The envelope is valid until the handler's reply
+// returns; handlers that need the data longer must copy it (every service
+// in this repo already does).
+func (s *Stack) getMsg(dataLen int) *transport.Message {
+	var m *transport.Message
+	if n := len(s.freeMsgs); n > 0 {
+		m = s.freeMsgs[n-1]
+		s.freeMsgs[n-1] = nil
+		s.freeMsgs = s.freeMsgs[:n-1]
+	} else {
+		m = &transport.Message{}
+	}
+	if dataLen > 0 {
+		m.Data = s.pool.GetBuf(dataLen)
+	}
+	return m
+}
+
+func (s *Stack) putMsg(m *transport.Message) {
+	if m.Data != nil {
+		s.pool.PutBuf(m.Data)
+	}
+	*m = transport.Message{}
+	s.freeMsgs = append(s.freeMsgs, m)
+}
+
+// writeJob carries one inbound write block from the wire to the handler and
+// back out as its durable acknowledgment. The reply closure is built once
+// per node and reused, so the per-block server path does not allocate.
+type writeJob struct {
+	s       *Stack
+	pkt     *simnet.Packet // the data packet, held for the INT echo in the ack
+	rpcID   uint64
+	pktID   uint16
+	src     uint32
+	arrived sim.Time
+	req     *transport.Message
+	replyFn func(*transport.Response)
+}
+
+func (s *Stack) getWriteJob() *writeJob {
+	if n := len(s.freeWriteJobs); n > 0 {
+		j := s.freeWriteJobs[n-1]
+		s.freeWriteJobs[n-1] = nil
+		s.freeWriteJobs = s.freeWriteJobs[:n-1]
+		return j
+	}
+	j := &writeJob{s: s}
+	j.replyFn = j.reply
+	return j
+}
+
+func writeJobStart(a any) {
+	j := a.(*writeJob)
+	j.s.handler(j.src, j.req, j.replyFn)
+}
+
+func (j *writeJob) reply(resp *transport.Response) {
+	s := j.s
+	flags := uint8(AckFlagDurable)
+	if resp.Err != nil {
+		flags = AckFlagError
+	}
+	wall := resp.ServerWall
+	if wall == 0 {
+		wall = s.eng.Now().Sub(j.arrived)
+	}
+	s.sendAckTimes(j.pkt, j.rpcID, j.pktID, flags, wall, resp.SSDTime)
+	s.putMsg(j.req)
+	j.pkt, j.req = nil, nil
+	s.freeWriteJobs = append(s.freeWriteJobs, j)
+}
+
+// readJob carries one inbound read request to the handler; the reply
+// streams the response blocks and recycles the envelope.
+type readJob struct {
+	s       *Stack
+	key     serveKey
+	req     *transport.Message
+	replyFn func(*transport.Response)
+}
+
+func (s *Stack) getReadJob() *readJob {
+	if n := len(s.freeReadJobs); n > 0 {
+		j := s.freeReadJobs[n-1]
+		s.freeReadJobs[n-1] = nil
+		s.freeReadJobs = s.freeReadJobs[:n-1]
+		return j
+	}
+	j := &readJob{s: s}
+	j.replyFn = j.reply
+	return j
+}
+
+func readJobStart(a any) {
+	j := a.(*readJob)
+	j.s.handler(j.key.peer, j.req, j.replyFn)
+}
+
+func (j *readJob) reply(resp *transport.Response) {
+	s := j.s
+	s.serveReadBlocks(j.key, j.req, resp)
+	s.putMsg(j.req)
+	j.req = nil
+	s.freeReadJobs = append(s.freeReadJobs, j)
+}
+
+// commitJob carries one inbound read-response block through the data-path
+// placement events to commitReadBlock. The packet stays alive until the
+// commit acknowledges it, because payload aliases the packet's buffer.
+type commitJob struct {
+	s       *Stack
+	pkt     *simnet.Packet
+	rpc     wire.RPC
+	ebs     wire.EBS
+	payload []byte
+}
+
+func (s *Stack) getCommit() *commitJob {
+	if n := len(s.freeCommits); n > 0 {
+		j := s.freeCommits[n-1]
+		s.freeCommits[n-1] = nil
+		s.freeCommits = s.freeCommits[:n-1]
+		return j
+	}
+	return &commitJob{s: s}
+}
+
+func commitRun(a any) {
+	j := a.(*commitJob)
+	s, pkt, rpc, ebs, payload := j.s, j.pkt, j.rpc, j.ebs, j.payload
+	j.pkt, j.payload = nil, nil
+	s.freeCommits = append(s.freeCommits, j)
+	s.commitReadBlock(pkt, rpc, ebs, payload)
+}
+
+func commitPCIe(a any) {
+	j := a.(*commitJob)
+	j.s.card.PCIe.TransferArg(2*len(j.payload), commitRun, j)
+}
+
+// ackJob carries a decoded acknowledgment through the per-ack CPU charge.
+// The INT stack's backing array is reused across acks (HPCC reads the hops
+// during OnAck and keeps nothing).
+type ackJob struct {
+	s        *Stack
+	src      uint32
+	rpcFlags uint8
+	ack      wire.Ack
+	intStack wire.INTStack
+}
+
+func (s *Stack) getAckJob() *ackJob {
+	if n := len(s.freeAckJobs); n > 0 {
+		j := s.freeAckJobs[n-1]
+		s.freeAckJobs[n-1] = nil
+		s.freeAckJobs = s.freeAckJobs[:n-1]
+		return j
+	}
+	return &ackJob{s: s}
+}
+
+func (s *Stack) putAckJob(j *ackJob) {
+	j.intStack.Hops = j.intStack.Hops[:0]
+	s.freeAckJobs = append(s.freeAckJobs, j)
+}
+
+func ackJobRun(a any) {
+	j := a.(*ackJob)
+	j.s.runAck(j)
+	j.s.putAckJob(j)
+}

@@ -34,11 +34,10 @@ func (s *Stack) startProber(pe *peer) {
 
 // sendProbe emits one reliable probe on a specific path.
 func (s *Stack) sendProbe(pe *peer, p *path) {
-	e := &outPkt{
-		key:     pktKey{rpcID: s.ids.Next(), pktID: probePktID},
-		msgType: wire.RPCProbe,
-		ebs:     wire.EBS{Version: wire.EBSVersion},
-	}
+	e := s.newOutPkt()
+	e.key = pktKey{rpcID: s.ids.Next(), pktID: probePktID}
+	e.msgType = wire.RPCProbe
+	e.ebs = wire.EBS{Version: wire.EBSVersion}
 	e.size = wire.RPCSize + wire.EBSSize
 	s.Probes++
 	s.transmitOn(pe, p, e)

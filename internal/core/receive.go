@@ -5,16 +5,20 @@ import (
 
 	"lunasolar/internal/cc"
 	"lunasolar/internal/crc"
+	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
 )
 
 // ReceivePacket feeds one inbound frame into the stack; hosts running
-// multiple stacks route frames here through a simnet.Mux.
+// multiple stacks route frames here through a simnet.Mux. The stack takes
+// ownership of the packet: every path through the handlers ends in a
+// Release, either directly or via the acknowledgment it triggers.
 func (s *Stack) ReceivePacket(pkt *simnet.Packet) {
 	var rpc wire.RPC
 	if err := rpc.Decode(pkt.Payload); err != nil {
+		pkt.Release()
 		return
 	}
 	rest := pkt.Payload[wire.RPCSize:]
@@ -30,12 +34,15 @@ func (s *Stack) ReceivePacket(pkt *simnet.Packet) {
 	case wire.RPCProbe:
 		// Probes need no handler: acknowledge immediately, echoing INT.
 		s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+	default:
+		pkt.Release()
 	}
 }
 
 // sendAck emits the per-packet acknowledgment, echoing the data packet's
 // path ID, timestamp, congestion marks and INT stack (Fig. 12's "Path
-// Condition & Congestion Signal").
+// Condition & Congestion Signal"). It consumes pkt: the echo fields are
+// copied into the ack frame and the received packet is released.
 func (s *Stack) sendAck(pkt *simnet.Packet, rpcID uint64, pktID uint16, flags uint8) {
 	s.sendAckTimes(pkt, rpcID, pktID, flags, 0, 0)
 }
@@ -48,7 +55,8 @@ func (s *Stack) sendAckTimes(pkt *simnet.Packet, rpcID uint64, pktID uint16, fla
 	if intStack != nil {
 		size += intStack.EncodedSize()
 	}
-	buf := make([]byte, size)
+	out := s.pool.Get(size)
+	buf := out.Payload
 	rpcHdr := wire.RPC{RPCID: rpcID, PktID: pktID, NumPkts: 1, MsgType: wire.RPCAck, Flags: flags}
 	if err := rpcHdr.Encode(buf); err != nil {
 		panic(err)
@@ -75,34 +83,33 @@ func (s *Stack) sendAckTimes(pkt *simnet.Packet, rpcID uint64, pktID uint16, fla
 			panic(err)
 		}
 	}
-	dst := pkt.Src
-	dstPort := pkt.SrcPort
-	send := func() {
-		s.host.Send(&simnet.Packet{
-			Dst:      dst,
-			Proto:    wire.ProtoUDP,
-			SrcPort:  ListenPort,
-			DstPort:  dstPort,
-			Payload:  buf,
-			Overhead: simnet.DefaultOverheadUDP,
-			SentAt:   s.eng.Now(),
-		})
-	}
+	out.Dst = pkt.Src
+	out.Proto = wire.ProtoUDP
+	out.SrcPort = ListenPort
+	out.DstPort = pkt.SrcPort
+	out.Overhead = simnet.DefaultOverheadUDP
+	out.SentAt = s.eng.Now()
+	pkt.Release() // everything echoed is now in the ack frame
+
+	x := s.getTx(out, 0)
 	if s.params.Mode == Offloaded && s.card != nil {
 		// Fig. 13: the pipeline's packet generator emits acknowledgments
 		// "without interrupting the CPU".
-		s.eng.Schedule(s.card.Cfg.PktGen, send)
+		s.eng.ScheduleArg(s.card.Cfg.PktGen, wireTxSend, x)
 		return
 	}
-	s.cores.Submit(s.params.PerAckCPU/2, send)
+	s.cores.SubmitArg(s.params.PerAckCPU/2, wireTxSend, x)
 }
 
 // handleWriteBlock is the server side of a WRITE: each packet is one
 // self-contained block — the handler is invoked immediately, per block,
-// with no assembly or buffering (the one-block-one-packet property).
+// with no assembly or buffering (the one-block-one-packet property). The
+// request envelope and its data buffer are pooled; they are valid until
+// the handler's reply returns.
 func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 	var ebs wire.EBS
 	if err := ebs.Decode(rest); err != nil {
+		pkt.Release()
 		return
 	}
 	payload := rest[wire.EBSSize:]
@@ -110,29 +117,24 @@ func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) 
 		payload = payload[:ebs.BlockLen]
 	}
 	if s.handler == nil {
+		pkt.Release()
 		return
 	}
-	req := &transport.Message{
-		Op: wire.RPCWriteReq, VDisk: ebs.VDisk, SegmentID: ebs.SegmentID,
-		LBA: ebs.LBA, Gen: ebs.Gen, Flags: ebs.Flags,
-		Data: append([]byte(nil), payload...),
-	}
+	req := s.getMsg(len(payload))
+	req.Op = wire.RPCWriteReq
+	req.VDisk = ebs.VDisk
+	req.SegmentID = ebs.SegmentID
+	req.LBA = ebs.LBA
+	req.Gen = ebs.Gen
+	req.Flags = ebs.Flags
+	copy(req.Data, payload)
 	// Per-block server CPU, then hand to the block service; the durable
-	// ACK (Fig. 12's WRITE response) is sent when it replies.
-	arrived := s.eng.Now()
-	s.cores.Submit(s.params.PerBlockCPU, func() {
-		s.handler(pkt.Src, req, func(resp *transport.Response) {
-			flags := uint8(AckFlagDurable)
-			if resp.Err != nil {
-				flags = AckFlagError
-			}
-			wall := resp.ServerWall
-			if wall == 0 {
-				wall = s.eng.Now().Sub(arrived)
-			}
-			s.sendAckTimes(pkt, rpc.RPCID, rpc.PktID, flags, wall, resp.SSDTime)
-		})
-	})
+	// ACK (Fig. 12's WRITE response) is sent when it replies. The packet
+	// rides along until then: the ack echoes its INT and timestamps.
+	j := s.getWriteJob()
+	j.pkt, j.rpcID, j.pktID = pkt, rpc.RPCID, rpc.PktID
+	j.src, j.arrived, j.req = pkt.Src, s.eng.Now(), req
+	s.cores.SubmitArg(s.params.PerBlockCPU, writeJobStart, j)
 	// The block CRC travels with the packet; the block service re-verifies
 	// against ebs.BlockCRC downstream (chunk servers check on write).
 	_ = ebs.BlockCRC
@@ -143,10 +145,12 @@ func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) 
 func (s *Stack) handleReadReq(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 	var ebs wire.EBS
 	if err := ebs.Decode(rest); err != nil {
+		pkt.Release()
 		return
 	}
-	s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
-	key := serveKey{peer: pkt.Src, rpcID: rpc.RPCID}
+	src := pkt.Src
+	s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0) // consumes pkt
+	key := serveKey{peer: src, rpcID: rpc.RPCID}
 	if _, dup := s.serves[key]; dup {
 		return // retransmitted request; response blocks retransmit themselves
 	}
@@ -154,17 +158,17 @@ func (s *Stack) handleReadReq(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 	if s.handler == nil {
 		return
 	}
-	req := &transport.Message{
-		Op: wire.RPCReadReq, VDisk: ebs.VDisk, SegmentID: ebs.SegmentID,
-		LBA: ebs.LBA, Gen: ebs.Gen, Flags: ebs.Flags,
-		ReadLen: int(ebs.BlockLen),
-	}
-	src := pkt.Src
-	s.cores.Submit(s.params.PerRPCIssueCPU, func() {
-		s.handler(src, req, func(resp *transport.Response) {
-			s.serveReadBlocks(key, req, resp)
-		})
-	})
+	req := s.getMsg(0)
+	req.Op = wire.RPCReadReq
+	req.VDisk = ebs.VDisk
+	req.SegmentID = ebs.SegmentID
+	req.LBA = ebs.LBA
+	req.Gen = ebs.Gen
+	req.Flags = ebs.Flags
+	req.ReadLen = int(ebs.BlockLen)
+	j := s.getReadJob()
+	j.key, j.req = key, req
+	s.cores.SubmitArg(s.params.PerRPCIssueCPU, readJobStart, j)
 }
 
 // serveReadBlocks sends each block of a read response as an independent
@@ -189,19 +193,20 @@ func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *tran
 		if i == n-1 {
 			flags |= wire.EBSFlagLastBlock
 		}
-		e := &outPkt{
-			key:     pktKey{rpcID: key.rpcID, pktID: uint16(i)},
-			msgType: wire.RPCReadResp,
-			ebs: wire.EBS{
-				Version: wire.EBSVersion, Op: wire.OpRead, Flags: flags,
-				VDisk: req.VDisk, SegmentID: req.SegmentID,
-				LBA: req.LBA + uint64(lo), Gen: req.Gen,
-				BlockLen: uint32(hi - lo), BlockCRC: sum,
-				ServerNS: uint32(resp.ServerWall.Nanoseconds()),
-				SSDNS:    uint32(resp.SSDTime.Nanoseconds()),
-			},
-			payload: append([]byte(nil), block...),
+		e := s.newOutPkt()
+		e.key = pktKey{rpcID: key.rpcID, pktID: uint16(i)}
+		e.msgType = wire.RPCReadResp
+		e.ebs = wire.EBS{
+			Version: wire.EBSVersion, Op: wire.OpRead, Flags: flags,
+			VDisk: req.VDisk, SegmentID: req.SegmentID,
+			LBA: req.LBA + uint64(lo), Gen: req.Gen,
+			BlockLen: uint32(hi - lo), BlockCRC: sum,
+			ServerNS: uint32(resp.ServerWall.Nanoseconds()),
+			SSDNS:    uint32(resp.SSDTime.Nanoseconds()),
 		}
+		e.payload = s.pool.GetBuf(len(block))
+		copy(e.payload, block)
+		e.payloadPooled = true
 		e.size = wire.RPCSize + wire.EBSSize + len(e.payload)
 		sv.pkts = append(sv.pkts, e)
 		sv.unacked++
@@ -218,6 +223,7 @@ func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *tran
 func (s *Stack) handleReadBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 	var ebs wire.EBS
 	if err := ebs.Decode(rest); err != nil {
+		pkt.Release()
 		return
 	}
 	payload := rest[wire.EBSSize:]
@@ -230,16 +236,17 @@ func (s *Stack) handleReadBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 		s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
 		return
 	}
-	commit := func() { s.commitReadBlock(pkt, rpc, ebs, payload) }
+	// The packet stays alive through the placement events: payload aliases
+	// its buffer, and the terminal ack in commitReadBlock releases it.
+	j := s.getCommit()
+	j.pkt, j.rpc, j.ebs, j.payload = pkt, rpc, ebs, payload
 	switch {
 	case s.params.Mode == Offloaded && s.card != nil:
-		s.eng.Schedule(s.card.PipelineReadLatency(s.params.Encrypted), commit)
+		s.eng.ScheduleArg(s.card.PipelineReadLatency(s.params.Encrypted), commitRun, j)
 	case s.params.Mode == CPUPath && s.card != nil:
-		s.cores.Submit(s.params.PerBlockCPU+s.params.SoftCRCPer4K, func() {
-			s.card.PCIe.Transfer(2*len(payload), commit)
-		})
+		s.cores.SubmitArg(s.params.PerBlockCPU+s.params.SoftCRCPer4K, commitPCIe, j)
 	default:
-		s.cores.Submit(s.params.PerBlockCPU, commit)
+		s.cores.SubmitArg(s.params.PerBlockCPU, commitRun, j)
 	}
 }
 
@@ -312,86 +319,95 @@ func (s *Stack) finishRead(r *outRead) {
 	s.admitRead(n, func() { s.issueRead(r.dst, r.msg, n, r.done) })
 }
 
-// handleAck processes a per-packet acknowledgment: path condition update,
-// HPCC window update, RPC progress, out-of-order loss detection.
+// handleAck decodes a per-packet acknowledgment into a pooled job and
+// releases the packet immediately — nothing downstream needs the frame.
 func (s *Stack) handleAck(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
-	var ack wire.Ack
-	if err := ack.Decode(rest); err != nil {
+	j := s.getAckJob()
+	if err := j.ack.Decode(rest); err != nil {
+		s.putAckJob(j)
+		pkt.Release()
 		return
 	}
-	var intStack wire.INTStack
 	if len(rest) > wire.AckSize {
-		intStack.Decode(rest[wire.AckSize:]) //nolint:errcheck // absent INT is fine
+		j.intStack.Decode(rest[wire.AckSize:]) //nolint:errcheck // absent INT is fine
 	}
-	s.cores.Submit(s.params.PerAckCPU, func() {
-		key := outKey{peer: pkt.Src, k: pktKey{rpcID: ack.RPCID, pktID: ack.PktID}}
-		e := s.out[key]
-		if e == nil || e.acked {
-			return
-		}
-		if rpc.Flags&AckFlagError != 0 {
-			s.repairAndResend(pkt.Src, e)
-			return
-		}
-		e.acked = true
-		if e.timer != nil {
-			e.timer.Cancel()
-			e.timer = nil
-		}
-		delete(s.out, key)
-		pe := s.peerFor(pkt.Src)
-		p := e.path
-		p.lastAckAt = s.eng.Now()
-		p.inflightBytes -= e.size
-		if p.inflightBytes < 0 {
-			p.inflightBytes = 0
-		}
-		if e.pathSeq > p.maxAckedSeq {
-			p.maxAckedSeq = e.pathSeq
-		}
-		rttSample := s.eng.Now().Sub(e.sentAt)
-		if e.retries == 0 { // Karn: only sample unambiguous transmissions
-			p.observe(rttSample, cc.Feedback{
-				RTT:        rttSample,
-				AckedBytes: e.size,
-				ECNMarked:  ack.ECNMarked,
-				INT:        intStack.Hops,
-			})
-		} else {
-			p.consecTO = 0
-			p.ackCount++
-			p.acked++
-		}
-		s.earlyRetransmit(pe, p)
-		s.drainBacklog(pe)
+	j.src = pkt.Src
+	j.rpcFlags = rpc.Flags
+	pkt.Release()
+	s.cores.SubmitArg(s.params.PerAckCPU, ackJobRun, j)
+}
 
-		switch e.msgType {
-		case wire.RPCWriteReq:
-			if w := s.writes[e.key.rpcID]; w != nil {
-				w.acked++
-				if wall := time.Duration(ack.ServerNS); wall > w.serverWall {
-					w.serverWall = wall
-				}
-				if d := time.Duration(ack.SSDNS); d > w.ssdTime {
-					w.ssdTime = d
-				}
-				if w.acked == len(w.pkts) {
-					delete(s.writes, w.id)
-					s.cores.Submit(s.params.PerRPCDoneCPU, func() {
-						w.done(&transport.Response{ServerWall: w.serverWall, SSDTime: w.ssdTime})
-					})
-				}
+// runAck processes one acknowledgment after its CPU charge: path condition
+// update, HPCC window update, RPC progress, out-of-order loss detection.
+// A successfully acknowledged packet record is recycled at the end.
+func (s *Stack) runAck(j *ackJob) {
+	ack := &j.ack
+	key := outKey{peer: j.src, k: pktKey{rpcID: ack.RPCID, pktID: ack.PktID}}
+	e := s.out[key]
+	if e == nil || e.acked {
+		return
+	}
+	if j.rpcFlags&AckFlagError != 0 {
+		s.repairAndResend(j.src, e)
+		return
+	}
+	e.acked = true
+	e.timer.Cancel()
+	e.timer = sim.Timer{}
+	delete(s.out, key)
+	pe := s.peerFor(j.src)
+	p := e.path
+	p.lastAckAt = s.eng.Now()
+	p.inflightBytes -= e.size
+	if p.inflightBytes < 0 {
+		p.inflightBytes = 0
+	}
+	if e.pathSeq > p.maxAckedSeq {
+		p.maxAckedSeq = e.pathSeq
+	}
+	rttSample := s.eng.Now().Sub(e.sentAt)
+	if e.retries == 0 { // Karn: only sample unambiguous transmissions
+		p.observe(rttSample, cc.Feedback{
+			RTT:        rttSample,
+			AckedBytes: e.size,
+			ECNMarked:  ack.ECNMarked,
+			INT:        j.intStack.Hops,
+		})
+	} else {
+		p.consecTO = 0
+		p.ackCount++
+		p.acked++
+	}
+	s.earlyRetransmit(pe, p)
+	s.drainBacklog(pe)
+
+	switch e.msgType {
+	case wire.RPCWriteReq:
+		if w := s.writes[e.key.rpcID]; w != nil {
+			w.acked++
+			if wall := time.Duration(ack.ServerNS); wall > w.serverWall {
+				w.serverWall = wall
 			}
-		case wire.RPCReadResp:
-			skey := serveKey{peer: pkt.Src, rpcID: e.key.rpcID}
-			if sv := s.serves[skey]; sv != nil {
-				sv.unacked--
-				if sv.unacked <= 0 {
-					delete(s.serves, skey)
-				}
+			if d := time.Duration(ack.SSDNS); d > w.ssdTime {
+				w.ssdTime = d
+			}
+			if w.acked == len(w.pkts) {
+				delete(s.writes, w.id)
+				s.cores.Submit(s.params.PerRPCDoneCPU, func() {
+					w.done(&transport.Response{ServerWall: w.serverWall, SSDTime: w.ssdTime})
+				})
 			}
 		}
-	})
+	case wire.RPCReadResp:
+		skey := serveKey{peer: j.src, rpcID: e.key.rpcID}
+		if sv := s.serves[skey]; sv != nil {
+			sv.unacked--
+			if sv.unacked <= 0 {
+				delete(s.serves, skey)
+			}
+		}
+	}
+	s.freeOutPkt(e)
 }
 
 // repairAndResend handles a receiver-side CRC rejection (AckFlagError): the
@@ -401,7 +417,7 @@ func (s *Stack) repairAndResend(peerAddr uint32, e *outPkt) {
 	if e.msgType == wire.RPCWriteReq {
 		if w := s.writes[e.key.rpcID]; w != nil {
 			orig := w.blocks[e.key.pktID]
-			e.payload = append([]byte(nil), orig...)
+			copy(e.payload, orig) // same length: the payload began as a copy of orig
 			e.ebs.BlockCRC = crc.Raw(orig)
 			s.IntegrityHits++
 		}

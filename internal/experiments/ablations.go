@@ -7,6 +7,7 @@ import (
 	"lunasolar/ebs"
 	"lunasolar/internal/core"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/stats"
 )
 
@@ -26,8 +27,9 @@ func Ablations(opts Options) *Table {
 		Columns: []string{"study", "variant", "metric", "value"},
 	}
 
-	// --- 1. multipath + failover under a silent blackhole -------------------
-	for _, v := range []struct {
+	// Eleven independent cells across four studies, each owning its cluster;
+	// one share-nothing shard per cell, merged in study order.
+	pathVariants := []struct {
 		label    string
 		paths    int
 		failover bool
@@ -36,47 +38,59 @@ func Ablations(opts Options) *Table {
 		{"4 paths, failover off", 4, false},
 		{"1 path, failover on", 1, true},
 		{"4 paths, failover on", 4, true},
-	} {
-		slow, p99 := ablatePaths(opts, v.paths, v.failover)
-		t.Rows = append(t.Rows, []string{
-			"multipath under blackhole", v.label,
-			"IOs >=1s / write p99 µs", fmt.Sprintf("%d / %s", slow, us(p99)),
+	}
+	var cells []func() ([]string, *sim.Engine)
+	for _, v := range pathVariants {
+		v := v
+		cells = append(cells, func() ([]string, *sim.Engine) {
+			slow, p99, eng := ablatePaths(opts, v.paths, v.failover)
+			return []string{
+				"multipath under blackhole", v.label,
+				"IOs >=1s / write p99 µs", fmt.Sprintf("%d / %s", slow, us(p99)),
+			}, eng
 		})
 	}
-
-	// --- 2. CRC strategy on the DPU CPU -------------------------------------
 	for _, full := range []bool{false, true} {
-		label := "aggregation (XOR/block)"
-		if full {
-			label = "full software CRC/block"
-		}
-		iops := ablateCRC(opts, full)
-		t.Rows = append(t.Rows, []string{
-			"integrity check on CPU", label, "4K write IOPS @1 core", f0(iops),
+		full := full
+		cells = append(cells, func() ([]string, *sim.Engine) {
+			label := "aggregation (XOR/block)"
+			if full {
+				label = "full software CRC/block"
+			}
+			iops, eng := ablateCRC(opts, full)
+			return []string{"integrity check on CPU", label, "4K write IOPS @1 core", f0(iops)}, eng
 		})
 	}
-
-	// --- share-nothing vs locked stack ---------------------------------------
 	for _, locked := range []bool{false, true} {
-		label := "share-nothing (Luna)"
-		if locked {
-			label = "locked shared stack"
-		}
-		gbps, cores := ablateShareNothing(opts, locked)
-		t.Rows = append(t.Rows, []string{
-			"thread arrangement @4 cores", label,
-			"stress Gbps / consumed cores", fmt.Sprintf("%s / %s", f1(gbps), f1(cores)),
+		locked := locked
+		cells = append(cells, func() ([]string, *sim.Engine) {
+			label := "share-nothing (Luna)"
+			if locked {
+				label = "locked shared stack"
+			}
+			gbps, cores, eng := ablateShareNothing(opts, locked)
+			return []string{
+				"thread arrangement @4 cores", label,
+				"stress Gbps / consumed cores", fmt.Sprintf("%s / %s", f1(gbps), f1(cores)),
+			}, eng
+		})
+	}
+	for _, entries := range []int{64, 512, 20000} {
+		entries := entries
+		cells = append(cells, func() ([]string, *sim.Engine) {
+			wait, eng := ablateAddr(opts, entries)
+			return []string{
+				"Addr table capacity", fmt.Sprintf("%d entries", entries),
+				"read admission wait (total ms)", f1(float64(wait.Milliseconds())),
+			}, eng
 		})
 	}
 
-	// --- 3. Addr-table capacity ----------------------------------------------
-	for _, entries := range []int{64, 512, 20000} {
-		wait := ablateAddr(opts, entries)
-		t.Rows = append(t.Rows, []string{
-			"Addr table capacity", fmt.Sprintf("%d entries", entries),
-			"read admission wait (total ms)", f1(float64(wait.Milliseconds())),
-		})
-	}
+	fleet := opts.fleet()
+	t.Rows = runtime.Run(fleet, len(cells), func(shard int) ([]string, *sim.Engine) {
+		return cells[shard]()
+	})
+	t.Perf = &fleet.Perf
 
 	t.Notes = append(t.Notes,
 		"without source-port failover a blackholed path hangs I/Os forever; with it even one path recovers (a fresh port re-hashes)",
@@ -86,7 +100,7 @@ func Ablations(opts Options) *Table {
 
 // ablatePaths measures slow I/Os and write p99 with the given path count
 // and failover setting while both spines silently blackhole 25% of flows.
-func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Duration) {
+func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Duration, eng *sim.Engine) {
 	cfg := clusterConfig(ebs.Solar, opts.Seed)
 	p := ebs.SolarStackParams(ebs.Solar, false)
 	p.NumPaths = paths
@@ -138,25 +152,25 @@ func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Dur
 			slow++
 		}
 	}
-	return slow, h.P99()
+	return slow, h.P99(), c.Eng
 }
 
 // ablateShareNothing runs the Table 1-style 50 Gbps stress with 4 cores,
 // with and without Luna's lock-free share-nothing thread arrangement
 // (§3.2): the locked variant pays contention per packet per extra core.
-func ablateShareNothing(opts Options, locked bool) (gbps, cores float64) {
+func ablateShareNothing(opts Options, locked bool) (gbps, cores float64, eng *sim.Engine) {
 	era := table1Era{"2x25GE", 25e9, 50e9, 4, 4, 1.0}
 	params := ebs.LunaStackParams()
 	if locked {
 		params.LockPenalty = 150 * time.Nanosecond
 	}
-	_, gbps, cores = runRPCWith(opts, era, params, 4)
-	return gbps, cores
+	_, gbps, cores, eng = runRPCWith(opts, era, params, 4)
+	return gbps, cores, eng
 }
 
 // ablateCRC measures sustainable 4K write IOPS on one DPU core with the
 // aggregation strategy vs a full software CRC per block.
-func ablateCRC(opts Options, fullCRC bool) float64 {
+func ablateCRC(opts Options, fullCRC bool) (float64, *sim.Engine) {
 	cfg := clusterConfig(ebs.Solar, opts.Seed)
 	cfg.DPU.CPUCores = 1
 	cfg.ComputeServers = 1
@@ -183,12 +197,12 @@ func ablateCRC(opts Options, fullCRC bool) float64 {
 	c.RunFor(5 * time.Millisecond)
 	base := done
 	c.RunFor(window)
-	return float64(done-base) / window.Seconds()
+	return float64(done-base) / window.Seconds(), c.Eng
 }
 
 // ablateAddr measures total Addr-table admission wait with depth-64 reads
 // of 64 KiB against the given table capacity.
-func ablateAddr(opts Options, entries int) time.Duration {
+func ablateAddr(opts Options, entries int) (time.Duration, *sim.Engine) {
 	cfg := clusterConfig(ebs.Solar, opts.Seed)
 	cfg.ComputeServers = 1
 	cfg.DPU.MaxAddrEntries = entries
@@ -216,5 +230,5 @@ func ablateAddr(opts Options, entries int) time.Duration {
 	if !ok {
 		panic("ablateAddr: not a solar stack")
 	}
-	return st.AdmissionWait
+	return st.AdmissionWait, c.Eng
 }

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"lunasolar/ebs"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 )
 
 // quarterMix is the deployment state of the fleet in one quarter: the
@@ -40,12 +42,23 @@ func deploymentTimeline() []quarterMix {
 // weighted combination of each stack's measured capability (latency from a
 // Fig. 6-style run; IOPS from a Fig. 14-style saturation run).
 func Fig7(opts Options) *Table {
-	// Per-stack capability measurements.
+	// Per-stack capability measurements: six independent clusters (latency
+	// and IOPS per stack), one share-nothing shard each.
+	stacks := []ebs.StackKind{ebs.KernelTCP, ebs.Luna, ebs.Solar}
+	fleet := opts.fleet()
+	vals := runtime.Run(fleet, 2*len(stacks), func(shard int) (float64, *sim.Engine) {
+		fn := stacks[shard/2]
+		if shard%2 == 0 {
+			d, eng := measureMeanLatency(opts, fn)
+			return float64(d), eng
+		}
+		return measureServerIOPS(opts, fn)
+	})
 	lat := map[ebs.StackKind]time.Duration{}
 	iops := map[ebs.StackKind]float64{}
-	for _, fn := range []ebs.StackKind{ebs.KernelTCP, ebs.Luna, ebs.Solar} {
-		lat[fn] = measureMeanLatency(opts, fn)
-		iops[fn] = measureServerIOPS(opts, fn)
+	for i, fn := range stacks {
+		lat[fn] = time.Duration(vals[2*i])
+		iops[fn] = vals[2*i+1]
 	}
 
 	timeline := deploymentTimeline()
@@ -80,12 +93,13 @@ func Fig7(opts Options) *Table {
 		fmt.Sprintf("end-to-end: latency reduced %.0f%% (paper: 72%%), IOPS grew %.1fx (paper: ~3x)",
 			100*(1-mixLat(timeline[len(timeline)-1])/baseLat),
 			mixIOPS(timeline[len(timeline)-1])/mixIOPS(timeline[0])))
+	t.Perf = &fleet.Perf
 	return t
 }
 
 // measureMeanLatency runs a light mixed 4 KiB workload and returns the mean
 // of read and write average latency.
-func measureMeanLatency(opts Options, fn ebs.StackKind) time.Duration {
+func measureMeanLatency(opts Options, fn ebs.StackKind) (time.Duration, *sim.Engine) {
 	c := ebs.New(clusterConfig(fn, opts.Seed))
 	var vds []*ebs.VDisk
 	for i := 0; i < c.Computes(); i++ {
@@ -94,12 +108,13 @@ func measureMeanLatency(opts Options, fn ebs.StackKind) time.Duration {
 	driveMixed(c, vds, opts.scale(400, 80), 0.5, 150*time.Microsecond, 4096)
 	r := c.Collector().E2E("read").Mean()
 	w := c.Collector().E2E("write").Mean()
-	return (r + w) / 2
+	return (r + w) / 2, c.Eng
 }
 
 // measureServerIOPS measures a single server's sustainable 4 KiB read IOPS
 // with the era's CPU budget (4 host cores for kernel/Luna, the DPU for
 // Solar).
-func measureServerIOPS(opts Options, fn ebs.StackKind) float64 {
-	return runFio(opts, fn, 4, 4096) * 1e6 / 4096
+func measureServerIOPS(opts Options, fn ebs.StackKind) (float64, *sim.Engine) {
+	mbs, eng := runFio(opts, fn, 4, 4096)
+	return mbs * 1e6 / 4096, eng
 }

@@ -12,8 +12,11 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
+
+	"lunasolar/internal/sim/runtime"
 )
 
 // Options tunes experiment scale. Quick reduces sample counts and cluster
@@ -22,10 +25,22 @@ import (
 type Options struct {
 	Seed  int64
 	Quick bool
+	// Workers bounds the shard pool used to run independent cluster cells
+	// in parallel. 0 uses GOMAXPROCS; 1 forces the serial order (for
+	// determinism regression tests). Results are merged in shard order, so
+	// the output is identical for every Workers value.
+	Workers int
 }
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options { return Options{Seed: 1} }
+
+// fleet returns a fresh share-nothing fleet for one experiment; its Perf is
+// attached to the experiment's Table so callers can report simulator
+// throughput next to the simulated results.
+func (o Options) fleet() *runtime.Fleet {
+	return &runtime.Fleet{Runner: runtime.Runner{Workers: o.Workers}}
+}
 
 func (o Options) scale(full, quick int) int {
 	if o.Quick {
@@ -40,6 +55,20 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Perf, when set, carries the fleet's simulator-throughput counters for
+	// the runs behind this table (events/sec, simulated time per wall time).
+	Perf *runtime.Perf
+}
+
+// PerfSummary renders the fleet throughput line, or "" when the experiment
+// ran no simulation shards.
+func (t *Table) PerfSummary() string {
+	if t.Perf == nil || t.Perf.Shards() == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d shards, %.2fM events/sec, %.0f sim-µs per wall-ms",
+		t.Perf.Shards(), t.Perf.EventsPerSec()/1e6, t.Perf.SimMicrosPerWallMs())
 }
 
 // Format renders the table as aligned text.
@@ -81,6 +110,52 @@ func (t *Table) Format() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// Metric is one machine-readable result row, emitted by the CLI's -json
+// mode: the experiment id, a metric path built from the row's label cells,
+// the numeric value, the column header as its unit, and the seed that
+// produced it.
+type Metric struct {
+	Exp    string  `json:"exp"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Seed   int64   `json:"seed"`
+}
+
+// Metrics flattens the table into metric rows: every numeric cell becomes
+// one row, named by the row's non-numeric label cells plus the column
+// header. Non-numeric cells (labels, "-", compound values) are skipped.
+func (t *Table) Metrics(exp string, seed int64) []Metric {
+	var out []Metric
+	for _, row := range t.Rows {
+		var labels []string
+		for i, cell := range row {
+			if i >= len(t.Columns) {
+				break
+			}
+			if _, err := strconv.ParseFloat(strings.TrimSpace(cell), 64); err != nil {
+				labels = append(labels, strings.TrimSpace(cell))
+			}
+		}
+		name := strings.Join(labels, "/")
+		for i, cell := range row {
+			if i >= len(t.Columns) {
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				continue
+			}
+			metric := t.Columns[i]
+			if name != "" {
+				metric = name + "/" + t.Columns[i]
+			}
+			out = append(out, Metric{Exp: exp, Metric: metric, Value: v, Unit: t.Columns[i], Seed: seed})
+		}
+	}
+	return out
 }
 
 func us(d time.Duration) string {

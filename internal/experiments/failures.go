@@ -6,6 +6,7 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 )
 
 // hangThreshold is the Table 2 criterion: an I/O with no response for one
@@ -119,25 +120,36 @@ func Table2(opts Options) *Table {
 	}
 	window := time.Duration(opts.scale(3000, 1500)) * time.Millisecond
 	paper := []string{"0", "216", "0", "10/s", "123", "611", "1043"}
-	for i, sc := range table2Scenarios() {
-		var cells []string
-		for _, fn := range []ebs.StackKind{ebs.Luna, ebs.Solar} {
-			c := ebs.New(clusterConfig(fn, opts.Seed))
-			var vds []*ebs.VDisk
-			for ci := 0; ci < c.Computes(); ci++ {
-				vds = append(vds, c.Provision(ci, 128<<20, ebs.DefaultQoS()))
-			}
-			hc := newHangCounter(c)
-			hc.start(vds, 4, 2*time.Millisecond)
-			c.RunFor(200 * time.Millisecond) // healthy warmup
-			sc.inject(c)
-			c.RunFor(window)
-			cells = append(cells, fmt.Sprintf("%d", hc.finish()))
+	scenarios := table2Scenarios()
+	stacks := []ebs.StackKind{ebs.Luna, ebs.Solar}
+
+	// One shard per (scenario, stack) cell: every cell owns its cluster, so
+	// all fourteen run concurrently and merge in scenario order.
+	fleet := opts.fleet()
+	cells := runtime.Run(fleet, len(scenarios)*len(stacks), func(shard int) (string, *sim.Engine) {
+		sc := scenarios[shard/len(stacks)]
+		fn := stacks[shard%len(stacks)]
+		c := ebs.New(clusterConfig(fn, opts.Seed))
+		var vds []*ebs.VDisk
+		for ci := 0; ci < c.Computes(); ci++ {
+			vds = append(vds, c.Provision(ci, 128<<20, ebs.DefaultQoS()))
 		}
-		t.Rows = append(t.Rows, []string{sc.name + " (paper LUNA " + paper[i] + ", SOLAR 0)", cells[0], cells[1]})
+		hc := newHangCounter(c)
+		hc.start(vds, 4, 2*time.Millisecond)
+		c.RunFor(200 * time.Millisecond) // healthy warmup
+		sc.inject(c)
+		c.RunFor(window)
+		return fmt.Sprintf("%d", hc.finish()), c.Eng
+	})
+	for i, sc := range scenarios {
+		t.Rows = append(t.Rows, []string{
+			sc.name + " (paper LUNA " + paper[i] + ", SOLAR 0)",
+			cells[i*len(stacks)], cells[i*len(stacks)+1],
+		})
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("testbed: 8 compute + 8 storage servers, depth 4, 4-32K blocks, R:W 1:4, %v failure window (paper: 90+82 servers)", window))
+	t.Perf = &fleet.Perf
 	return t
 }
 
@@ -184,8 +196,17 @@ func Fig8(opts Options) *Table {
 		Title:   "Figure 8: I/O hangs caused by network failures (Luna era, per incident)",
 		Columns: []string{"incident", "location", "duration (min)", "affected VMs"},
 	}
-	for inc := 0; inc < incidents; inc++ {
-		// Draw a tier with the fleet propensities.
+
+	// Draw every incident's parameters up front from the shared stream, so
+	// the campaign is identical however many workers simulate it; each shard
+	// then derives all run-time randomness from its own seed.
+	type incident struct {
+		tier        fig8Tier
+		durationMin int
+		seed        int64
+	}
+	draws := make([]incident, incidents)
+	for inc := range draws {
 		u := r.Float64()
 		cum := 0.0
 		tier := tiers[0]
@@ -196,7 +217,13 @@ func Fig8(opts Options) *Table {
 				break
 			}
 		}
-		durationMin := 1 + r.Intn(100)
+		draws[inc] = incident{tier: tier, durationMin: 1 + r.Intn(100), seed: r.Int63()}
+	}
+
+	fleet := opts.fleet()
+	rows := runtime.Run(fleet, incidents, func(inc int) ([]string, *sim.Engine) {
+		tier := draws[inc].tier
+		rr := sim.NewRand(draws[inc].seed)
 
 		cfg := clusterConfig(ebs.Luna, opts.Seed+int64(inc))
 		cfg.Fabric.DCs = 2
@@ -219,7 +246,7 @@ func Fig8(opts Options) *Table {
 			issue = func() {
 				start := c.Eng.Now()
 				inflightSince[ci] = start
-				lba := uint64(r.Int63n(int64(vd.Size()-4096))) &^ 4095
+				lba := uint64(rr.Int63n(int64(vd.Size()-4096))) &^ 4095
 				vd.Write(lba, make([]byte, 4096), func(ebs.IOResult) {
 					if c.Eng.Now().Sub(start) >= hangThreshold {
 						hangs[ci] = true
@@ -232,7 +259,7 @@ func Fig8(opts Options) *Table {
 		}
 
 		c.RunFor(100 * time.Millisecond)
-		tier.inject(c, r)
+		tier.inject(c, rr)
 		c.RunFor(time.Duration(opts.scale(2000, 1400)) * time.Millisecond)
 		affectedClients := 0
 		for ci, h := range hangs {
@@ -243,11 +270,13 @@ func Fig8(opts Options) *Table {
 		}
 		frac := float64(affectedClients) / float64(len(vds))
 		affectedVMs := int(frac * float64(tier.domain) * 8) // ~8 VMs/host
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", inc+1), tier.name,
-			fmt.Sprintf("%d", durationMin), fmt.Sprintf("%d", affectedVMs),
-		})
-	}
+			fmt.Sprintf("%d", draws[inc].durationMin), fmt.Sprintf("%d", affectedVMs),
+		}, c.Eng
+	})
+	t.Rows = rows
+	t.Perf = &fleet.Perf
 	t.Notes = append(t.Notes,
 		"affected VMs extrapolate the measured affected fraction to the tier's fleet blast domain (48/1.5K/12K/49K hosts, 8 VMs each)",
 		"paper: higher tiers strand one to four orders of magnitude more VMs; duration set by manual network operations")

@@ -6,6 +6,7 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/workload"
 )
 
@@ -24,18 +25,35 @@ func Fig14(opts Options) *Table {
 	pcieCeiling := card.PCIeBps / 2 / 8 / 1e6 // crossed twice, in MB/s
 	lineRate := 2 * 25e9 / 8 / 1e6
 
+	// One shard per (stack, cores, blocksize) cell — 24 independent
+	// clusters merged in row order.
+	type cell struct {
+		fn    ebs.StackKind
+		cores int
+		size  int
+	}
+	var cells []cell
 	for _, fn := range stacks {
 		for cores := 1; cores <= 3; cores++ {
-			mbs := runFio(opts, fn, cores, 64<<10)
-			iops := runFio(opts, fn, cores, 4096) * 1e6 / 4096 // MB/s → IOPS
-			t.Rows = append(t.Rows, []string{
-				fn.String(), fmt.Sprintf("%d", cores), f0(mbs), f0(iops),
-			})
+			cells = append(cells, cell{fn, cores, 64 << 10}, cell{fn, cores, 4096})
 		}
+	}
+	fleet := opts.fleet()
+	vals := runtime.Run(fleet, len(cells), func(shard int) (float64, *sim.Engine) {
+		cl := cells[shard]
+		return runFio(opts, cl.fn, cl.cores, cl.size)
+	})
+	for i := 0; i < len(cells); i += 2 {
+		mbs := vals[i]
+		iops := vals[i+1] * 1e6 / 4096 // MB/s → IOPS
+		t.Rows = append(t.Rows, []string{
+			cells[i].fn.String(), fmt.Sprintf("%d", cells[i].cores), f0(mbs), f0(iops),
+		})
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("PCIe goodput ceiling (crossed twice): %.0f MB/s; NIC line rate: %.0f MB/s", pcieCeiling, lineRate),
 		"paper: Solar alone reaches line rate and is flat in cores; Luna/RDMA/Solar* plateau at the PCIe bottleneck; single-core Solar throughput +78% and IOPS +46% vs Luna")
+	t.Perf = &fleet.Perf
 	return t
 }
 
@@ -46,7 +64,7 @@ func ebsDefaultDPU() (c struct{ PCIeBps float64 }) {
 }
 
 // runFio measures goodput in MB/s for one (stack, cores, blocksize) cell.
-func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) float64 {
+func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) (float64, *sim.Engine) {
 	cfg := clusterConfig(fn, opts.Seed)
 	cfg.BareMetal = true
 	cfg.DPU.CPUCores = cores
@@ -83,8 +101,7 @@ func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) float64 {
 	c.RunFor(window)
 	gotBytes := fio.Bytes - startBytes
 	fio.Stop()
-	_ = sim.Time(0)
-	return float64(gotBytes) / window.Seconds() / 1e6
+	return float64(gotBytes) / window.Seconds() / 1e6, c.Eng
 }
 
 // lunaKind and solarKind keep ebs out of the test file's imports.
@@ -94,5 +111,6 @@ func solarKind() ebs.StackKind { return ebs.Solar }
 // RunFioCell exposes one Fig. 14 cell for ad-hoc probing (stack by name).
 func RunFioCell(opts Options, stack string, cores, blockSize int) float64 {
 	kinds := map[string]ebs.StackKind{"luna": ebs.Luna, "rdma": ebs.RDMA, "solar*": ebs.SolarStar, "solar": ebs.Solar}
-	return runFio(opts, kinds[stack], cores, blockSize)
+	mbs, _ := runFio(opts, kinds[stack], cores, blockSize)
+	return mbs
 }

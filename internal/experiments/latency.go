@@ -6,6 +6,7 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/stats"
 	"lunasolar/internal/trace"
 )
@@ -65,25 +66,37 @@ func Fig6(opts Options) *Table {
 		op string
 		q  float64
 	}
-	results := map[ebs.StackKind]map[key][]time.Duration{}
-	e2es := map[ebs.StackKind]map[key]time.Duration{}
+	type shardOut struct {
+		parts map[key][]time.Duration
+		e2e   map[key]time.Duration
+	}
 
-	for _, fn := range stacks {
+	// One share-nothing shard per stack: each builds its own engine,
+	// cluster and workload; results merge in shard order.
+	fleet := opts.fleet()
+	perStack := runtime.Run(fleet, len(stacks), func(shard int) (shardOut, *sim.Engine) {
+		fn := stacks[shard]
 		c := ebs.New(clusterConfig(fn, opts.Seed))
 		var vds []*ebs.VDisk
 		for i := 0; i < c.Computes(); i++ {
 			vds = append(vds, c.Provision(i, 256<<20, ebs.DefaultQoS()))
 		}
 		driveMixed(c, vds, n, 0.5, 100*time.Microsecond, 4096)
-		results[fn] = map[key][]time.Duration{}
-		e2es[fn] = map[key]time.Duration{}
+		out := shardOut{parts: map[key][]time.Duration{}, e2e: map[key]time.Duration{}}
 		for _, op := range []string{"read", "write"} {
 			for _, q := range []float64{0.5, 0.95} {
 				parts, e2e := c.Collector().Breakdown(op, q)
-				results[fn][key{op, q}] = parts
-				e2es[fn][key{op, q}] = e2e
+				out.parts[key{op, q}] = parts
+				out.e2e[key{op, q}] = e2e
 			}
 		}
+		return out, c.Eng
+	})
+	results := map[ebs.StackKind]map[key][]time.Duration{}
+	e2es := map[ebs.StackKind]map[key]time.Duration{}
+	for i, fn := range stacks {
+		results[fn] = perStack[i].parts
+		e2es[fn] = perStack[i].e2e
 	}
 
 	t := &Table{
@@ -118,6 +131,7 @@ func Fig6(opts Options) *Table {
 		fmt.Sprintf("write p50 e2e: kernel→luna %.0f%% reduction (paper: Luna cuts FN ~80%%); luna→solar %.0f%% (paper: up to 69%%)",
 			100*(1-float64(lw)/float64(kw)), 100*(1-float64(sw)/float64(lw))),
 		"QoS policy delay excluded, as in the paper's methodology")
+	t.Perf = &fleet.Perf
 	return t
 }
 
@@ -128,52 +142,66 @@ func Fig15(opts Options) *Table {
 	probes := opts.scale(300, 60)
 	stacks := []ebs.StackKind{ebs.Luna, ebs.RDMA, ebs.SolarStar, ebs.Solar}
 
+	type cell struct {
+		heavy bool
+		fn    ebs.StackKind
+	}
+	var cells []cell
+	for _, heavy := range []bool{false, true} {
+		for _, fn := range stacks {
+			cells = append(cells, cell{heavy, fn})
+		}
+	}
+
+	fleet := opts.fleet()
+	rows := runtime.Run(fleet, len(cells), func(shard int) ([]string, *sim.Engine) {
+		cl := cells[shard]
+		label := "light"
+		if cl.heavy {
+			label = "heavy"
+		}
+		cfg := clusterConfig(cl.fn, opts.Seed)
+		cfg.BareMetal = true // the Fig. 14/15 testbed is the bare-metal DPU era
+		c := ebs.New(cfg)
+		probe := c.Provision(0, 256<<20, ebs.DefaultQoS())
+
+		if cl.heavy {
+			// Saturating background writers on three other computes.
+			for i := 1; i <= 3; i++ {
+				bg := c.Provision(i, 256<<20, ebs.DefaultQoS())
+				startBackground(c, bg, 8, 16<<10)
+			}
+			c.RunFor(10 * time.Millisecond) // reach steady state
+		}
+
+		h := stats.NewHistogram()
+		issued := 0
+		var tick func()
+		r := sim.NewRand(opts.Seed + 99)
+		tick = func() {
+			if issued >= probes {
+				return
+			}
+			issued++
+			lba := uint64(r.Int63n(int64(probe.Size()-4096))) &^ 4095
+			probe.Write(lba, make([]byte, 4096), func(res ebs.IOResult) {
+				h.Record(res.Latency)
+				c.Eng.Schedule(200*time.Microsecond, tick)
+			})
+		}
+		tick()
+		c.RunFor(time.Duration(probes)*200*time.Microsecond + 20*time.Millisecond)
+		return []string{label, cl.fn.String(), us(h.Median()), us(h.P99())}, c.Eng
+	})
+
 	t := &Table{
 		Title:   "Figure 15: I/O latency of a single 4KB write (µs)",
 		Columns: []string{"load", "stack", "median", "99th"},
-	}
-	for _, heavy := range []bool{false, true} {
-		label := "light"
-		if heavy {
-			label = "heavy"
-		}
-		for _, fn := range stacks {
-			cfg := clusterConfig(fn, opts.Seed)
-			cfg.BareMetal = true // the Fig. 14/15 testbed is the bare-metal DPU era
-			c := ebs.New(cfg)
-			probe := c.Provision(0, 256<<20, ebs.DefaultQoS())
-
-			if heavy {
-				// Saturating background writers on three other computes.
-				for i := 1; i <= 3; i++ {
-					bg := c.Provision(i, 256<<20, ebs.DefaultQoS())
-					startBackground(c, bg, 8, 16<<10)
-				}
-				c.RunFor(10 * time.Millisecond) // reach steady state
-			}
-
-			h := stats.NewHistogram()
-			issued := 0
-			var tick func()
-			r := sim.NewRand(opts.Seed + 99)
-			tick = func() {
-				if issued >= probes {
-					return
-				}
-				issued++
-				lba := uint64(r.Int63n(int64(probe.Size()-4096))) &^ 4095
-				probe.Write(lba, make([]byte, 4096), func(res ebs.IOResult) {
-					h.Record(res.Latency)
-					c.Eng.Schedule(200*time.Microsecond, tick)
-				})
-			}
-			tick()
-			c.RunFor(time.Duration(probes)*200*time.Microsecond + 20*time.Millisecond)
-			t.Rows = append(t.Rows, []string{label, fn.String(), us(h.Median()), us(h.P99())})
-		}
+		Rows:    rows,
 	}
 	t.Notes = append(t.Notes,
 		"paper: Solar close to RDMA under light load; under heavy load Solar keeps the lowest tail")
+	t.Perf = &fleet.Perf
 	return t
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"lunasolar/internal/rdma"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/stats"
 	"lunasolar/internal/transport"
@@ -27,13 +28,17 @@ func RDMACliff(opts Options) *Table {
 		Columns: []string{"connections", "QP cache", "avg RPC µs", "aggregate kRPC/s", "cache misses/RPC"},
 	}
 	const cache = 64
-	for _, conns := range []int{16, 48, 64, 96, 192} {
-		lat, rate, missFrac := runCliff(opts, conns, cache)
-		t.Rows = append(t.Rows, []string{
+	sweep := []int{16, 48, 64, 96, 192}
+	fleet := opts.fleet()
+	t.Rows = runtime.Run(fleet, len(sweep), func(shard int) ([]string, *sim.Engine) {
+		conns := sweep[shard]
+		lat, rate, missFrac, eng := runCliff(opts, conns, cache)
+		return []string{
 			fmt.Sprintf("%d", conns), fmt.Sprintf("%d", cache),
 			us(lat), f1(rate / 1e3), f2(missFrac),
-		})
-	}
+		}, eng
+	})
+	t.Perf = &fleet.Perf
 	t.Notes = append(t.Notes,
 		"cache scaled 5000→64 to keep the simulated fleet small; the cliff sits at the cache size either way",
 		"paper: RNIC throughput degrades sharply beyond ~5,000 connections — one reason FN chose software (Luna)")
@@ -42,7 +47,7 @@ func RDMACliff(opts Options) *Table {
 
 // runCliff drives `conns` clients against one RDMA server with the given
 // QP-context cache and measures steady-state behaviour.
-func runCliff(opts Options, conns, cache int) (avgLat time.Duration, rps, missFrac float64) {
+func runCliff(opts Options, conns, cache int) (avgLat time.Duration, rps, missFrac float64, _ *sim.Engine) {
 	eng := sim.NewEngine(opts.Seed)
 	fcfg := simnet.DefaultConfig()
 	fcfg.RacksPerPod = 16
@@ -94,5 +99,5 @@ func runCliff(opts Options, conns, cache int) (avgLat time.Duration, rps, missFr
 	if completed > 0 {
 		missFrac = float64(server.CacheMisses-missBase) / float64(completed)
 	}
-	return h.Mean(), rps, missFrac
+	return h.Mean(), rps, missFrac, eng
 }

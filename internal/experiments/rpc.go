@@ -6,6 +6,7 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/stats"
 	"lunasolar/internal/tcpstack"
@@ -34,17 +35,30 @@ func Table1(opts Options) *Table {
 		Title:   "Table 1: FN RPC latency and CPU under different load",
 		Columns: []string{"setup", "test", "stack", "avg RPC µs", "achieved Gbps", "consumed cores"},
 	}
+	type cell struct {
+		era    table1Era
+		stack  string
+		stress bool
+	}
+	var cells []cell
 	for _, era := range eras {
-		for _, stack := range []string{"kernel", "luna"} {
-			lat, _, cores := runRPC(opts, era, stack, false)
-			t.Rows = append(t.Rows, []string{era.name, "single 4KB RPC", stack, us(lat), "-", f1(cores)})
-		}
-		for _, stack := range []string{"kernel", "luna"} {
-			lat, gbps, cores := runRPC(opts, era, stack, true)
-			t.Rows = append(t.Rows, []string{era.name,
-				fmt.Sprintf("%.0f Gbps stress", era.stressBps/1e9), stack, us(lat), f1(gbps), f1(cores)})
+		for _, stress := range []bool{false, true} {
+			for _, stack := range []string{"kernel", "luna"} {
+				cells = append(cells, cell{era, stack, stress})
+			}
 		}
 	}
+	fleet := opts.fleet()
+	t.Rows = runtime.Run(fleet, len(cells), func(shard int) ([]string, *sim.Engine) {
+		cl := cells[shard]
+		lat, gbps, cores, eng := runRPC(opts, cl.era, cl.stack, cl.stress)
+		if !cl.stress {
+			return []string{cl.era.name, "single 4KB RPC", cl.stack, us(lat), "-", f1(cores)}, eng
+		}
+		return []string{cl.era.name,
+			fmt.Sprintf("%.0f Gbps stress", cl.era.stressBps/1e9), cl.stack, us(lat), f1(gbps), f1(cores)}, eng
+	})
+	t.Perf = &fleet.Perf
 	t.Notes = append(t.Notes,
 		"paper 2x25GE: single 70.1/13.1 µs; stress 1782 µs@4 cores vs 900 µs@1 core",
 		"paper 2x100GE: single 43.4/12.4 µs; stress 2923 µs@12 cores vs 465 µs@4 cores")
@@ -66,7 +80,7 @@ func scaleTCP(p tcpstack.Params, f float64) tcpstack.Params {
 
 // runRPC runs one Table 1 cell: a pure RPC echo test between two hosts in
 // different pods (no storage involvement — Table 1 measures the stack).
-func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time.Duration, gbps, cores float64) {
+func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time.Duration, gbps, cores float64, eng *sim.Engine) {
 	var params tcpstack.Params
 	if stack == "kernel" {
 		params = scaleTCP(ebs.KernelStackParams(), era.cpuScale)
@@ -86,7 +100,7 @@ func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time
 }
 
 // runRPCSingle measures sequential single-RPC latency.
-func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat time.Duration, gbps, cores float64) {
+func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat time.Duration, gbps, cores float64, _ *sim.Engine) {
 	eng := sim.NewEngine(opts.Seed)
 	fcfg := simnet.DefaultConfig()
 	fcfg.RacksPerPod = 2
@@ -132,12 +146,12 @@ func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat t
 	}
 	next()
 	eng.Run()
-	return h.Mean(), 0, 1
+	return h.Mean(), 0, 1, eng
 }
 
 // runRPCWith runs the stress cell with explicit stack parameters and core
 // count (shared with the share-nothing ablation).
-func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int) (avgLat time.Duration, gbps, cores float64) {
+func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int) (avgLat time.Duration, gbps, cores float64, _ *sim.Engine) {
 	eng := sim.NewEngine(opts.Seed)
 	fcfg := simnet.DefaultConfig()
 	fcfg.RacksPerPod = 2
@@ -195,5 +209,5 @@ func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int)
 	eng.RunFor(window)
 	util := clientCores.Utilization()
 	gbps = float64(bytesDone) * 8 / window.Seconds() / 1e9
-	return h.Mean(), gbps, util
+	return h.Mean(), gbps, util, eng
 }

@@ -29,7 +29,7 @@ type qp struct {
 	sndNxt   uint32 // next psn to (re)transmit; within queue bounds
 	nextPSN  uint32 // psn for the next freshly built packet
 	rtt      *transport.RTT
-	rtoTimer *sim.Event
+	rtoTimer sim.Timer
 	backoff  int
 
 	samplePSN   uint32
@@ -130,7 +130,7 @@ func (q *qp) pump() {
 		q.transmit(p)
 		q.sndNxt++
 	}
-	if q.inflight() > 0 && q.rtoTimer == nil {
+	if q.inflight() > 0 && !q.rtoTimer.Active() {
 		q.armRTO()
 	}
 }
@@ -148,15 +148,20 @@ func (q *qp) transmit(p outPkt) {
 		if err := bth.Encode(p.payload); err != nil {
 			panic(err)
 		}
-		q.s.host.Send(&simnet.Packet{
-			Dst:      q.key.peer,
-			Proto:    Proto,
-			SrcPort:  q.key.localQPN,
-			DstPort:  q.key.remoteQPN,
-			Payload:  p.payload,
-			Overhead: simnet.EthOverhead + wire.IPv4Size,
-			SentAt:   q.s.eng.Now(),
-		})
+		// Pooled envelope, externally owned payload: the frame buffer lives
+		// in sndQueue for go-back-N retransmission, so the pool must not
+		// reclaim it when the receiver releases the packet.
+		pkt := q.s.pool.Get(0)
+		pkt.Dst = q.key.peer
+		pkt.Proto = Proto
+		pkt.SrcPort = q.key.localQPN
+		pkt.DstPort = q.key.remoteQPN
+		pkt.Payload = p.payload
+		pkt.Overhead = simnet.EthOverhead + wire.IPv4Size
+		pkt.SentAt = q.s.eng.Now()
+		if !q.s.host.Send(pkt) {
+			pkt.Release()
+		}
 	}
 	step := func() {
 		data := len(p.payload) - pktHdrSize
@@ -182,19 +187,19 @@ func (q *qp) control(nak bool) {
 		Ack:     q.expectPSN,
 		Flags:   flags,
 	}
-	buf := make([]byte, wire.TCPSegSize)
-	if err := bth.Encode(buf); err != nil {
+	pkt := q.s.pool.Get(wire.TCPSegSize)
+	if err := bth.Encode(pkt.Payload); err != nil {
 		panic(err)
 	}
-	q.s.host.Send(&simnet.Packet{
-		Dst:      q.key.peer,
-		Proto:    Proto,
-		SrcPort:  q.key.localQPN,
-		DstPort:  q.key.remoteQPN,
-		Payload:  buf,
-		Overhead: simnet.EthOverhead + wire.IPv4Size,
-		SentAt:   q.s.eng.Now(),
-	})
+	pkt.Dst = q.key.peer
+	pkt.Proto = Proto
+	pkt.SrcPort = q.key.localQPN
+	pkt.DstPort = q.key.remoteQPN
+	pkt.Overhead = simnet.EthOverhead + wire.IPv4Size
+	pkt.SentAt = q.s.eng.Now()
+	if !q.s.host.Send(pkt) {
+		pkt.Release()
+	}
 }
 
 func (q *qp) armRTO() {
@@ -203,15 +208,13 @@ func (q *qp) armRTO() {
 }
 
 func (q *qp) clearRTO() {
-	if q.rtoTimer != nil {
-		q.rtoTimer.Cancel()
-		q.rtoTimer = nil
-	}
+	q.rtoTimer.Cancel()
+	q.rtoTimer = sim.Timer{}
 }
 
 // onRTO rewinds to the first unacknowledged PSN (go-back-N).
 func (q *qp) onRTO() {
-	q.rtoTimer = nil
+	q.rtoTimer = sim.Timer{}
 	if q.inflight() == 0 && int(q.sndNxt-q.sndUna) >= len(q.sndQueue) {
 		return
 	}

@@ -66,6 +66,7 @@ type Stack struct {
 	pending  map[uint64]func(*transport.Response)
 	handler  transport.Handler
 	ids      transport.IDAlloc
+	pool     *simnet.PacketPool
 	nextQPN  uint16
 	cacheLRU []qpKey     // front = coldest
 	ctxFetch *sim.Server // serialized context-fetch engine (miss bandwidth)
@@ -100,6 +101,7 @@ func New(eng *sim.Engine, host *simnet.Host, cores *sim.Server, pcie *sim.Channe
 		pending:  map[uint64]func(*transport.Response){},
 		nextQPN:  40000,
 		ctxFetch: sim.NewServer(eng, "rnic-ctx", 1),
+		pool:     host.PacketPool(),
 	}
 	if host.Handler == nil {
 		host.Handler = s.ReceivePacket
@@ -174,23 +176,28 @@ func (s *Stack) reply(q *qp, id uint64, resp *transport.Response) {
 	})
 }
 
-// ReceivePacket feeds one inbound frame into the stack.
+// ReceivePacket feeds one inbound frame into the stack. The stack takes
+// ownership: the frame is released once its bytes are consumed.
 func (s *Stack) ReceivePacket(pkt *simnet.Packet) {
 	var bth wire.TCPSeg
 	if err := bth.Decode(pkt.Payload); err != nil {
+		pkt.Release()
 		return
 	}
 	k := qpKey{peer: pkt.Src, localQPN: bth.DstPort, remoteQPN: bth.SrcPort}
 	q := s.qps[k]
 	if q == nil {
 		if bth.DstPort != ListenPort {
-			return
+			pkt.Release()
+			return // stale frame for a forgotten queue pair
 		}
 		q = newQP(s, k)
 		s.qps[k] = q
 	}
 	rest := pkt.Payload[wire.TCPSegSize:]
-	step := func() { q.packetArrived(bth, rest) }
+	// packetArrived copies what it keeps (assembler chunks), so the frame
+	// can be released as soon as it returns.
+	step := func() { q.packetArrived(bth, rest); pkt.Release() }
 	wait := func() { s.touchCache(k, step) }
 	if s.pcie != nil && len(rest) > 0 {
 		s.pcie.Transfer(2*len(rest), wait)

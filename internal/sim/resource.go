@@ -14,18 +14,31 @@ type Server struct {
 	name  string
 	units int
 
-	busy    int
-	queue   []serverJob
-	busyNS  int64 // integral of busy units over time, for utilization
-	lastUpd Time
-	resetAt Time
-	served  uint64
-	maxQ    int
+	busy     int
+	queue    []serverJob
+	busyNS   int64 // integral of busy units over time, for utilization
+	lastUpd  Time
+	resetAt  Time
+	served   uint64
+	maxQ     int
+	freeDone []*svcDone
 }
 
 type serverJob struct {
 	service time.Duration
 	done    func()
+	afn     func(any)
+	arg     any
+}
+
+// svcDone carries one in-service job's completion callback through the
+// engine's arg-based event path; nodes are pooled on the Server so
+// steady-state Submit/complete cycles do not allocate.
+type svcDone struct {
+	s    *Server
+	done func()
+	afn  func(any)
+	arg  any
 }
 
 // NewServer creates a pool with the given number of service units.
@@ -75,14 +88,25 @@ func (s *Server) Utilization() float64 {
 // Submit enqueues a job with the given service time; done (may be nil) runs
 // at completion.
 func (s *Server) Submit(service time.Duration, done func()) {
-	if service < 0 {
-		service = 0
+	s.submit(serverJob{service: service, done: done})
+}
+
+// SubmitArg enqueues a job whose completion calls fn(arg). Like
+// Engine.ScheduleArg, this lets hot paths pass a package-level function and
+// a pooled state value instead of allocating a closure per job.
+func (s *Server) SubmitArg(service time.Duration, fn func(any), arg any) {
+	s.submit(serverJob{service: service, afn: fn, arg: arg})
+}
+
+func (s *Server) submit(j serverJob) {
+	if j.service < 0 {
+		j.service = 0
 	}
 	if s.busy < s.units {
-		s.start(serverJob{service, done})
+		s.start(j)
 		return
 	}
-	s.queue = append(s.queue, serverJob{service, done})
+	s.queue = append(s.queue, j)
 	if len(s.queue) > s.maxQ {
 		s.maxQ = len(s.queue)
 	}
@@ -91,20 +115,41 @@ func (s *Server) Submit(service time.Duration, done func()) {
 func (s *Server) start(j serverJob) {
 	s.account()
 	s.busy++
-	s.eng.Schedule(j.service, func() {
-		s.account()
-		s.busy--
-		s.served++
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
-			s.queue = s.queue[:len(s.queue)-1]
-			s.start(next)
-		}
-		if j.done != nil {
-			j.done()
-		}
-	})
+	var d *svcDone
+	if n := len(s.freeDone); n > 0 {
+		d = s.freeDone[n-1]
+		s.freeDone[n-1] = nil
+		s.freeDone = s.freeDone[:n-1]
+	} else {
+		d = &svcDone{s: s}
+	}
+	d.done, d.afn, d.arg = j.done, j.afn, j.arg
+	s.eng.ScheduleArg(j.service, serverFinish, d)
+}
+
+// serverFinish completes one in-service job: it frees the unit, starts the
+// next queued job, returns the completion node to the pool, and only then
+// invokes the callback (which may submit again and reuse the node).
+func serverFinish(x any) {
+	d := x.(*svcDone)
+	s := d.s
+	s.account()
+	s.busy--
+	s.served++
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.start(next)
+	}
+	done, afn, arg := d.done, d.afn, d.arg
+	d.done, d.afn, d.arg = nil, nil, nil
+	s.freeDone = append(s.freeDone, d)
+	if afn != nil {
+		afn(arg)
+	} else if done != nil {
+		done()
+	}
 }
 
 // ResetStats restarts utilization and counter accounting from the current
@@ -132,6 +177,15 @@ type Channel struct {
 	xferred  uint64
 	busyNS   int64
 	resetAt2 Time
+	freeDone []*chDone
+}
+
+// chDone is the Channel counterpart of svcDone: a pooled completion node.
+type chDone struct {
+	c    *Channel
+	done func()
+	afn  func(any)
+	arg  any
 }
 
 // NewChannel creates a pipe with the given rate in bits per second.
@@ -156,6 +210,16 @@ func (c *Channel) SerializationDelay(n int) time.Duration {
 // Transfer schedules n bytes through the pipe; done fires when the transfer
 // completes (after any queueing behind earlier transfers).
 func (c *Channel) Transfer(n int, done func()) {
+	c.transfer(n, done, nil, nil)
+}
+
+// TransferArg schedules n bytes through the pipe with an arg-based
+// completion; see Engine.ScheduleArg for the allocation rationale.
+func (c *Channel) TransferArg(n int, fn func(any), arg any) {
+	c.transfer(n, nil, fn, arg)
+}
+
+func (c *Channel) transfer(n int, done func(), afn func(any), arg any) {
 	now := c.eng.Now()
 	start := c.free
 	if start < now {
@@ -167,12 +231,30 @@ func (c *Channel) Transfer(n int, done func()) {
 	c.free = end
 	c.xferred += uint64(n)
 	c.queued++
-	c.eng.At(end, func() {
-		c.queued--
-		if done != nil {
-			done()
-		}
-	})
+	var d *chDone
+	if ln := len(c.freeDone); ln > 0 {
+		d = c.freeDone[ln-1]
+		c.freeDone[ln-1] = nil
+		c.freeDone = c.freeDone[:ln-1]
+	} else {
+		d = &chDone{c: c}
+	}
+	d.done, d.afn, d.arg = done, afn, arg
+	c.eng.AtArg(end, channelFinish, d)
+}
+
+func channelFinish(x any) {
+	d := x.(*chDone)
+	c := d.c
+	c.queued--
+	done, afn, arg := d.done, d.afn, d.arg
+	d.done, d.afn, d.arg = nil, nil, nil
+	c.freeDone = append(c.freeDone, d)
+	if afn != nil {
+		afn(arg)
+	} else if done != nil {
+		done()
+	}
 }
 
 // Backlog returns how far in the future the pipe is already committed.

@@ -1,0 +1,219 @@
+// Package runtime executes independent share-nothing simulation shards in
+// parallel. It is the multi-engine counterpart of the single-engine kernel
+// in internal/sim, mirroring the paper's Luna engine: one run-to-complete
+// engine per core, no shared mutable state between shards, and deterministic
+// merging of per-shard results.
+//
+// The rules that make this safe and reproducible:
+//
+//   - Each shard builds its own sim.Engine (and model on top of it) inside
+//     the shard function; nothing crosses shard boundaries except the shard
+//     index and the values returned.
+//   - Results are always delivered in shard order, never completion order,
+//     so aggregates are bit-identical whether the fleet ran on 1 worker or
+//     on GOMAXPROCS workers.
+//   - Seeds derive from the shard index, not from any shared random stream
+//     consumed at run time.
+package runtime
+
+import (
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
+)
+
+// Runner fans independent shard functions out over a fixed-size worker
+// pool. The zero value uses GOMAXPROCS workers; Workers == 1 runs shards
+// serially on the calling goroutine, which is useful for determinism
+// regression tests and debugging.
+type Runner struct {
+	Workers int
+}
+
+// workers resolves the effective pool size.
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return gort.GOMAXPROCS(0)
+}
+
+// Each runs job(shard) for every shard in [0, n) and blocks until all
+// complete. Shards are claimed from a shared counter, so long shards do not
+// serialize behind short ones. A panic in any shard is re-raised on the
+// calling goroutine after the remaining shards finish.
+func (r Runner) Each(n int, job func(shard int)) {
+	if n <= 0 {
+		return
+	}
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var once sync.Once
+	var panicked any
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					once.Do(func() { panicked = p })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs job for every shard and returns the results in shard order.
+func Map[T any](r Runner, n int, job func(shard int) T) []T {
+	out := make([]T, n)
+	r.Each(n, func(i int) { out[i] = job(i) })
+	return out
+}
+
+// Perf accumulates simulator-throughput counters across shards: how many
+// events the engines executed, how much virtual time they simulated, and
+// how much wall time the shards consumed (summed across workers, so it
+// reads like CPU time). It is safe for concurrent Observe calls.
+type Perf struct {
+	mu     sync.Mutex
+	shards int
+	events uint64
+	simd   time.Duration
+	wall   time.Duration
+}
+
+// Observe folds one finished shard's engine counters and wall time in.
+func (p *Perf) Observe(eng *sim.Engine, wall time.Duration) {
+	if p == nil || eng == nil {
+		return
+	}
+	p.mu.Lock()
+	p.shards++
+	p.events += eng.Processed()
+	p.simd += eng.Now().Duration()
+	p.wall += wall
+	p.mu.Unlock()
+}
+
+// Merge folds another Perf in (used when sub-experiments run their own
+// fleets and a caller wants one aggregate).
+func (p *Perf) Merge(o *Perf) {
+	if p == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	shards, events, simd, wall := o.shards, o.events, o.simd, o.wall
+	o.mu.Unlock()
+	p.mu.Lock()
+	p.shards += shards
+	p.events += events
+	p.simd += simd
+	p.wall += wall
+	p.mu.Unlock()
+}
+
+// Shards returns how many shards have been observed.
+func (p *Perf) Shards() int { p.mu.Lock(); defer p.mu.Unlock(); return p.shards }
+
+// Events returns the total engine events executed.
+func (p *Perf) Events() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return p.events }
+
+// SimTime returns the total virtual time simulated across shards.
+func (p *Perf) SimTime() time.Duration { p.mu.Lock(); defer p.mu.Unlock(); return p.simd }
+
+// WallTime returns the total wall time consumed across shards (summed over
+// workers; with W busy workers this advances ~W× faster than the clock).
+func (p *Perf) WallTime() time.Duration { p.mu.Lock(); defer p.mu.Unlock(); return p.wall }
+
+// EventsPerSec returns engine events executed per second of shard wall
+// time — the simulator's core throughput metric.
+func (p *Perf) EventsPerSec() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wall <= 0 {
+		return 0
+	}
+	return float64(p.events) / p.wall.Seconds()
+}
+
+// SimMicrosPerWallMs returns how many microseconds of virtual time the
+// simulator advances per millisecond of wall time.
+func (p *Perf) SimMicrosPerWallMs() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wall <= 0 {
+		return 0
+	}
+	return float64(p.simd.Microseconds()) / (float64(p.wall.Nanoseconds()) / 1e6)
+}
+
+// Fleet couples a Runner with Perf accounting: it executes N independent
+// (Engine, model, seed) shards and reports the fleet's simulator
+// throughput. Experiments share one Fleet per table so the CLI can print
+// events/sec alongside the simulated results.
+type Fleet struct {
+	Runner Runner
+	Perf   Perf
+}
+
+// Run executes n shards on the fleet. Each shard function builds its own
+// engine and model (seeded from the shard index), drives the simulation to
+// completion, and returns (result, engine). Results come back in shard
+// order; engine counters are folded into the fleet's Perf.
+func Run[T any](f *Fleet, n int, job func(shard int) (T, *sim.Engine)) []T {
+	out := make([]T, n)
+	f.Runner.Each(n, func(i int) {
+		t0 := time.Now()
+		v, eng := job(i)
+		f.Perf.Observe(eng, time.Since(t0))
+		out[i] = v
+	})
+	return out
+}
+
+// MergeHistograms folds per-shard histograms into a fresh one in shard
+// order, so the aggregate is identical regardless of which worker finished
+// first. Nil entries are skipped.
+func MergeHistograms(parts []*stats.Histogram) *stats.Histogram {
+	out := stats.NewHistogram()
+	for _, h := range parts {
+		if h != nil {
+			out.Merge(h)
+		}
+	}
+	return out
+}
+
+// SumCounts sums per-shard counters in shard order.
+func SumCounts(parts []uint64) uint64 {
+	var total uint64
+	for _, v := range parts {
+		total += v
+	}
+	return total
+}

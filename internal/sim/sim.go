@@ -6,13 +6,29 @@
 // All simulated latencies in the repository are measured in virtual time
 // produced by this package, so results are exactly reproducible for a fixed
 // seed regardless of host machine speed.
+//
+// # Ownership
+//
+// An Engine is share-nothing: it is owned by exactly one goroutine at a
+// time, the one driving Step/Run/RunUntil. Independent engines may run on
+// separate goroutines concurrently (see sim/runtime for a parallel shard
+// runner); sharing one engine between goroutines is a bug, and the engine
+// detects concurrent drivers with a cheap atomic check and panics.
+//
+// # Allocation discipline
+//
+// Events are pooled per engine: firing or cancelling an event returns it
+// (with its callback references cleared) to an engine-owned free list, so
+// steady-state scheduling is allocation-free. The arg-based variants
+// (ScheduleArg, AtArg) let hot paths avoid closure allocations entirely by
+// passing a package-level function plus a pooled state value.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,68 +48,68 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. It may be cancelled before it fires.
+// Event is a scheduled callback, owned by its engine's pool. Model code
+// never holds a *Event directly; it holds a Timer, whose generation check
+// makes a handle to a fired-and-recycled event a harmless no-op.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+	eng   *Engine
+	at    Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	afn   func(any)
+	arg   any
+	index int32 // heap index, -1 when not queued
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and inactive. Timers are value types: copy them freely, but only
+// the engine's owning goroutine may use them.
+type Timer struct {
+	e   *Event
+	gen uint64
+}
+
+// Active reports whether the event is still pending (not fired, not
+// cancelled).
+func (t Timer) Active() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.index >= 0
+}
+
+// At returns the virtual time the event is scheduled for, or 0 if the
+// event already fired or was cancelled.
+func (t Timer) At() Time {
+	if !t.Active() {
+		return 0
 	}
+	return t.e.at
 }
 
-// Canceled reports whether Cancel was called.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel removes the event from the queue and releases it (and its callback
+// references) back to the engine pool. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t Timer) Cancel() {
+	ev := t.e
+	if ev == nil || ev.gen != t.gen || ev.index < 0 {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	eng := ev.eng
+	eng.remove(ev)
+	eng.release(ev)
 }
 
-// Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; all model code runs inside event callbacks on the caller's
-// goroutine.
+// Engine is a single-threaded discrete-event scheduler. All model code runs
+// inside event callbacks on the owning goroutine; see the package comment
+// for the ownership rules.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	Rand   *Rand
+	now  Time
+	seq  uint64
+	heap []*Event
+	free []*Event
+	Rand *Rand
 
 	processed uint64
+	busy      atomic.Int32
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -107,67 +123,136 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// enter marks the engine as being driven; a second concurrent driver is a
+// share-nothing violation and panics immediately.
+func (e *Engine) enter() {
+	if !e.busy.CompareAndSwap(0, 1) {
+		panic("sim: Engine driven from multiple goroutines; each Engine is owned by exactly one")
+	}
+}
+
+func (e *Engine) leave() { e.busy.Store(0) }
+
+// eventBlock is how many Events are allocated at once when the free list is
+// empty; batching keeps pool refills rare and the events cache-adjacent.
+const eventBlock = 128
+
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	block := make([]Event, eventBlock)
+	for i := range block {
+		block[i].eng = e
+		block[i].index = -1
+	}
+	for i := eventBlock - 1; i > 0; i-- {
+		e.free = append(e.free, &block[i])
+	}
+	return &block[0]
+}
+
+// release returns a fired or cancelled event to the pool, dropping its
+// callback references so they cannot pin packet buffers, and bumping the
+// generation so outstanding Timers become no-ops.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn after delay d. A negative delay is treated as zero.
-// The returned event may be cancelled.
-func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.schedule(e.now.Add(d), fn, nil, nil)
 }
 
 // At runs fn at absolute virtual time t. Scheduling in the past is an error
 // in the model; it panics to surface the bug immediately.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) after delay d. Unlike Schedule it takes a plain
+// function plus an explicit argument, so hot paths can pass a package-level
+// function and a pooled state value instead of allocating a closure.
+func (e *Engine) ScheduleArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now.Add(d), nil, fn, arg)
+}
+
+// AtArg runs fn(arg) at absolute virtual time t; see ScheduleArg.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Timer {
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.afn = afn
+	ev.arg = arg
+	e.push(ev)
+	return Timer{e: ev, gen: ev.gen}
 }
 
 // Step executes the next event, advancing the clock. It returns false when
 // no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	e.enter()
+	defer e.leave()
+	return e.step()
+}
+
+func (e *Engine) step() bool {
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	ev := e.pop()
+	e.now = ev.at
+	e.processed++
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.release(ev)
+	if afn != nil {
+		afn(arg)
+	} else if fn != nil {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains.
 func (e *Engine) Run() {
-	for e.Step() {
+	e.enter()
+	defer e.leave()
+	for e.step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		// Peek.
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
-		e.Step()
+	e.enter()
+	defer e.leave()
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.step()
 	}
 	if e.now < t {
 		e.now = t
@@ -176,6 +261,96 @@ func (e *Engine) RunUntil(t Time) {
 
 // RunFor executes events for duration d of virtual time from now.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Intrusive binary min-heap ordered by (at, seq). Events carry their own
+// heap index so Cancel can remove them eagerly in O(log n) without the
+// container/heap interface indirection.
+
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) pop() *Event {
+	root := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+func (e *Engine) remove(ev *Event) {
+	i := int(ev.index)
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if i < n {
+		e.heap[i] = last
+		last.index = int32(i)
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (e *Engine) swap(i, j int) {
+	h := e.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].index = int32(i)
+	h[j].index = int32(j)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) bool {
+	h := e.heap
+	n := len(h)
+	moved := false
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		e.swap(i, m)
+		i = m
+		moved = true
+	}
+	return moved
+}
 
 // Rand wraps math/rand with the distributions the models need.
 type Rand struct {

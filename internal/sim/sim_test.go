@@ -40,14 +40,124 @@ func TestEngineFIFOAtSameTime(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	eng := NewEngine(1)
 	fired := false
-	ev := eng.Schedule(time.Millisecond, func() { fired = true })
-	ev.Cancel()
+	tm := eng.Schedule(time.Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("Active() = false before Cancel")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("Active() = true after Cancel")
+	}
+	tm.Cancel() // double-cancel is a no-op
 	eng.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+}
+
+func TestCancelReleasesCallback(t *testing.T) {
+	eng := NewEngine(1)
+	tm := eng.Schedule(time.Millisecond, func() {})
+	ev := tm.e
+	tm.Cancel()
+	if ev.fn != nil || ev.afn != nil || ev.arg != nil {
+		t.Fatal("cancelled event still pins its callback")
+	}
+	if len(eng.free) == 0 {
+		t.Fatal("cancelled event not returned to the pool")
+	}
+}
+
+func TestStaleTimerDoesNotCancelRecycledEvent(t *testing.T) {
+	eng := NewEngine(1)
+	first := eng.Schedule(time.Microsecond, func() {})
+	eng.Run() // fires; the event returns to the pool
+	fired := false
+	second := eng.Schedule(time.Microsecond, func() { fired = true })
+	first.Cancel() // stale handle; may alias second's recycled Event
+	if !second.Active() {
+		t.Fatal("stale Cancel deactivated a recycled event")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestCancelMidHeapKeepsOrdering(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	var timers []Timer
+	for i := 0; i < 50; i++ {
+		i := i
+		timers = append(timers, eng.Schedule(time.Duration(37*i%50)*time.Microsecond, func() {
+			got = append(got, 37*i%50)
+		}))
+	}
+	for i := 0; i < 50; i += 3 {
+		timers[i].Cancel()
+	}
+	eng.Run()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order after mid-heap removals: %v", got)
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", eng.Pending())
+	}
+}
+
+func TestConcurrentDrivePanics(t *testing.T) {
+	eng := NewEngine(1)
+	res := make(chan any, 1)
+	eng.Schedule(time.Microsecond, func() {
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			eng.Step() // second driver while Run holds the engine
+		}()
+		res <- <-done
+	})
+	eng.Run()
+	if r := <-res; r == nil {
+		t.Fatal("driving one engine from two goroutines did not panic")
+	}
+}
+
+func TestSteadyStateSchedulingAllocs(t *testing.T) {
+	eng := NewEngine(1)
+	noop := func(any) {}
+	// Warm the event pool and the heap's backing array.
+	for i := 0; i < 256; i++ {
+		eng.ScheduleArg(time.Microsecond, noop, nil)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		eng.ScheduleArg(time.Microsecond, noop, nil)
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %v per cycle, want 0", avg)
+	}
+}
+
+func TestSubmitArgAllocs(t *testing.T) {
+	eng := NewEngine(1)
+	srv := NewServer(eng, "cpu", 2)
+	noop := func(any) {}
+	for i := 0; i < 64; i++ {
+		srv.SubmitArg(time.Microsecond, noop, nil)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		srv.SubmitArg(time.Microsecond, noop, nil)
+		srv.SubmitArg(time.Microsecond, noop, nil)
+		srv.SubmitArg(time.Microsecond, noop, nil)
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state SubmitArg allocates %v per cycle, want 0", avg)
 	}
 }
 
@@ -349,11 +459,14 @@ func TestServerResetStats(t *testing.T) {
 
 func TestEventAtAccessor(t *testing.T) {
 	eng := NewEngine(1)
-	ev := eng.Schedule(7*time.Microsecond, func() {})
-	if ev.At() != Time(7*time.Microsecond) {
-		t.Fatalf("At = %v", ev.At())
+	tm := eng.Schedule(7*time.Microsecond, func() {})
+	if tm.At() != Time(7*time.Microsecond) {
+		t.Fatalf("At = %v", tm.At())
 	}
 	eng.Run()
+	if tm.At() != 0 {
+		t.Fatalf("At after fire = %v, want 0", tm.At())
+	}
 }
 
 func TestTimeHelpers(t *testing.T) {

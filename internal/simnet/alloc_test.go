@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"testing"
+
+	"lunasolar/internal/sim"
+)
+
+// TestForwardingAllocFree drives a pooled data packet across the fabric
+// (host → ToR → spine → ToR → host) and asserts the steady-state forwarding
+// path performs zero heap allocations: packets, link transfers, switch
+// forwarding nodes and timer events all come from engine-owned free lists.
+func TestForwardingAllocFree(t *testing.T) {
+	eng := sim.NewEngine(7)
+	cfg := DefaultConfig()
+	cfg.RacksPerPod = 2
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 2
+	cfg.CoresPerDC = 2
+	fab := New(eng, cfg)
+
+	a := fab.Host(0, 0, 0, 0)
+	b := fab.Host(0, 1, 0, 0)
+	a.Handler = func(pkt *Packet) { pkt.Release() }
+	b.Handler = func(pkt *Packet) { pkt.Release() }
+
+	send := func() {
+		pkt := a.PacketPool().Get(4096)
+		pkt.Dst = b.Addr()
+		pkt.Proto = 17
+		pkt.SrcPort = 30001
+		pkt.DstPort = 7010
+		pkt.Overhead = EthOverhead
+		pkt.SentAt = eng.Now()
+		if !a.Send(pkt) {
+			pkt.Release()
+		}
+		eng.Run()
+	}
+
+	// Warm the pools (packet buffers, xfer/fwd nodes, event free list).
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(200, send); allocs != 0 {
+		t.Fatalf("steady-state fabric forwarding allocates %.1f objects per packet, want 0", allocs)
+	}
+	if n := fab.Pool().Outstanding(); n != 0 {
+		t.Fatalf("pool reports %d leaked packets", n)
+	}
+}

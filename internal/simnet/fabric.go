@@ -74,7 +74,16 @@ type Fabric struct {
 
 	hopSeq uint16
 	drops  map[string]uint64
+
+	// Engine-owned free lists (see pool.go): packets/buffers plus the
+	// event-state nodes used by the link and switch hot paths.
+	pool     PacketPool
+	freeXfer []*linkXfer
+	freeFwd  []*swFwd
 }
+
+// Pool returns the fabric's engine-owned packet pool.
+func (f *Fabric) Pool() *PacketPool { return &f.pool }
 
 // New builds the fabric described by cfg.
 func New(eng *sim.Engine, cfg Config) *Fabric {

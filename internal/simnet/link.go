@@ -112,19 +112,33 @@ func (p *Port) Send(pkt *Packet) bool {
 	end := start.Add(ser)
 	p.busyUntil = end
 	p.sent++
-	peer := p.peer
-	eng.At(end, func() {
-		p.queuedBytes -= size
-		p.txBytes += uint64(size)
-	})
-	eng.At(end.Add(p.propDelay), func() {
-		if peer.up && peer.owner.Alive() {
-			peer.owner.Receive(pkt, peer)
-		} else {
-			p.fab.countDrop("deadpeer")
-		}
-	})
+	// One pooled transfer node backs both events; the dequeue event always
+	// fires first (same or earlier time, lower sequence), and delivery
+	// returns the node to the pool.
+	x := p.fab.getXfer()
+	x.port, x.pkt, x.size = p, pkt, size
+	eng.AtArg(end, linkTxDone, x)
+	eng.AtArg(end.Add(p.propDelay), linkDeliver, x)
 	return true
+}
+
+func linkTxDone(a any) {
+	x := a.(*linkXfer)
+	x.port.queuedBytes -= x.size
+	x.port.txBytes += uint64(x.size)
+}
+
+func linkDeliver(a any) {
+	x := a.(*linkXfer)
+	p, pkt := x.port, x.pkt
+	p.fab.putXfer(x)
+	peer := p.peer
+	if peer.up && peer.owner.Alive() {
+		peer.owner.Receive(pkt, peer)
+	} else {
+		p.fab.countDrop("deadpeer")
+		pkt.Release()
+	}
 }
 
 // connect wires two ports as a full-duplex link.
@@ -187,19 +201,33 @@ func (h *Host) Send(pkt *Packet) bool {
 	// NIC bonding reacts to link signal only: a ToR that hangs with its
 	// ports electrically up keeps receiving (and losing) the flows hashed
 	// to it — the scenario that hurts single-path stacks in Table 2.
-	var up []*Port
+	// Counting then indexing (instead of building a slice) keeps the
+	// per-packet path allocation-free.
+	up := 0
 	for _, p := range h.ports {
 		if p.up && p.peer.up {
-			up = append(up, p)
+			up++
 		}
 	}
-	if len(up) == 0 {
+	if up == 0 {
 		h.fab.countDrop("hostdark")
 		return false
 	}
-	port := up[FlowHash(pkt, 0x9e3779b9)%uint32(len(up))]
-	return port.Send(pkt)
+	k := int(FlowHash(pkt, 0x9e3779b9) % uint32(up))
+	for _, p := range h.ports {
+		if p.up && p.peer.up {
+			if k == 0 {
+				return p.Send(pkt)
+			}
+			k--
+		}
+	}
+	return false
 }
+
+// PacketPool returns the fabric-owned packet pool for stacks attached to
+// this host.
+func (h *Host) PacketPool() *PacketPool { return h.fab.Pool() }
 
 // Ports exposes the host's NIC ports (tests and failure drills use this).
 func (h *Host) Ports() []*Port { return h.ports }

@@ -24,5 +24,7 @@ func (m *Mux) Handle(proto uint8, fn func(*Packet)) {
 func (m *Mux) dispatch(pkt *Packet) {
 	if fn, ok := m.byProto[pkt.Proto]; ok {
 		fn(pkt)
+		return
 	}
+	pkt.Release() // no stack claims the protocol: the frame dies here
 }

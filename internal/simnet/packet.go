@@ -37,10 +37,44 @@ type Packet struct {
 	INT *wire.INTStack // non-nil when the sender requested telemetry
 
 	SentAt sim.Time // stamped by the sender for RTT accounting
+
+	// Pool bookkeeping; zero for packets built with struct literals.
+	pool        *PacketPool
+	ownsPayload bool // Payload came from the pool and returns with the packet
+	free        bool
+	intStore    wire.INTStack // backing storage for INT when pooled
 }
 
 // WireSize returns the frame's size on the wire in bytes.
 func (p *Packet) WireSize() int { return p.Overhead + len(p.Payload) }
+
+// ResetINT attaches the packet's embedded telemetry stack (emptied), so
+// senders that request INT do not allocate a stack per packet.
+func (p *Packet) ResetINT() {
+	p.intStore.Hops = p.intStore.Hops[:0]
+	p.INT = &p.intStore
+}
+
+// Release returns the packet — and its payload buffer, when pool-owned —
+// to the packet pool. It is a no-op for packets not built from a pool, so
+// every consumer can release unconditionally. Double release of a pooled
+// packet is a bug and panics.
+func (p *Packet) Release() {
+	pp := p.pool
+	if pp == nil {
+		return
+	}
+	if p.free {
+		panic("simnet: packet double-released")
+	}
+	if p.ownsPayload && p.Payload != nil {
+		pp.PutBuf(p.Payload)
+	}
+	hops := p.intStore.Hops
+	*p = Packet{pool: pp, free: true}
+	p.intStore.Hops = hops[:0]
+	pp.put(p)
+}
 
 // DefaultOverheadUDP is the envelope size for UDP-borne packets.
 const DefaultOverheadUDP = EthOverhead + wire.IPv4Size + wire.UDPSize

@@ -1,0 +1,163 @@
+package simnet
+
+import "lunasolar/internal/wire"
+
+// Payload buffer size classes. Small covers ACKs, probes and control
+// frames; mid covers RDMA/TCP control and partial blocks; data covers a
+// full 4 KiB block plus every header the stacks prepend.
+const (
+	bufClassSmall = 256
+	bufClassMid   = 1152
+	bufClassData  = wire.RPCSize + wire.EBSSize + wire.BlockSize + 128
+)
+
+// PacketPool is an engine-owned free list of packets and payload buffers.
+// It deliberately avoids sync.Pool: free lists are plain LIFO slices owned
+// by the fabric's engine, so reuse order is deterministic for a fixed seed
+// and nothing is shared between engines. Share-nothing shards each own
+// their fabric and therefore their pool.
+//
+// Ownership discipline: the sender obtains a packet from the pool, the
+// fabric carries it, and whoever terminates the packet's life releases it —
+// the receiving stack after processing, the fabric on in-flight drops, or
+// the sender when Send reports a local drop. Release on a packet that did
+// not come from a pool is a no-op, so tests and cold paths can keep
+// building packets with struct literals.
+type PacketPool struct {
+	pkts  []*Packet
+	small [][]byte
+	mid   [][]byte
+	data  [][]byte
+
+	gets, puts, news uint64
+}
+
+// Get returns a packet with a zeroed envelope and a pool-owned payload
+// buffer of length n (no payload when n == 0). The packet's INT pointer is
+// nil; senders that want telemetry call ResetINT.
+func (pp *PacketPool) Get(n int) *Packet {
+	var p *Packet
+	if ln := len(pp.pkts); ln > 0 {
+		p = pp.pkts[ln-1]
+		pp.pkts[ln-1] = nil
+		pp.pkts = pp.pkts[:ln-1]
+		p.free = false
+	} else {
+		p = &Packet{pool: pp}
+		pp.news++
+	}
+	pp.gets++
+	if n > 0 {
+		p.Payload = pp.GetBuf(n)
+		p.ownsPayload = true
+	}
+	return p
+}
+
+// GetBuf returns a pooled byte slice of length n. Sizes above the largest
+// class fall back to a plain allocation (and PutBuf will drop them).
+func (pp *PacketPool) GetBuf(n int) []byte {
+	var list *[][]byte
+	switch {
+	case n <= bufClassSmall:
+		list = &pp.small
+	case n <= bufClassMid:
+		list = &pp.mid
+	case n <= bufClassData:
+		list = &pp.data
+	default:
+		return make([]byte, n)
+	}
+	if ln := len(*list); ln > 0 {
+		b := (*list)[ln-1]
+		(*list)[ln-1] = nil
+		*list = (*list)[:ln-1]
+		return b[:n]
+	}
+	switch list {
+	case &pp.small:
+		return make([]byte, n, bufClassSmall)
+	case &pp.mid:
+		return make([]byte, n, bufClassMid)
+	default:
+		return make([]byte, n, bufClassData)
+	}
+}
+
+// PutBuf returns a buffer obtained from GetBuf. Buffers of unknown
+// capacity are dropped for the garbage collector.
+func (pp *PacketPool) PutBuf(b []byte) {
+	switch cap(b) {
+	case bufClassSmall:
+		pp.small = append(pp.small, b)
+	case bufClassMid:
+		pp.mid = append(pp.mid, b)
+	case bufClassData:
+		pp.data = append(pp.data, b)
+	}
+}
+
+// put returns a released packet to the free list (called via
+// Packet.Release, which resets the struct first).
+func (pp *PacketPool) put(p *Packet) {
+	pp.puts++
+	pp.pkts = append(pp.pkts, p)
+}
+
+// Gets returns how many packets have been handed out, and News how many of
+// those required a fresh allocation; their ratio is the pool's hit rate.
+func (pp *PacketPool) Gets() uint64 { return pp.gets }
+
+// News returns the number of pool misses (fresh packet allocations).
+func (pp *PacketPool) News() uint64 { return pp.news }
+
+// Outstanding returns packets handed out but not yet released. With the
+// fabric idle this should be zero; anything else is a leaked packet (a
+// receive path that forgot to Release).
+func (pp *PacketPool) Outstanding() uint64 { return pp.gets - pp.puts }
+
+// linkXfer carries one in-flight frame through the port's two scheduled
+// events (serialization done, then delivery); nodes are pooled on the
+// fabric so link transit does not allocate.
+type linkXfer struct {
+	port *Port
+	pkt  *Packet
+	size int
+}
+
+// swFwd carries one frame through a switch's pipeline-latency event.
+type swFwd struct {
+	sw     *Switch
+	egress *Port
+	pkt    *Packet
+}
+
+func (f *Fabric) getXfer() *linkXfer {
+	if n := len(f.freeXfer); n > 0 {
+		x := f.freeXfer[n-1]
+		f.freeXfer[n-1] = nil
+		f.freeXfer = f.freeXfer[:n-1]
+		return x
+	}
+	return &linkXfer{}
+}
+
+func (f *Fabric) putXfer(x *linkXfer) {
+	x.port, x.pkt, x.size = nil, nil, 0
+	f.freeXfer = append(f.freeXfer, x)
+}
+
+func (f *Fabric) getFwd() *swFwd {
+	if n := len(f.freeFwd); n > 0 {
+		x := f.freeFwd[n-1]
+		f.freeFwd[n-1] = nil
+		f.freeFwd = f.freeFwd[:n-1]
+		return x
+	}
+	return &swFwd{}
+}
+
+func (f *Fabric) putFwd(x *swFwd) {
+	x.sw, x.egress, x.pkt = nil, nil, nil
+	f.freeFwd = append(f.freeFwd, x)
+}

@@ -149,21 +149,31 @@ func (s *Switch) usable(p *Port) bool {
 }
 
 // pick selects a member of g for pkt by consistent hash over the usable
-// ports. Returns nil if no port is usable.
+// ports. Returns nil if no port is usable. Count-then-index keeps this
+// per-packet path allocation-free.
 func (s *Switch) pick(g *ecmpGroup, pkt *Packet) *Port {
 	if g == nil || len(g.ports) == 0 {
 		return nil
 	}
-	usable := make([]*Port, 0, len(g.ports))
+	usable := 0
 	for _, p := range g.ports {
 		if s.usable(p) {
-			usable = append(usable, p)
+			usable++
 		}
 	}
-	if len(usable) == 0 {
+	if usable == 0 {
 		return nil
 	}
-	return usable[FlowHash(pkt, s.salt)%uint32(len(usable))]
+	k := int(FlowHash(pkt, s.salt) % uint32(usable))
+	for _, p := range g.ports {
+		if s.usable(p) {
+			if k == 0 {
+				return p
+			}
+			k--
+		}
+	}
+	return nil
 }
 
 // route resolves the egress ECMP group for dst via longest-prefix order:
@@ -184,17 +194,21 @@ func (s *Switch) route(dst uint32) *ecmpGroup {
 	return s.defaultUp
 }
 
-// Receive forwards a packet after the switch pipeline latency.
+// Receive forwards a packet after the switch pipeline latency. The switch
+// owns the packet while it transits, so every drop path releases it back
+// to the pool.
 func (s *Switch) Receive(pkt *Packet, _ *Port) {
 	s.rx++
 	if !s.alive {
 		s.dropped++
 		s.fab.countDrop("hang:" + s.name)
+		pkt.Release()
 		return
 	}
 	if s.dropRate > 0 && s.fab.rand.Bernoulli(s.dropRate) {
 		s.dropped++
 		s.fab.countDrop("rand:" + s.name)
+		pkt.Release()
 		return
 	}
 	if s.blackholeFrac > 0 {
@@ -202,12 +216,14 @@ func (s *Switch) Receive(pkt *Packet, _ *Port) {
 		if float64(h%10000) < s.blackholeFrac*10000 {
 			s.dropped++
 			s.fab.countDrop("blackhole:" + s.name)
+			pkt.Release()
 			return
 		}
 	}
 	if pkt.TTL == 0 {
 		s.dropped++
 		s.fab.countDrop("ttl")
+		pkt.Release()
 		return
 	}
 	pkt.TTL--
@@ -216,16 +232,27 @@ func (s *Switch) Receive(pkt *Packet, _ *Port) {
 	if egress == nil {
 		s.dropped++
 		s.fab.countDrop("noroute:" + s.name)
+		pkt.Release()
 		return
 	}
 	s.forwarded++
-	s.fab.Eng.Schedule(s.latency, func() {
-		if !s.alive { // failed while the packet was in the pipeline
-			s.fab.countDrop("hang:" + s.name)
-			return
-		}
-		egress.Send(pkt)
-	})
+	x := s.fab.getFwd()
+	x.sw, x.egress, x.pkt = s, egress, pkt
+	s.fab.Eng.ScheduleArg(s.latency, switchForward, x)
+}
+
+func switchForward(a any) {
+	x := a.(*swFwd)
+	s, egress, pkt := x.sw, x.egress, x.pkt
+	s.fab.putFwd(x)
+	if !s.alive { // failed while the packet was in the pipeline
+		s.fab.countDrop("hang:" + s.name)
+		pkt.Release()
+		return
+	}
+	if !egress.Send(pkt) {
+		pkt.Release()
+	}
 }
 
 func addPort(g *ecmpGroup, p *Port) *ecmpGroup {

@@ -29,7 +29,7 @@ type conn struct {
 	sndNxt   uint32
 	maxSent  uint32 // high-water mark of sndNxt (survives RTO rewinds)
 	dupAcks  int
-	rtoTimer *sim.Event
+	rtoTimer sim.Timer
 	backoff  int
 
 	// NewReno fast recovery: while inFastRec, each partial ack below
@@ -99,7 +99,7 @@ func (c *conn) pump() {
 		}
 		c.transmit(seq, seg, false)
 	}
-	if c.inflight() > 0 && c.rtoTimer == nil {
+	if c.inflight() > 0 && !c.rtoTimer.Active() {
 		c.armRTO()
 	}
 }
@@ -115,7 +115,9 @@ func (c *conn) transmit(seq uint32, payload []byte, isRetx bool) {
 	c.txSegs++
 	send := func() {
 		pkt := c.makePacket(seq, payload, 0)
-		c.s.host.Send(pkt)
+		if !c.s.host.Send(pkt) {
+			pkt.Release()
+		}
 	}
 	step := func() {
 		if c.s.pcie != nil && len(payload) > 0 {
@@ -130,7 +132,8 @@ func (c *conn) transmit(seq uint32, payload []byte, isRetx bool) {
 	c.s.cores.Submit(cost, step)
 }
 
-// makePacket builds the frame: TCP header + stream payload.
+// makePacket builds the frame (TCP header + stream payload) from the
+// host's packet pool.
 func (c *conn) makePacket(seq uint32, payload []byte, extraFlags uint8) *simnet.Packet {
 	hdr := wire.TCPSeg{
 		SrcPort: c.key.localPort,
@@ -140,25 +143,23 @@ func (c *conn) makePacket(seq uint32, payload []byte, extraFlags uint8) *simnet.
 		Flags:   wire.TCPFlagACK | extraFlags,
 		Window:  65535,
 	}
-	buf := make([]byte, wire.TCPSegSize+len(payload))
-	if err := hdr.Encode(buf); err != nil {
+	pkt := c.s.pool.Get(wire.TCPSegSize + len(payload))
+	if err := hdr.Encode(pkt.Payload); err != nil {
 		panic(err)
 	}
-	copy(buf[wire.TCPSegSize:], payload)
+	copy(pkt.Payload[wire.TCPSegSize:], payload)
 	ecn := uint8(wire.ECNNotECT)
 	if c.s.params.UseECN {
 		ecn = wire.ECNECT0
 	}
-	return &simnet.Packet{
-		Dst:      c.key.peer,
-		Proto:    wire.ProtoTCP,
-		SrcPort:  c.key.localPort,
-		DstPort:  c.key.remotePort,
-		ECN:      ecn,
-		Payload:  buf,
-		Overhead: simnet.EthOverhead + wire.IPv4Size,
-		SentAt:   c.s.eng.Now(),
-	}
+	pkt.Dst = c.key.peer
+	pkt.Proto = wire.ProtoTCP
+	pkt.SrcPort = c.key.localPort
+	pkt.DstPort = c.key.remotePort
+	pkt.ECN = ecn
+	pkt.Overhead = simnet.EthOverhead + wire.IPv4Size
+	pkt.SentAt = c.s.eng.Now()
+	return pkt
 }
 
 // sendPureAck acknowledges received data; ece echoes a CE mark.
@@ -170,7 +171,10 @@ func (c *conn) sendPureAck(ece bool) {
 	}
 	cost := p.PerPktTxCPU / 2
 	c.s.cores.Submit(cost, func() {
-		c.s.host.Send(c.makePacket(c.sndNxt, nil, flags))
+		pkt := c.makePacket(c.sndNxt, nil, flags)
+		if !c.s.host.Send(pkt) {
+			pkt.Release()
+		}
 	})
 }
 
@@ -181,14 +185,12 @@ func (c *conn) armRTO() {
 }
 
 func (c *conn) clearRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = sim.Timer{}
 }
 
 func (c *conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = sim.Timer{}
 	if c.inflight() == 0 {
 		return
 	}

@@ -100,6 +100,7 @@ type Stack struct {
 	conns    map[connKey]*conn
 	pending  map[uint64]func(*transport.Response)
 	ids      transport.IDAlloc
+	pool     *simnet.PacketPool
 	nextPort uint16
 
 	// Stats.
@@ -126,6 +127,7 @@ func New(eng *sim.Engine, host *simnet.Host, cores *sim.Server, pcie *sim.Channe
 		pcie:     pcie,
 		conns:    map[connKey]*conn{},
 		pending:  map[uint64]func(*transport.Response){},
+		pool:     host.PacketPool(),
 		nextPort: 20000,
 	}
 	if host.Handler == nil {
@@ -203,16 +205,20 @@ func (s *Stack) contention() time.Duration {
 	return time.Duration(int64(s.params.LockPenalty) * int64(s.cores.Units()-1))
 }
 
-// receive demultiplexes an arriving frame to its connection.
+// receive demultiplexes an arriving frame to its connection. The stack
+// takes ownership of the frame; it is released once the segment bytes have
+// been consumed (segmentArrived copies what it keeps).
 func (s *Stack) receive(pkt *simnet.Packet) {
 	var hdr wire.TCPSeg
 	if err := hdr.Decode(pkt.Payload); err != nil {
+		pkt.Release()
 		return
 	}
 	k := connKey{peer: pkt.Src, localPort: hdr.DstPort, remotePort: hdr.SrcPort}
 	c := s.conns[k]
 	if c == nil {
 		if hdr.DstPort != ListenPort {
+			pkt.Release()
 			return // stale segment for a forgotten connection
 		}
 		c = newConn(s, k)
@@ -228,7 +234,10 @@ func (s *Stack) receive(pkt *simnet.Packet) {
 		cost /= 2
 	}
 	deliver := func() {
-		s.cores.Submit(cost, func() { c.segmentArrived(hdr, payload, ce) })
+		s.cores.Submit(cost, func() {
+			c.segmentArrived(hdr, payload, ce)
+			pkt.Release()
+		})
 	}
 	if s.pcie != nil && len(payload) > 0 {
 		s.pcie.Transfer(2*len(payload), deliver)
@@ -364,7 +373,7 @@ func (s *Stack) DebugState() string {
 	out := fmt.Sprintf("stack %s @%08x: %d conns, retx=%d to=%d\n", s.params.StackName, s.LocalAddr(), len(s.conns), s.Retransmits, s.Timeouts)
 	for k, c := range s.conns {
 		out += fmt.Sprintf("  %v una=%d nxt=%d inflight=%d unsent=%d cwnd=%d dupAcks=%d fastRec=%v timer=%v rcvNxt=%d ooo=%d instream=%d\n",
-			k, c.sndUna, c.sndNxt, c.inflight(), c.unsent(), c.ctrl.Window(), c.dupAcks, c.inFastRec, c.rtoTimer != nil, c.rcvNxt, len(c.ooo), len(c.inStream))
+			k, c.sndUna, c.sndNxt, c.inflight(), c.unsent(), c.ctrl.Window(), c.dupAcks, c.inFastRec, c.rtoTimer.Active(), c.rcvNxt, len(c.ooo), len(c.inStream))
 	}
 	return out
 }

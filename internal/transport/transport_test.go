@@ -62,6 +62,48 @@ func TestRTTNonPositiveSample(t *testing.T) {
 	}
 }
 
+// fakeClock is a minimal schedule hook: it runs callbacks immediately while
+// accumulating the latency they were scheduled with.
+type fakeClock struct{ elapsed time.Duration }
+
+func (c *fakeClock) schedule(d time.Duration, fn func()) {
+	c.elapsed += d
+	fn()
+}
+
+func TestLoopbackNoHandler(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLoopback(clk.schedule, time.Microsecond, 42)
+	var resp *Response
+	l.Call(7, &Message{}, func(r *Response) { resp = r })
+	if resp == nil {
+		t.Fatal("done was not invoked")
+	}
+	if resp.Err != ErrAdmission {
+		t.Fatalf("err = %v, want ErrAdmission", resp.Err)
+	}
+}
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLoopback(clk.schedule, time.Microsecond, 42)
+	l.SetHandler(func(src uint32, req *Message, reply func(*Response)) {
+		if src != 42 {
+			t.Fatalf("src = %d, want local addr 42", src)
+		}
+		reply(&Response{Data: []byte{1}})
+	})
+	var resp *Response
+	l.Call(7, &Message{}, func(r *Response) { resp = r })
+	if resp == nil || resp.Err != nil || len(resp.Data) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Handover latency is paid in both directions.
+	if clk.elapsed != 2*time.Microsecond {
+		t.Fatalf("elapsed = %v, want 2µs", clk.elapsed)
+	}
+}
+
 func TestIDAlloc(t *testing.T) {
 	var a IDAlloc
 	seen := map[uint64]bool{}
