@@ -18,9 +18,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lunasolar/internal/experiments"
+	"lunasolar/internal/sim"
 	"lunasolar/internal/sim/runtime"
 )
 
@@ -50,8 +52,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit one JSON metric row per line instead of tables")
+	noWheel := flag.Bool("no-wheel", false, "force coarse timers onto the plain heap (differential debugging; output must be identical)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
+
+	if *noWheel {
+		sim.SetCoarseTimers(false)
+	}
 
 	ids := make([]string, 0, len(registry))
 	for id := range registry {
@@ -71,6 +78,10 @@ func main() {
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 
+	// Every experiment shard asserts that its cluster returned all pooled
+	// packets; any leak fails the whole run (after all output is printed).
+	var leakedTotal atomic.Int64
+
 	// render runs one experiment and returns its full text block, so
 	// concurrent experiments never interleave on stdout.
 	render := func(id string) string {
@@ -82,6 +93,11 @@ func main() {
 		start := time.Now()
 		tab := e.fn(opts)
 		elapsed := time.Since(start).Round(time.Millisecond)
+		leaked := 0
+		if tab.Perf != nil {
+			leaked = tab.Perf.Leaked()
+			leakedTotal.Add(int64(leaked))
+		}
 		if *jsonOut {
 			var b strings.Builder
 			enc := json.NewEncoder(&b)
@@ -91,12 +107,20 @@ func main() {
 					os.Exit(1)
 				}
 			}
+			if leaked > 0 {
+				enc.Encode(experiments.Metric{
+					Exp: id, Metric: "leaked_packets", Value: float64(leaked), Unit: "packets", Seed: *seed,
+				})
+			}
 			return b.String()
 		}
 		var b strings.Builder
 		b.WriteString(tab.Format())
 		if perf := tab.PerfSummary(); perf != "" {
 			fmt.Fprintf(&b, "[%s perf: %s]\n", id, perf)
+		}
+		if leaked > 0 {
+			fmt.Fprintf(&b, "[%s LEAK: %d pooled packets never returned]\n", id, leaked)
 		}
 		fmt.Fprintf(&b, "[%s completed in %v]\n\n", id, elapsed)
 		return b.String()
@@ -118,5 +142,9 @@ func main() {
 	})
 	for _, out := range outs {
 		fmt.Print(out)
+	}
+	if n := leakedTotal.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "ebsbench: %d pooled packets leaked across experiments\n", n)
+		os.Exit(1)
 	}
 }

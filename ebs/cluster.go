@@ -266,6 +266,18 @@ func (c *Cluster) Collector() *trace.Collector { return c.collector }
 // Run drains all pending events.
 func (c *Cluster) Run() { c.Eng.Run() }
 
+// Leaked reports pooled packets checked out of the fabric's packet pool
+// with no event left that could return them — a reference leak in some
+// stack's packet handling. A cluster stopped mid-run (RunFor with I/O
+// still in flight) legitimately holds packets, so the check only applies
+// once the engine has fully drained; Leaked returns 0 otherwise.
+func (c *Cluster) Leaked() int {
+	if c.Eng.Pending() != 0 {
+		return 0
+	}
+	return int(c.Fabric.Pool().Outstanding())
+}
+
 // RunFor advances virtual time by d.
 func (c *Cluster) RunFor(d time.Duration) { c.Eng.RunFor(d) }
 

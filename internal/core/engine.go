@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"lunasolar/internal/crc"
-	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
@@ -275,7 +274,10 @@ func (s *Stack) transmitOn(pe *peer, p *path, e *outPkt) {
 		wireTxSend(x)
 	}
 
-	s.armTimer(e)
+	// Backoff is capped low (maxExp 3, set at Init): retransmissions are
+	// idempotent and the SLA punishes hangs, not duplicates. The estimator
+	// is the chosen path's, so the RTO tracks the route actually in use.
+	e.retx.ArmOn(p.rtt)
 }
 
 // buildWire encodes e into a pooled frame addressed down the given path.
@@ -303,20 +305,9 @@ func (s *Stack) buildWire(e *outPkt, pathID uint16) *simnet.Packet {
 	return pkt
 }
 
-func (s *Stack) armTimer(e *outPkt) {
-	e.timer.Cancel()
-	// Backoff is capped low: retransmissions are idempotent and the SLA
-	// punishes hangs, not duplicates.
-	retries := e.retries
-	if retries > 3 {
-		retries = 3
-	}
-	d := e.path.rtt.Backoff(retries)
-	e.timer = s.eng.ScheduleArg(d, timerExpired, e)
-}
-
-// timerExpired is the pooled-event RTO trampoline. The record cannot have
-// been recycled: recycling cancels the timer first.
+// timerExpired is the pooled-record RTO trampoline, invoked by the packet's
+// embedded retransmitter. The record cannot have been recycled: recycling
+// disarms the retransmitter first.
 func timerExpired(a any) {
 	e := a.(*outPkt)
 	e.owner.onTimeout(e.pe, e)
@@ -325,7 +316,6 @@ func timerExpired(a any) {
 // onTimeout handles a per-packet RTO: selective retransmission, and path
 // failover after consecutive timeouts.
 func (s *Stack) onTimeout(pe *peer, e *outPkt) {
-	e.timer = sim.Timer{}
 	if e.acked {
 		return
 	}
@@ -342,7 +332,7 @@ func (s *Stack) onTimeout(pe *peer, e *outPkt) {
 // the window: loss recovery is urgent).
 func (s *Stack) retransmit(pe *peer, e *outPkt) {
 	s.Retransmits++
-	e.retries++
+	e.retx.RecordTimeout()
 	old := e.path
 	if old != nil {
 		old.inflightBytes -= e.size

@@ -62,12 +62,11 @@ type outPkt struct {
 	owner         *Stack
 	pe            *peer
 	path          *path
-	timer         sim.Timer
-	gen           uint32 // bumped on recycle; validates outRefs
-	payloadPooled bool   // payload returns to the buffer pool on recycle
-	sentAck       uint64 // path.ackCount at (re)send, for OOO loss detection
+	retx          transport.Retransmitter // per-packet RTO; Consecutive() doubles as the retry count
+	gen           uint32                  // bumped on recycle; validates outRefs
+	payloadPooled bool                    // payload returns to the buffer pool on recycle
+	sentAck       uint64                  // path.ackCount at (re)send, for OOO loss detection
 	sentAt        sim.Time
-	retries       int
 	acked         bool
 	firstSend     sim.Time
 }

@@ -24,19 +24,26 @@ func (s *Stack) newOutPkt() *outPkt {
 		s.freePkts = s.freePkts[:n-1]
 		return e
 	}
-	return &outPkt{owner: s}
+	e := &outPkt{owner: s}
+	e.retx.Init(s.eng, nil, maxRetxExp, timerExpired, e)
+	return e
 }
+
+// maxRetxExp caps the per-packet backoff exponent; see transmitOn.
+const maxRetxExp = 3
 
 // freeOutPkt recycles an acknowledged packet record: the retransmission
 // timer dies, the pooled payload goes back to the buffer pool, and the
-// generation bump turns any surviving outRef into a no-op.
+// generation bump turns any surviving outRef into a no-op. The record wipe
+// clears the embedded retransmitter, so it is rebound here.
 func (s *Stack) freeOutPkt(e *outPkt) {
-	e.timer.Cancel()
+	e.retx.Disarm()
 	if e.payloadPooled && e.payload != nil {
 		s.pool.PutBuf(e.payload)
 	}
 	gen := e.gen + 1
 	*e = outPkt{owner: s, gen: gen}
+	e.retx.Init(s.eng, nil, maxRetxExp, timerExpired, e)
 	s.freePkts = append(s.freePkts, e)
 }
 

@@ -19,6 +19,8 @@ func (s *Stack) startProber(pe *peer) {
 		return
 	}
 	interval := s.params.ProbeInterval
+	// Periodic and latency-tolerant: the probe loop rides the coarse
+	// scheduling class so it never costs heap churn.
 	var tick func()
 	tick = func() {
 		for _, p := range pe.paths {
@@ -27,9 +29,9 @@ func (s *Stack) startProber(pe *peer) {
 				s.sendProbe(pe, p)
 			}
 		}
-		s.eng.Schedule(interval, tick)
+		s.eng.ScheduleCoarse(interval, tick)
 	}
-	s.eng.Schedule(interval, tick)
+	s.eng.ScheduleCoarse(interval, tick)
 }
 
 // sendProbe emits one reliable probe on a specific path.

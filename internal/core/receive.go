@@ -5,7 +5,6 @@ import (
 
 	"lunasolar/internal/cc"
 	"lunasolar/internal/crc"
-	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
@@ -352,8 +351,7 @@ func (s *Stack) runAck(j *ackJob) {
 		return
 	}
 	e.acked = true
-	e.timer.Cancel()
-	e.timer = sim.Timer{}
+	e.retx.Disarm()
 	delete(s.out, key)
 	pe := s.peerFor(j.src)
 	p := e.path
@@ -366,7 +364,7 @@ func (s *Stack) runAck(j *ackJob) {
 		p.maxAckedSeq = e.pathSeq
 	}
 	rttSample := s.eng.Now().Sub(e.sentAt)
-	if e.retries == 0 { // Karn: only sample unambiguous transmissions
+	if e.retx.Consecutive() == 0 { // Karn: only sample unambiguous transmissions
 		p.observe(rttSample, cc.Feedback{
 			RTT:        rttSample,
 			AckedBytes: e.size,

@@ -7,7 +7,7 @@ import (
 	"lunasolar/ebs"
 	"lunasolar/internal/core"
 	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
+	"lunasolar/internal/simnet"
 	"lunasolar/internal/stats"
 )
 
@@ -39,55 +39,55 @@ func Ablations(opts Options) *Table {
 		{"1 path, failover on", 1, true},
 		{"4 paths, failover on", 4, true},
 	}
-	var cells []func() ([]string, *sim.Engine)
+	var cells []func() ([]string, *sim.Engine, *simnet.Fabric)
 	for _, v := range pathVariants {
 		v := v
-		cells = append(cells, func() ([]string, *sim.Engine) {
-			slow, p99, eng := ablatePaths(opts, v.paths, v.failover)
+		cells = append(cells, func() ([]string, *sim.Engine, *simnet.Fabric) {
+			slow, p99, c := ablatePaths(opts, v.paths, v.failover)
 			return []string{
 				"multipath under blackhole", v.label,
 				"IOs >=1s / write p99 µs", fmt.Sprintf("%d / %s", slow, us(p99)),
-			}, eng
+			}, c.Eng, c.Fabric
 		})
 	}
 	for _, full := range []bool{false, true} {
 		full := full
-		cells = append(cells, func() ([]string, *sim.Engine) {
+		cells = append(cells, func() ([]string, *sim.Engine, *simnet.Fabric) {
 			label := "aggregation (XOR/block)"
 			if full {
 				label = "full software CRC/block"
 			}
-			iops, eng := ablateCRC(opts, full)
-			return []string{"integrity check on CPU", label, "4K write IOPS @1 core", f0(iops)}, eng
+			iops, c := ablateCRC(opts, full)
+			return []string{"integrity check on CPU", label, "4K write IOPS @1 core", f0(iops)}, c.Eng, c.Fabric
 		})
 	}
 	for _, locked := range []bool{false, true} {
 		locked := locked
-		cells = append(cells, func() ([]string, *sim.Engine) {
+		cells = append(cells, func() ([]string, *sim.Engine, *simnet.Fabric) {
 			label := "share-nothing (Luna)"
 			if locked {
 				label = "locked shared stack"
 			}
-			gbps, cores, eng := ablateShareNothing(opts, locked)
+			gbps, cores, eng, fab := ablateShareNothing(opts, locked)
 			return []string{
 				"thread arrangement @4 cores", label,
 				"stress Gbps / consumed cores", fmt.Sprintf("%s / %s", f1(gbps), f1(cores)),
-			}, eng
+			}, eng, fab
 		})
 	}
 	for _, entries := range []int{64, 512, 20000} {
 		entries := entries
-		cells = append(cells, func() ([]string, *sim.Engine) {
-			wait, eng := ablateAddr(opts, entries)
+		cells = append(cells, func() ([]string, *sim.Engine, *simnet.Fabric) {
+			wait, c := ablateAddr(opts, entries)
 			return []string{
 				"Addr table capacity", fmt.Sprintf("%d entries", entries),
 				"read admission wait (total ms)", f1(float64(wait.Milliseconds())),
-			}, eng
+			}, c.Eng, c.Fabric
 		})
 	}
 
 	fleet := opts.fleet()
-	t.Rows = runtime.Run(fleet, len(cells), func(shard int) ([]string, *sim.Engine) {
+	t.Rows = runFabricCells(fleet, len(cells), func(shard int) ([]string, *sim.Engine, *simnet.Fabric) {
 		return cells[shard]()
 	})
 	t.Perf = &fleet.Perf
@@ -100,7 +100,7 @@ func Ablations(opts Options) *Table {
 
 // ablatePaths measures slow I/Os and write p99 with the given path count
 // and failover setting while both spines silently blackhole 25% of flows.
-func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Duration, eng *sim.Engine) {
+func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Duration, _ *ebs.Cluster) {
 	cfg := clusterConfig(ebs.Solar, opts.Seed)
 	p := ebs.SolarStackParams(ebs.Solar, false)
 	p.NumPaths = paths
@@ -152,25 +152,25 @@ func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Dur
 			slow++
 		}
 	}
-	return slow, h.P99(), c.Eng
+	return slow, h.P99(), c
 }
 
 // ablateShareNothing runs the Table 1-style 50 Gbps stress with 4 cores,
 // with and without Luna's lock-free share-nothing thread arrangement
 // (§3.2): the locked variant pays contention per packet per extra core.
-func ablateShareNothing(opts Options, locked bool) (gbps, cores float64, eng *sim.Engine) {
+func ablateShareNothing(opts Options, locked bool) (gbps, cores float64, eng *sim.Engine, fab *simnet.Fabric) {
 	era := table1Era{"2x25GE", 25e9, 50e9, 4, 4, 1.0}
 	params := ebs.LunaStackParams()
 	if locked {
 		params.LockPenalty = 150 * time.Nanosecond
 	}
-	_, gbps, cores, eng = runRPCWith(opts, era, params, 4)
-	return gbps, cores, eng
+	_, gbps, cores, eng, fab = runRPCWith(opts, era, params, 4)
+	return gbps, cores, eng, fab
 }
 
 // ablateCRC measures sustainable 4K write IOPS on one DPU core with the
 // aggregation strategy vs a full software CRC per block.
-func ablateCRC(opts Options, fullCRC bool) (float64, *sim.Engine) {
+func ablateCRC(opts Options, fullCRC bool) (float64, *ebs.Cluster) {
 	cfg := clusterConfig(ebs.Solar, opts.Seed)
 	cfg.DPU.CPUCores = 1
 	cfg.ComputeServers = 1
@@ -197,12 +197,12 @@ func ablateCRC(opts Options, fullCRC bool) (float64, *sim.Engine) {
 	c.RunFor(5 * time.Millisecond)
 	base := done
 	c.RunFor(window)
-	return float64(done-base) / window.Seconds(), c.Eng
+	return float64(done-base) / window.Seconds(), c
 }
 
 // ablateAddr measures total Addr-table admission wait with depth-64 reads
 // of 64 KiB against the given table capacity.
-func ablateAddr(opts Options, entries int) (time.Duration, *sim.Engine) {
+func ablateAddr(opts Options, entries int) (time.Duration, *ebs.Cluster) {
 	cfg := clusterConfig(ebs.Solar, opts.Seed)
 	cfg.ComputeServers = 1
 	cfg.DPU.MaxAddrEntries = entries
@@ -230,5 +230,5 @@ func ablateAddr(opts Options, entries int) (time.Duration, *sim.Engine) {
 	if !ok {
 		panic("ablateAddr: not a solar stack")
 	}
-	return st.AdmissionWait, c.Eng
+	return st.AdmissionWait, c
 }

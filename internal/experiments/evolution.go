@@ -5,8 +5,6 @@ import (
 	"time"
 
 	"lunasolar/ebs"
-	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
 )
 
 // quarterMix is the deployment state of the fleet in one quarter: the
@@ -46,11 +44,11 @@ func Fig7(opts Options) *Table {
 	// and IOPS per stack), one share-nothing shard each.
 	stacks := []ebs.StackKind{ebs.KernelTCP, ebs.Luna, ebs.Solar}
 	fleet := opts.fleet()
-	vals := runtime.Run(fleet, 2*len(stacks), func(shard int) (float64, *sim.Engine) {
+	vals := runCells(fleet, 2*len(stacks), func(shard int) (float64, *ebs.Cluster) {
 		fn := stacks[shard/2]
 		if shard%2 == 0 {
-			d, eng := measureMeanLatency(opts, fn)
-			return float64(d), eng
+			d, c := measureMeanLatency(opts, fn)
+			return float64(d), c
 		}
 		return measureServerIOPS(opts, fn)
 	})
@@ -99,7 +97,7 @@ func Fig7(opts Options) *Table {
 
 // measureMeanLatency runs a light mixed 4 KiB workload and returns the mean
 // of read and write average latency.
-func measureMeanLatency(opts Options, fn ebs.StackKind) (time.Duration, *sim.Engine) {
+func measureMeanLatency(opts Options, fn ebs.StackKind) (time.Duration, *ebs.Cluster) {
 	c := ebs.New(clusterConfig(fn, opts.Seed))
 	var vds []*ebs.VDisk
 	for i := 0; i < c.Computes(); i++ {
@@ -108,13 +106,13 @@ func measureMeanLatency(opts Options, fn ebs.StackKind) (time.Duration, *sim.Eng
 	driveMixed(c, vds, opts.scale(400, 80), 0.5, 150*time.Microsecond, 4096)
 	r := c.Collector().E2E("read").Mean()
 	w := c.Collector().E2E("write").Mean()
-	return (r + w) / 2, c.Eng
+	return (r + w) / 2, c
 }
 
 // measureServerIOPS measures a single server's sustainable 4 KiB read IOPS
 // with the era's CPU budget (4 host cores for kernel/Luna, the DPU for
 // Solar).
-func measureServerIOPS(opts Options, fn ebs.StackKind) (float64, *sim.Engine) {
-	mbs, eng := runFio(opts, fn, 4, 4096)
-	return mbs * 1e6 / 4096, eng
+func measureServerIOPS(opts Options, fn ebs.StackKind) (float64, *ebs.Cluster) {
+	mbs, c := runFio(opts, fn, 4, 4096)
+	return mbs * 1e6 / 4096, c
 }

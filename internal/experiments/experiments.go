@@ -16,7 +16,10 @@ import (
 	"strings"
 	"time"
 
+	"lunasolar/ebs"
+	"lunasolar/internal/sim"
 	"lunasolar/internal/sim/runtime"
+	"lunasolar/internal/simnet"
 )
 
 // Options tunes experiment scale. Quick reduces sample counts and cluster
@@ -47,6 +50,33 @@ func (o Options) scale(full, quick int) int {
 		return quick
 	}
 	return full
+}
+
+// runCells runs one share-nothing cluster cell per shard. Each job returns
+// its result plus the cluster it drove; the helper folds the cluster's
+// engine counters and packet-leak count (Cluster.Leaked) into the fleet's
+// Perf, so cmd/ebsbench can assert that every experiment returned all
+// pooled packets.
+func runCells[T any](f *runtime.Fleet, n int, job func(shard int) (T, *ebs.Cluster)) []T {
+	return runtime.Run(f, n, func(shard int) (T, *sim.Engine) {
+		v, c := job(shard)
+		f.Perf.ObserveLeaked(c.Leaked())
+		return v, c.Eng
+	})
+}
+
+// runFabricCells is runCells for experiments that drive a raw fabric
+// without an ebs.Cluster (the stack microbenchmarks). The same rule
+// applies: a drained engine must have zero packets outstanding; a shard
+// stopped mid-run (RunFor with traffic in flight) is exempt.
+func runFabricCells[T any](f *runtime.Fleet, n int, job func(shard int) (T, *sim.Engine, *simnet.Fabric)) []T {
+	return runtime.Run(f, n, func(shard int) (T, *sim.Engine) {
+		v, eng, fab := job(shard)
+		if eng.Pending() == 0 {
+			f.Perf.ObserveLeaked(int(fab.Pool().Outstanding()))
+		}
+		return v, eng
+	})
 }
 
 // Table is a generic formatted result: a title, column headers, and rows.

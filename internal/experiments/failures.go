@@ -6,7 +6,6 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
 )
 
 // hangThreshold is the Table 2 criterion: an I/O with no response for one
@@ -110,6 +109,12 @@ func (hc *hangCounter) finish() int {
 	return hc.slow
 }
 
+// table2Window, when nonzero, overrides Table2's failure window. The wheel
+// differential test shortens the campaign: its property is output equality
+// between timer backends, not the hang counts themselves, and the full
+// window costs minutes per run.
+var table2Window time.Duration
+
 // Table2 regenerates the failure-scenario table: I/Os with no response for
 // one second or longer, Luna vs Solar, across seven network failure
 // scenarios.
@@ -119,6 +124,9 @@ func Table2(opts Options) *Table {
 		Columns: []string{"failure scenario", "LUNA", "SOLAR"},
 	}
 	window := time.Duration(opts.scale(3000, 1500)) * time.Millisecond
+	if table2Window > 0 {
+		window = table2Window
+	}
 	paper := []string{"0", "216", "0", "10/s", "123", "611", "1043"}
 	scenarios := table2Scenarios()
 	stacks := []ebs.StackKind{ebs.Luna, ebs.Solar}
@@ -126,7 +134,7 @@ func Table2(opts Options) *Table {
 	// One shard per (scenario, stack) cell: every cell owns its cluster, so
 	// all fourteen run concurrently and merge in scenario order.
 	fleet := opts.fleet()
-	cells := runtime.Run(fleet, len(scenarios)*len(stacks), func(shard int) (string, *sim.Engine) {
+	cells := runCells(fleet, len(scenarios)*len(stacks), func(shard int) (string, *ebs.Cluster) {
 		sc := scenarios[shard/len(stacks)]
 		fn := stacks[shard%len(stacks)]
 		c := ebs.New(clusterConfig(fn, opts.Seed))
@@ -139,7 +147,7 @@ func Table2(opts Options) *Table {
 		c.RunFor(200 * time.Millisecond) // healthy warmup
 		sc.inject(c)
 		c.RunFor(window)
-		return fmt.Sprintf("%d", hc.finish()), c.Eng
+		return fmt.Sprintf("%d", hc.finish()), c
 	})
 	for i, sc := range scenarios {
 		t.Rows = append(t.Rows, []string{
@@ -221,7 +229,7 @@ func Fig8(opts Options) *Table {
 	}
 
 	fleet := opts.fleet()
-	rows := runtime.Run(fleet, incidents, func(inc int) ([]string, *sim.Engine) {
+	rows := runCells(fleet, incidents, func(inc int) ([]string, *ebs.Cluster) {
 		tier := draws[inc].tier
 		rr := sim.NewRand(draws[inc].seed)
 
@@ -273,7 +281,7 @@ func Fig8(opts Options) *Table {
 		return []string{
 			fmt.Sprintf("%d", inc+1), tier.name,
 			fmt.Sprintf("%d", draws[inc].durationMin), fmt.Sprintf("%d", affectedVMs),
-		}, c.Eng
+		}, c
 	})
 	t.Rows = rows
 	t.Perf = &fleet.Perf

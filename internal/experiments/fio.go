@@ -5,8 +5,6 @@ import (
 	"time"
 
 	"lunasolar/ebs"
-	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/workload"
 )
 
@@ -39,7 +37,7 @@ func Fig14(opts Options) *Table {
 		}
 	}
 	fleet := opts.fleet()
-	vals := runtime.Run(fleet, len(cells), func(shard int) (float64, *sim.Engine) {
+	vals := runCells(fleet, len(cells), func(shard int) (float64, *ebs.Cluster) {
 		cl := cells[shard]
 		return runFio(opts, cl.fn, cl.cores, cl.size)
 	})
@@ -64,7 +62,7 @@ func ebsDefaultDPU() (c struct{ PCIeBps float64 }) {
 }
 
 // runFio measures goodput in MB/s for one (stack, cores, blocksize) cell.
-func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) (float64, *sim.Engine) {
+func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) (float64, *ebs.Cluster) {
 	cfg := clusterConfig(fn, opts.Seed)
 	cfg.BareMetal = true
 	cfg.DPU.CPUCores = cores
@@ -101,7 +99,7 @@ func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) (float64, 
 	c.RunFor(window)
 	gotBytes := fio.Bytes - startBytes
 	fio.Stop()
-	return float64(gotBytes) / window.Seconds() / 1e6, c.Eng
+	return float64(gotBytes) / window.Seconds() / 1e6, c
 }
 
 // lunaKind and solarKind keep ebs out of the test file's imports.

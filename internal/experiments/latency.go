@@ -6,7 +6,6 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/stats"
 	"lunasolar/internal/trace"
 )
@@ -74,7 +73,7 @@ func Fig6(opts Options) *Table {
 	// One share-nothing shard per stack: each builds its own engine,
 	// cluster and workload; results merge in shard order.
 	fleet := opts.fleet()
-	perStack := runtime.Run(fleet, len(stacks), func(shard int) (shardOut, *sim.Engine) {
+	perStack := runCells(fleet, len(stacks), func(shard int) (shardOut, *ebs.Cluster) {
 		fn := stacks[shard]
 		c := ebs.New(clusterConfig(fn, opts.Seed))
 		var vds []*ebs.VDisk
@@ -90,7 +89,7 @@ func Fig6(opts Options) *Table {
 				out.e2e[key{op, q}] = e2e
 			}
 		}
-		return out, c.Eng
+		return out, c
 	})
 	results := map[ebs.StackKind]map[key][]time.Duration{}
 	e2es := map[ebs.StackKind]map[key]time.Duration{}
@@ -154,7 +153,7 @@ func Fig15(opts Options) *Table {
 	}
 
 	fleet := opts.fleet()
-	rows := runtime.Run(fleet, len(cells), func(shard int) ([]string, *sim.Engine) {
+	rows := runCells(fleet, len(cells), func(shard int) ([]string, *ebs.Cluster) {
 		cl := cells[shard]
 		label := "light"
 		if cl.heavy {
@@ -191,7 +190,7 @@ func Fig15(opts Options) *Table {
 		}
 		tick()
 		c.RunFor(time.Duration(probes)*200*time.Microsecond + 20*time.Millisecond)
-		return []string{label, cl.fn.String(), us(h.Median()), us(h.P99())}, c.Eng
+		return []string{label, cl.fn.String(), us(h.Median()), us(h.P99())}, c
 	})
 
 	t := &Table{

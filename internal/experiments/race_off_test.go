@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the heavy
+// differential tests skip under it (the detector multiplies their cost
+// several-fold without adding coverage — they assert determinism, not
+// memory safety, and the race run already covers the same code via the
+// quick experiment tests).
+const raceEnabled = false

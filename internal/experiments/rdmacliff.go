@@ -6,7 +6,6 @@ import (
 
 	"lunasolar/internal/rdma"
 	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/stats"
 	"lunasolar/internal/transport"
@@ -30,13 +29,13 @@ func RDMACliff(opts Options) *Table {
 	const cache = 64
 	sweep := []int{16, 48, 64, 96, 192}
 	fleet := opts.fleet()
-	t.Rows = runtime.Run(fleet, len(sweep), func(shard int) ([]string, *sim.Engine) {
+	t.Rows = runFabricCells(fleet, len(sweep), func(shard int) ([]string, *sim.Engine, *simnet.Fabric) {
 		conns := sweep[shard]
-		lat, rate, missFrac, eng := runCliff(opts, conns, cache)
+		lat, rate, missFrac, eng, fab := runCliff(opts, conns, cache)
 		return []string{
 			fmt.Sprintf("%d", conns), fmt.Sprintf("%d", cache),
 			us(lat), f1(rate / 1e3), f2(missFrac),
-		}, eng
+		}, eng, fab
 	})
 	t.Perf = &fleet.Perf
 	t.Notes = append(t.Notes,
@@ -47,7 +46,7 @@ func RDMACliff(opts Options) *Table {
 
 // runCliff drives `conns` clients against one RDMA server with the given
 // QP-context cache and measures steady-state behaviour.
-func runCliff(opts Options, conns, cache int) (avgLat time.Duration, rps, missFrac float64, _ *sim.Engine) {
+func runCliff(opts Options, conns, cache int) (avgLat time.Duration, rps, missFrac float64, _ *sim.Engine, _ *simnet.Fabric) {
 	eng := sim.NewEngine(opts.Seed)
 	fcfg := simnet.DefaultConfig()
 	fcfg.RacksPerPod = 16
@@ -99,5 +98,5 @@ func runCliff(opts Options, conns, cache int) (avgLat time.Duration, rps, missFr
 	if completed > 0 {
 		missFrac = float64(server.CacheMisses-missBase) / float64(completed)
 	}
-	return h.Mean(), rps, missFrac, eng
+	return h.Mean(), rps, missFrac, eng, fab
 }

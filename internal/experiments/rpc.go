@@ -6,7 +6,6 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
-	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/stats"
 	"lunasolar/internal/tcpstack"
@@ -49,14 +48,14 @@ func Table1(opts Options) *Table {
 		}
 	}
 	fleet := opts.fleet()
-	t.Rows = runtime.Run(fleet, len(cells), func(shard int) ([]string, *sim.Engine) {
+	t.Rows = runFabricCells(fleet, len(cells), func(shard int) ([]string, *sim.Engine, *simnet.Fabric) {
 		cl := cells[shard]
-		lat, gbps, cores, eng := runRPC(opts, cl.era, cl.stack, cl.stress)
+		lat, gbps, cores, eng, fab := runRPC(opts, cl.era, cl.stack, cl.stress)
 		if !cl.stress {
-			return []string{cl.era.name, "single 4KB RPC", cl.stack, us(lat), "-", f1(cores)}, eng
+			return []string{cl.era.name, "single 4KB RPC", cl.stack, us(lat), "-", f1(cores)}, eng, fab
 		}
 		return []string{cl.era.name,
-			fmt.Sprintf("%.0f Gbps stress", cl.era.stressBps/1e9), cl.stack, us(lat), f1(gbps), f1(cores)}, eng
+			fmt.Sprintf("%.0f Gbps stress", cl.era.stressBps/1e9), cl.stack, us(lat), f1(gbps), f1(cores)}, eng, fab
 	})
 	t.Perf = &fleet.Perf
 	t.Notes = append(t.Notes,
@@ -80,7 +79,7 @@ func scaleTCP(p tcpstack.Params, f float64) tcpstack.Params {
 
 // runRPC runs one Table 1 cell: a pure RPC echo test between two hosts in
 // different pods (no storage involvement — Table 1 measures the stack).
-func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time.Duration, gbps, cores float64, eng *sim.Engine) {
+func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time.Duration, gbps, cores float64, eng *sim.Engine, fab *simnet.Fabric) {
 	var params tcpstack.Params
 	if stack == "kernel" {
 		params = scaleTCP(ebs.KernelStackParams(), era.cpuScale)
@@ -100,7 +99,7 @@ func runRPC(opts Options, era table1Era, stack string, stress bool) (avgLat time
 }
 
 // runRPCSingle measures sequential single-RPC latency.
-func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat time.Duration, gbps, cores float64, _ *sim.Engine) {
+func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat time.Duration, gbps, cores float64, _ *sim.Engine, _ *simnet.Fabric) {
 	eng := sim.NewEngine(opts.Seed)
 	fcfg := simnet.DefaultConfig()
 	fcfg.RacksPerPod = 2
@@ -146,12 +145,12 @@ func runRPCSingle(opts Options, era table1Era, params tcpstack.Params) (avgLat t
 	}
 	next()
 	eng.Run()
-	return h.Mean(), 0, 1, eng
+	return h.Mean(), 0, 1, eng, fab
 }
 
 // runRPCWith runs the stress cell with explicit stack parameters and core
 // count (shared with the share-nothing ablation).
-func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int) (avgLat time.Duration, gbps, cores float64, _ *sim.Engine) {
+func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int) (avgLat time.Duration, gbps, cores float64, _ *sim.Engine, _ *simnet.Fabric) {
 	eng := sim.NewEngine(opts.Seed)
 	fcfg := simnet.DefaultConfig()
 	fcfg.RacksPerPod = 2
@@ -209,5 +208,5 @@ func runRPCWith(opts Options, era table1Era, params tcpstack.Params, nCores int)
 	eng.RunFor(window)
 	util := clientCores.Utilization()
 	gbps = float64(bytesDone) * 8 / window.Seconds() / 1e9
-	return h.Mean(), gbps, util, eng
+	return h.Mean(), gbps, util, eng, fab
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"lunasolar/internal/sim"
+)
+
+// TestWheelDifferentialOutput is the timing wheel's end-to-end regression
+// gate, the experiment-level counterpart of the firing-order property test
+// in internal/sim: a full experiment must produce byte-identical formatted
+// output whether coarse timers wait in the hierarchical wheel or degrade to
+// the plain heap. Fig6 covers the steady-state RTO churn of all three
+// stacks; Table2 covers failure injection, where retransmit backoff and
+// probe timers actually fire.
+//
+// The test flips the package-wide scheduling-class default, so it does not
+// run in parallel with anything else.
+func TestWheelDifferentialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	if raceEnabled {
+		t.Skip("determinism gate, not a memory-safety test; too slow under the race detector")
+	}
+	prev := sim.CoarseTimers()
+	defer sim.SetCoarseTimers(prev)
+	// Table2's full quick window costs minutes per run; a short failure
+	// window still drives every scenario through injection, retransmit
+	// backoff and failover, which is what the equality property needs.
+	table2Window = 400 * time.Millisecond
+	defer func() { table2Window = 0 }()
+	for _, tc := range []struct {
+		name string
+		fn   func(Options) *Table
+	}{
+		{"fig6", Fig6},
+		{"table2", Table2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(wheel bool) string {
+				sim.SetCoarseTimers(wheel)
+				return tc.fn(Options{Seed: 7, Quick: true, Workers: 4}).Format()
+			}
+			on, off := run(true), run(false)
+			if on != off {
+				t.Fatalf("wheel-on and wheel-off runs diverged at the same seed\n--- wheel ---\n%s\n--- heap ---\n%s", on, off)
+			}
+		})
+	}
+}

@@ -29,8 +29,7 @@ type qp struct {
 	sndNxt   uint32 // next psn to (re)transmit; within queue bounds
 	nextPSN  uint32 // psn for the next freshly built packet
 	rtt      *transport.RTT
-	rtoTimer sim.Timer
-	backoff  int
+	retx     transport.Retransmitter
 
 	samplePSN   uint32
 	sampleAt    sim.Time
@@ -53,12 +52,14 @@ type inMsg struct {
 }
 
 func newQP(s *Stack, k qpKey) *qp {
-	return &qp{
+	q := &qp{
 		s:         s,
 		key:       k,
 		rtt:       transport.NewRTT(s.params.MinRTO, s.params.MaxRTO),
 		assembler: map[uint64]*inMsg{},
 	}
+	q.retx.Init(s.eng, q.rtt, -1, qpRTOExpired, q)
+	return q
 }
 
 func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
@@ -130,8 +131,8 @@ func (q *qp) pump() {
 		q.transmit(p)
 		q.sndNxt++
 	}
-	if q.inflight() > 0 && !q.rtoTimer.Active() {
-		q.armRTO()
+	if q.inflight() > 0 && !q.retx.Active() {
+		q.retx.Arm()
 	}
 }
 
@@ -202,25 +203,18 @@ func (q *qp) control(nak bool) {
 	}
 }
 
-func (q *qp) armRTO() {
-	q.clearRTO()
-	q.rtoTimer = q.s.eng.Schedule(q.rtt.Backoff(q.backoff), q.onRTO)
-}
-
-func (q *qp) clearRTO() {
-	q.rtoTimer.Cancel()
-	q.rtoTimer = sim.Timer{}
-}
+// qpRTOExpired adapts the shared retransmitter's expiry to the QP's
+// go-back-N policy.
+func qpRTOExpired(a any) { a.(*qp).onRTO() }
 
 // onRTO rewinds to the first unacknowledged PSN (go-back-N).
 func (q *qp) onRTO() {
-	q.rtoTimer = sim.Timer{}
 	if q.inflight() == 0 && int(q.sndNxt-q.sndUna) >= len(q.sndQueue) {
 		return
 	}
-	q.backoff++
+	q.retx.RecordTimeout()
 	q.goBackN()
-	q.armRTO()
+	q.retx.Arm()
 }
 
 func (q *qp) goBackN() {
@@ -249,16 +243,16 @@ func (q *qp) packetArrived(bth wire.TCPSeg, rest []byte) {
 		n := int(ack - q.sndUna)
 		q.sndQueue = q.sndQueue[n:]
 		q.sndUna = ack
-		q.backoff = 0
+		q.retx.RecordAck()
 		if q.sampleValid && !seqLT(ack, q.samplePSN) {
 			q.rtt.Observe(q.s.eng.Now().Sub(q.sampleAt))
 			q.sampleValid = false
 		}
 		if q.inflight() > 0 || len(q.sndQueue) > 0 {
-			q.armRTO()
+			q.retx.Arm()
 			q.pump()
 		} else {
-			q.clearRTO()
+			q.retx.Disarm()
 		}
 	}
 	if bth.Flags&wire.TCPFlagRST != 0 && ack == q.sndUna && q.inflight() > 0 {

@@ -332,7 +332,10 @@ func (a *Agent) io(vdisk uint32, lba uint64, size int, data []byte, done func(Re
 	gen := a.gen
 
 	admission := a.admit(vdisk, size)
-	a.eng.Schedule(admission, func() {
+	// Pacing is latency-tolerant: the admission wait rides the coarse
+	// scheduling class (the instant is exact either way, only the cost of
+	// waiting changes).
+	a.eng.ScheduleCoarse(admission, func() {
 		start := a.eng.Now()
 		afterSA := func() {
 			saDone := a.eng.Now()

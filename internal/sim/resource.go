@@ -348,6 +348,40 @@ func (b *TokenBucket) Delay(n float64) time.Duration {
 	return time.Duration(need / b.rate * float64(time.Second))
 }
 
+// tokenWaiter carries one parked Wait through the engine's arg-based event
+// path so re-arms do not allocate a fresh closure.
+type tokenWaiter struct {
+	b  *TokenBucket
+	n  float64
+	fn func()
+}
+
+// Wait runs fn as soon as n tokens can be consumed, taking them. If the
+// bucket already holds them, fn runs synchronously; otherwise the wait is
+// parked on the engine's coarse scheduling class until the computed refill
+// instant — pacing stays exact, only the cost of waiting moves to the
+// timing wheel. Competing waiters re-check on wake and re-arm, so a token
+// claimed by another consumer never admits two I/Os.
+func (b *TokenBucket) Wait(n float64, fn func()) {
+	if n > b.burst {
+		panic("sim: token bucket wait exceeds burst capacity")
+	}
+	if b.TryTake(n) {
+		fn()
+		return
+	}
+	b.eng.ScheduleCoarseArg(b.Delay(n), tokenBucketWake, &tokenWaiter{b: b, n: n, fn: fn})
+}
+
+func tokenBucketWake(x any) {
+	w := x.(*tokenWaiter)
+	if w.b.TryTake(w.n) {
+		w.fn()
+		return
+	}
+	w.b.eng.ScheduleCoarseArg(w.b.Delay(w.n), tokenBucketWake, w)
+}
+
 // Rate returns the refill rate in tokens/second.
 func (b *TokenBucket) Rate() float64 { return b.rate }
 

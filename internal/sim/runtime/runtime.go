@@ -105,6 +105,7 @@ type Perf struct {
 	events uint64
 	simd   time.Duration
 	wall   time.Duration
+	leaked int
 }
 
 // Observe folds one finished shard's engine counters and wall time in.
@@ -120,6 +121,21 @@ func (p *Perf) Observe(eng *sim.Engine, wall time.Duration) {
 	p.mu.Unlock()
 }
 
+// ObserveLeaked folds one shard's leaked-packet count in (see
+// ebs.Cluster.Leaked); cmd/ebsbench asserts the total is zero after every
+// experiment.
+func (p *Perf) ObserveLeaked(n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.leaked += n
+	p.mu.Unlock()
+}
+
+// Leaked returns the total leaked-packet count across observed shards.
+func (p *Perf) Leaked() int { p.mu.Lock(); defer p.mu.Unlock(); return p.leaked }
+
 // Merge folds another Perf in (used when sub-experiments run their own
 // fleets and a caller wants one aggregate).
 func (p *Perf) Merge(o *Perf) {
@@ -127,13 +143,14 @@ func (p *Perf) Merge(o *Perf) {
 		return
 	}
 	o.mu.Lock()
-	shards, events, simd, wall := o.shards, o.events, o.simd, o.wall
+	shards, events, simd, wall, leaked := o.shards, o.events, o.simd, o.wall, o.leaked
 	o.mu.Unlock()
 	p.mu.Lock()
 	p.shards += shards
 	p.events += events
 	p.simd += simd
 	p.wall += wall
+	p.leaked += leaked
 	p.mu.Unlock()
 }
 

@@ -1,7 +1,19 @@
 // Package sim provides the discrete-event simulation kernel used by every
 // other subsystem in this repository: a virtual clock, a cancellable event
-// heap, FIFO service resources (used to model CPU cores and PCIe channels),
-// token buckets (used by QoS admission), and seeded random distributions.
+// heap, a hierarchical timing wheel for high-churn timers, FIFO service
+// resources (used to model CPU cores and PCIe channels), token buckets
+// (used by QoS admission), and seeded random distributions.
+//
+// # Scheduling classes
+//
+// The engine exposes two scheduling classes with identical firing
+// semantics and different cost profiles. Schedule/At push into a binary
+// heap and are exact. ScheduleCoarse parks the event in a hierarchical
+// timing wheel — O(1) arm and cancel — and cascades it into the heap
+// before it can fire, carrying its original (time, seq) key, so firing
+// order is identical between the two classes. Use ScheduleCoarse for
+// cancellable, latency-tolerant timers (retransmit, probe, refill) that
+// are usually cancelled before firing; see wheel.go.
 //
 // All simulated latencies in the repository are measured in virtual time
 // produced by this package, so results are exactly reproducible for a fixed
@@ -59,7 +71,11 @@ type Event struct {
 	fn    func()
 	afn   func(any)
 	arg   any
-	index int32 // heap index, -1 when not queued
+	index int32 // heap index; -1 when not queued, wheelIndex when parked in the wheel
+	wpos  int32 // wheel position (level<<wheelBits | slot), valid when index == wheelIndex
+
+	wnext *Event // intrusive wheel slot list links
+	wprev *Event
 }
 
 // Timer is a cancellable handle to a scheduled event. The zero Timer is
@@ -73,7 +89,7 @@ type Timer struct {
 // Active reports whether the event is still pending (not fired, not
 // cancelled).
 func (t Timer) Active() bool {
-	return t.e != nil && t.e.gen == t.gen && t.e.index >= 0
+	return t.e != nil && t.e.gen == t.gen && t.e.index != -1
 }
 
 // At returns the virtual time the event is scheduled for, or 0 if the
@@ -90,11 +106,15 @@ func (t Timer) At() Time {
 // already-cancelled timer is a no-op.
 func (t Timer) Cancel() {
 	ev := t.e
-	if ev == nil || ev.gen != t.gen || ev.index < 0 {
+	if ev == nil || ev.gen != t.gen || ev.index == -1 {
 		return
 	}
 	eng := ev.eng
-	eng.remove(ev)
+	if ev.index == wheelIndex {
+		eng.wheelRemove(ev)
+	} else {
+		eng.remove(ev)
+	}
 	eng.release(ev)
 }
 
@@ -102,11 +122,13 @@ func (t Timer) Cancel() {
 // inside event callbacks on the owning goroutine; see the package comment
 // for the ownership rules.
 type Engine struct {
-	now  Time
-	seq  uint64
-	heap []*Event
-	free []*Event
-	Rand *Rand
+	now    Time
+	seq    uint64
+	heap   []*Event
+	free   []*Event
+	wheel  wheel
+	coarse bool // ScheduleCoarse uses the wheel (captured from SetCoarseTimers at construction)
+	Rand   *Rand
 
 	processed uint64
 	busy      atomic.Int32
@@ -114,7 +136,7 @@ type Engine struct {
 
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{Rand: NewRand(seed)}
+	return &Engine{Rand: NewRand(seed), coarse: coarseEnabled.Load()}
 }
 
 // Now returns the current virtual time.
@@ -123,8 +145,9 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of events still queued, in the heap or parked
+// in the timing wheel.
+func (e *Engine) Pending() int { return len(e.heap) + e.wheel.count }
 
 // enter marks the engine as being driven; a second concurrent driver is a
 // share-nothing violation and panics immediately.
@@ -222,6 +245,9 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) step() bool {
+	if e.wheel.count > 0 {
+		e.settle()
+	}
 	if len(e.heap) == 0 {
 		return false
 	}
@@ -251,7 +277,13 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.enter()
 	defer e.leave()
-	for len(e.heap) > 0 && e.heap[0].at <= t {
+	for {
+		if e.wheel.count > 0 {
+			e.settle()
+		}
+		if len(e.heap) == 0 || e.heap[0].at > t {
+			break
+		}
 		e.step()
 	}
 	if e.now < t {

@@ -24,13 +24,12 @@ type conn struct {
 	rtt  *transport.RTT
 
 	// Sender state.
-	outBuf   []byte // bytes [sndUna, sndUna+len)
-	sndUna   uint32
-	sndNxt   uint32
-	maxSent  uint32 // high-water mark of sndNxt (survives RTO rewinds)
-	dupAcks  int
-	rtoTimer sim.Timer
-	backoff  int
+	outBuf  []byte // bytes [sndUna, sndUna+len)
+	sndUna  uint32
+	sndNxt  uint32
+	maxSent uint32 // high-water mark of sndNxt (survives RTO rewinds)
+	dupAcks int
+	retx    transport.Retransmitter
 
 	// NewReno fast recovery: while inFastRec, each partial ack below
 	// recover retransmits the next hole immediately instead of waiting for
@@ -56,13 +55,15 @@ func newConn(s *Stack, k connKey) *conn {
 	// Luna runs DCTCP over ECN; the kernel baseline runs plain AIMD (the
 	// same controller never sees marks, so it reduces only on loss).
 	ctrl = cc.NewDCTCP(p.MSS, p.InitCwnd, p.MaxCwnd)
-	return &conn{
+	c := &conn{
 		s:    s,
 		key:  k,
 		ctrl: ctrl,
 		rtt:  transport.NewRTT(p.MinRTO, p.MaxRTO),
 		ooo:  map[uint32][]byte{},
 	}
+	c.retx.Init(s.eng, c.rtt, -1, connRTOExpired, c)
+	return c
 }
 
 // enqueueRecord appends a framed record to the send stream and pumps.
@@ -99,8 +100,8 @@ func (c *conn) pump() {
 		}
 		c.transmit(seq, seg, false)
 	}
-	if c.inflight() > 0 && !c.rtoTimer.Active() {
-		c.armRTO()
+	if c.inflight() > 0 && !c.retx.Active() {
+		c.retx.Arm()
 	}
 }
 
@@ -178,25 +179,19 @@ func (c *conn) sendPureAck(ece bool) {
 	})
 }
 
-func (c *conn) armRTO() {
-	c.clearRTO()
-	d := c.rtt.Backoff(c.backoff)
-	c.rtoTimer = c.s.eng.Schedule(d, c.onRTO)
-}
-
-func (c *conn) clearRTO() {
-	c.rtoTimer.Cancel()
-	c.rtoTimer = sim.Timer{}
-}
+// connRTOExpired adapts the shared retransmitter's expiry to the
+// connection's RTO policy.
+func connRTOExpired(a any) { a.(*conn).onRTO() }
 
 func (c *conn) onRTO() {
-	c.rtoTimer = sim.Timer{}
 	if c.inflight() == 0 {
+		// Spurious expiry (everything was acked after the last arm): no
+		// backoff penalty.
 		return
 	}
 	c.s.Timeouts++
 	c.s.Retransmits++
-	c.backoff++
+	c.retx.RecordTimeout()
 	c.inFastRec = false
 	c.ctrl.OnTimeout()
 	c.sampleValid = false // Karn: never sample retransmissions
@@ -206,7 +201,7 @@ func (c *conn) onRTO() {
 	// could exceed the collapsed window forever.
 	c.sndNxt = c.sndUna
 	c.pump()
-	c.armRTO()
+	c.retx.Arm()
 }
 
 // retransmitHead resends the first unacknowledged segment.
@@ -242,7 +237,7 @@ func (c *conn) processAck(hdr wire.TCPSeg, pureAck bool) {
 		c.outBuf = c.outBuf[acked:]
 		c.sndUna = ack
 		c.dupAcks = 0
-		c.backoff = 0
+		c.retx.RecordAck()
 		if c.sampleValid && !seqLT(ack, c.sampleSeq) {
 			c.rtt.Observe(c.s.eng.Now().Sub(c.sampleAt))
 			c.sampleValid = false
@@ -262,9 +257,9 @@ func (c *conn) processAck(hdr wire.TCPSeg, pureAck bool) {
 			ECNMarked:  hdr.Flags&wire.TCPFlagECE != 0,
 		})
 		if c.inflight() > 0 {
-			c.armRTO()
+			c.retx.Arm()
 		} else {
-			c.clearRTO()
+			c.retx.Disarm()
 		}
 		c.pump()
 		return

@@ -373,7 +373,7 @@ func (s *Stack) DebugState() string {
 	out := fmt.Sprintf("stack %s @%08x: %d conns, retx=%d to=%d\n", s.params.StackName, s.LocalAddr(), len(s.conns), s.Retransmits, s.Timeouts)
 	for k, c := range s.conns {
 		out += fmt.Sprintf("  %v una=%d nxt=%d inflight=%d unsent=%d cwnd=%d dupAcks=%d fastRec=%v timer=%v rcvNxt=%d ooo=%d instream=%d\n",
-			k, c.sndUna, c.sndNxt, c.inflight(), c.unsent(), c.ctrl.Window(), c.dupAcks, c.inFastRec, c.rtoTimer.Active(), c.rcvNxt, len(c.ooo), len(c.inStream))
+			k, c.sndUna, c.sndNxt, c.inflight(), c.unsent(), c.ctrl.Window(), c.dupAcks, c.inFastRec, c.retx.Active(), c.rcvNxt, len(c.ooo), len(c.inStream))
 	}
 	return out
 }
