@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-smoke check
+.PHONY: build vet test race bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One quick experiment benchmark plus the raw event-loop benchmark: enough
-# to verify the events/sec and sim-µs/wall-ms metrics still report.
+# One quick experiment benchmark, the raw event-loop benchmark, and the
+# 4 KiB write-path pair (zero-copy vs copy-path): enough to verify the
+# events/sec, sim-µs/wall-ms, copies/op and allocs/op metrics still report.
 bench-smoke:
-	$(GO) test -run xxx -bench 'Fig6|SimulatorEventRate' -benchtime 1x .
+	$(GO) test -run xxx -bench 'Fig6|SimulatorEventRate|WritePath4K' -benchtime 1x -benchmem .
+
+# Full write-path comparison: measures the 4 KiB write path with refcounted
+# slabs and with the -copy-path hatch, and writes BENCH_pr3.json (ns/op,
+# allocs/op, copies/op, bytes-copied/op per mode). CI uploads the file.
+bench:
+	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
 
 check: build vet race bench-smoke

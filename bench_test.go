@@ -16,6 +16,8 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/experiments"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/writebench"
 )
 
 // benchOpts runs the experiment benchmarks at reduced scale so the whole
@@ -124,6 +126,44 @@ func BenchmarkRDMAWrite4K(b *testing.B)   { benchIO(b, ebs.RDMA, true) }
 func BenchmarkSolarWrite4K(b *testing.B)  { benchIO(b, ebs.Solar, true) }
 func BenchmarkSolarRead4K(b *testing.B)   { benchIO(b, ebs.Solar, false) }
 func BenchmarkLunaRead4K(b *testing.B)    { benchIO(b, ebs.Luna, false) }
+
+// benchWritePath4K measures the isolated two-host Solar write path — SA
+// ingress, one-touch CRC, scatter-gather framing, fabric transit, receive
+// materialisation — with the data path in either mode. Beyond wall time it
+// reports how many payload memcpys each 4 KiB write costs (copies/op,
+// copied-B/op) straight from the packet pool's copy accounting; the
+// zero-copy run is gated at <= 1 copy per op.
+func benchWritePath4K(b *testing.B, zero bool) {
+	prev := simnet.ZeroCopy()
+	simnet.SetZeroCopy(zero)
+	defer simnet.SetZeroCopy(prev)
+	r := writebench.NewRig(1)
+	for i := 0; i < 64; i++ {
+		r.WriteOne() // reach pool/path steady state before measuring
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := r.Snapshot()
+	for i := 0; i < b.N; i++ {
+		r.WriteOne()
+	}
+	b.StopTimer()
+	d := r.Snapshot().Delta(start)
+	copies := float64(d.Copies) / float64(b.N)
+	b.ReportMetric(copies, "copies/op")
+	b.ReportMetric(float64(d.CopiedBytes)/float64(b.N), "copied-B/op")
+	b.ReportMetric(float64(d.Events)/float64(b.N), "events/op")
+	b.SetBytes(4096)
+	if err := r.Check(); err != nil {
+		b.Fatal(err)
+	}
+	if zero && copies > 1 {
+		b.Fatalf("zero-copy write path made %.2f payload copies/op, want <= 1", copies)
+	}
+}
+
+func BenchmarkWritePath4K(b *testing.B)         { benchWritePath4K(b, true) }
+func BenchmarkWritePath4KCopyPath(b *testing.B) { benchWritePath4K(b, false) }
 
 // BenchmarkSimulatorEventRate measures raw event-loop throughput with a
 // saturating Solar workload — the simulator's own performance envelope.

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/writebench"
+)
+
+// benchModeResult is one data-path mode's measurement of the 4 KiB write
+// path: wall cost, heap behaviour, and the payload-copy accounting the
+// zero-copy work targets.
+type benchModeResult struct {
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	AllocBytesPerOp  float64 `json:"alloc_bytes_per_op"`
+	CopiesPerOp      float64 `json:"copies_per_op"`
+	CopiedBytesPerOp float64 `json:"copied_bytes_per_op"`
+	EventsPerOp      float64 `json:"events_per_op"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	SimUsPerIO       float64 `json:"sim_us_per_io"`
+	Ops              int     `json:"ops"`
+}
+
+// benchReport is the BENCH_pr3.json schema: the same microbenchmark in both
+// modes plus the headline improvement.
+type benchReport struct {
+	Bench                 string          `json:"bench"`
+	Seed                  int64           `json:"seed"`
+	ZeroCopy              benchModeResult `json:"zero_copy"`
+	CopyPath              benchModeResult `json:"copy_path"`
+	NsPerOpImprovementPct float64         `json:"ns_per_op_improvement_pct"`
+}
+
+// benchWritePath runs the two-host 4 KiB write-path microbenchmark with the
+// data path in the given mode, via testing.Benchmark so iteration count and
+// timing follow the standard bench methodology.
+func benchWritePath(seed int64, zero bool) (benchModeResult, error) {
+	prev := simnet.ZeroCopy()
+	simnet.SetZeroCopy(zero)
+	defer simnet.SetZeroCopy(prev)
+
+	var delta writebench.Stats
+	var rigErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		r := writebench.NewRig(seed)
+		for i := 0; i < 64; i++ {
+			r.WriteOne() // steady state: pools warm, paths learned
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := r.Snapshot()
+		for i := 0; i < b.N; i++ {
+			r.WriteOne()
+		}
+		b.StopTimer()
+		delta = r.Snapshot().Delta(start)
+		rigErr = r.Check()
+	})
+	if rigErr != nil {
+		return benchModeResult{}, rigErr
+	}
+	n := float64(res.N)
+	out := benchModeResult{
+		NsPerOp:          float64(res.NsPerOp()),
+		AllocsPerOp:      float64(res.AllocsPerOp()),
+		AllocBytesPerOp:  float64(res.AllocedBytesPerOp()),
+		CopiesPerOp:      float64(delta.Copies) / n,
+		CopiedBytesPerOp: float64(delta.CopiedBytes) / n,
+		EventsPerOp:      float64(delta.Events) / n,
+		SimUsPerIO:       float64(delta.SimTime.Microseconds()) / n,
+		Ops:              res.N,
+	}
+	if sec := res.T.Seconds(); sec > 0 {
+		out.EventsPerSec = float64(delta.Events) / sec
+	}
+	return out, nil
+}
+
+// writeBenchReport measures the write path in both modes and writes the
+// JSON report (BENCH_pr3.json in CI). Exits non-zero if the zero-copy mode
+// fails its copy budget so the artifact can never claim a regressed build.
+func writeBenchReport(path string, seed int64) error {
+	zc, err := benchWritePath(seed, true)
+	if err != nil {
+		return err
+	}
+	cp, err := benchWritePath(seed, false)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{Bench: "write_path_4k", Seed: seed, ZeroCopy: zc, CopyPath: cp}
+	if cp.NsPerOp > 0 {
+		rep.NsPerOpImprovementPct = 100 * (cp.NsPerOp - zc.NsPerOp) / cp.NsPerOp
+	}
+	if zc.CopiesPerOp > 1 {
+		return fmt.Errorf("zero-copy write path made %.2f payload copies/op, want <= 1", zc.CopiesPerOp)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: zero-copy %.0f ns/op %.1f copies/op | copy-path %.0f ns/op %.1f copies/op | %+.1f%% ns/op -> %s\n",
+		zc.NsPerOp, zc.CopiesPerOp, cp.NsPerOp, cp.CopiesPerOp, rep.NsPerOpImprovementPct, path)
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"lunasolar/internal/experiments"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/sim/runtime"
+	"lunasolar/internal/simnet"
 )
 
 var registry = map[string]struct {
@@ -53,11 +54,26 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit one JSON metric row per line instead of tables")
 	noWheel := flag.Bool("no-wheel", false, "force coarse timers onto the plain heap (differential debugging; output must be identical)")
+	copyPath := flag.Bool("copy-path", false, "force the deep-copying data path instead of refcounted slabs (differential debugging; output must be identical)")
+	benchOut := flag.String("bench-out", "", "run the 4 KiB write-path microbenchmark in both data-path modes and write the JSON report here (e.g. BENCH_pr3.json)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
 	if *noWheel {
 		sim.SetCoarseTimers(false)
+	}
+	if *copyPath {
+		simnet.SetZeroCopy(false)
+	}
+
+	if *benchOut != "" {
+		if err := writeBenchReport(*benchOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" && !*list {
+			return
+		}
 	}
 
 	ids := make([]string, 0, len(registry))

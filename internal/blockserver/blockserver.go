@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"lunasolar/internal/crc"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
@@ -41,7 +42,8 @@ type Server struct {
 	replicas []uint32 // chunk-server addresses, len >= Replicas
 	params   Params
 
-	writes, reads uint64
+	writes, reads     uint64
+	crcFoldMismatches uint64
 }
 
 // New creates a block server serving requests from fn, replicating over bn
@@ -67,6 +69,10 @@ func (s *Server) Name() string { return s.name }
 
 // Stats returns served write and read RPC counts.
 func (s *Server) Stats() (writes, reads uint64) { return s.writes, s.reads }
+
+// CRCFoldMismatches returns how many replica commits reported a CRC fold
+// that disagreed with the request's one-touch metadata.
+func (s *Server) CRCFoldMismatches() uint64 { return s.crcFoldMismatches }
 
 // replicaSet returns the chunk servers for a segment (deterministic by
 // segment ID so all writers agree).
@@ -104,14 +110,32 @@ func (s *Server) Handle(src uint32, req *transport.Message, reply func(*transpor
 
 // replicateWrite fans the blocks out to all replicas over the BN; the write
 // acknowledges when every replica has committed (step 3→4 in Fig. 2).
+//
+// When the request carries one-touch CRC metadata the commit is
+// cross-checked without touching a single payload byte: the per-block list
+// is folded once with the memoized 4 KiB GF(2) combine operator, and each
+// replica's reported commit fold must match it — catching any metadata
+// corruption or desynchronization along the BN path.
 func (s *Server) replicateWrite(t0 sim.Time, req *transport.Message, reply func(*transport.Response)) {
 	set := s.replicaSet(req.SegmentID)
 	remaining := len(set)
+	var wantFold uint32
+	checkFold := len(req.BlockCRCs) > 0
+	if checkFold {
+		wantFold = crc.CombineBlocks(req.BlockCRCs, wire.BlockSize)
+	}
 	var maxSSD time.Duration
 	var firstErr error
 	for _, chunk := range set {
 		msg := *req // each replica gets the same payload
 		s.bn.Call(chunk, &msg, func(resp *transport.Response) {
+			if checkFold && resp.Err == nil && len(resp.BlockCRCs) == 1 && resp.BlockCRCs[0] != wantFold {
+				s.crcFoldMismatches++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("blockserver %s: replica %d commit CRC fold mismatch: got %08x want %08x",
+						s.name, chunk, resp.BlockCRCs[0], wantFold)
+				}
+			}
 			if resp.Err != nil && firstErr == nil {
 				firstErr = resp.Err
 			}
@@ -138,6 +162,7 @@ func (s *Server) serveRead(t0 sim.Time, req *transport.Message, reply func(*tran
 	s.bn.Call(primary, &msg, func(resp *transport.Response) {
 		reply(&transport.Response{
 			Data:       resp.Data,
+			BlockCRCs:  resp.BlockCRCs, // stored CRCs ride through to the FN
 			Err:        resp.Err,
 			ServerWall: s.eng.Now().Sub(t0),
 			SSDTime:    resp.SSDTime,

@@ -28,6 +28,20 @@ func (s *Service) Handle(src uint32, req *transport.Message, reply func(*transpo
 	switch req.Op {
 	case wire.RPCWriteReq:
 		n := (len(req.Data) + wire.BlockSize - 1) / wire.BlockSize
+		// One-touch CRC: when the request carries the per-block CRCs
+		// computed at SA ingress, they become the store's expected values —
+		// the device boundary verifies end-to-end against the ingress hash
+		// and the service never re-walks the payload. The reply echoes a
+		// GF(2) fold of the committed list (one Combine per block, no data
+		// bytes touched) for the block server's replica cross-check.
+		carried := req.BlockCRCs
+		if len(carried) != n {
+			carried = nil
+		}
+		var fold []uint32
+		if carried != nil {
+			fold = []uint32{crc.CombineBlocks(carried, wire.BlockSize)}
+		}
 		remaining := n
 		var firstErr error
 		for i := 0; i < n; i++ {
@@ -37,25 +51,38 @@ func (s *Service) Handle(src uint32, req *transport.Message, reply func(*transpo
 				hi = len(req.Data)
 			}
 			block := req.Data[lo:hi]
-			s.cs.WriteBlock(req.SegmentID, req.LBA+uint64(lo), req.Gen, block, crc.Raw(block), func(err error) {
+			expect := uint32(0)
+			if carried != nil {
+				expect = carried[i]
+			} else {
+				expect = crc.Raw(block)
+			}
+			s.cs.WriteBlock(req.SegmentID, req.LBA+uint64(lo), req.Gen, block, expect, func(err error) {
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
 				remaining--
 				if remaining == 0 {
-					reply(&transport.Response{Err: firstErr, SSDTime: s.eng.Now().Sub(t0)})
+					reply(&transport.Response{Err: firstErr, BlockCRCs: fold, SSDTime: s.eng.Now().Sub(t0)})
 				}
 			})
 		}
 	case wire.RPCReadReq:
 		n := (req.ReadLen + wire.BlockSize - 1) / wire.BlockSize
 		buf := make([]byte, req.ReadLen)
+		// One-touch CRC, read direction: each block's stored CRC rides back
+		// with the response, so upstream hops (read-serve framing, the
+		// client's commit verify) reuse it instead of re-hashing. The list
+		// is attached only when every block's stored bytes exactly fill its
+		// slot — a short or missing record would desynchronize CRC and data.
+		crcs := make([]uint32, n)
+		crcsOK := true
 		remaining := n
 		var firstErr error
 		for i := 0; i < n; i++ {
 			lo := i * wire.BlockSize
 			i := i
-			s.cs.ReadBlock(req.SegmentID, req.LBA+uint64(lo), func(data []byte, _ uint32, err error) {
+			s.cs.ReadBlock(req.SegmentID, req.LBA+uint64(lo), func(data []byte, rawCRC uint32, err error) {
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -64,9 +91,18 @@ func (s *Service) Handle(src uint32, req *transport.Message, reply func(*transpo
 					end = len(buf)
 				}
 				copy(buf[i*wire.BlockSize:end], data)
+				if err != nil || len(data) != end-i*wire.BlockSize {
+					crcsOK = false
+				} else {
+					crcs[i] = rawCRC
+				}
 				remaining--
 				if remaining == 0 {
-					reply(&transport.Response{Data: buf, Err: firstErr, SSDTime: s.eng.Now().Sub(t0)})
+					out := crcs
+					if !crcsOK {
+						out = nil
+					}
+					reply(&transport.Response{Data: buf, BlockCRCs: out, Err: firstErr, SSDTime: s.eng.Now().Sub(t0)})
 				}
 			})
 		}

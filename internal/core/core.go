@@ -165,6 +165,15 @@ type Stack struct {
 	nextEphem  uint16
 	randomizer *sim.Rand
 
+	// Scratch policy for the FPGA CRC engine when the block under the
+	// engine aliases trusted shared memory (zero-copy mode): a datapath
+	// fault must not corrupt the guest's bytes, so it is materialised into
+	// a private pooled slab. crcScratchFn is allocated once here; the slab
+	// it produced (if any) is parked in crcScratchSlab for the caller to
+	// adopt or release.
+	crcScratchFn   func([]byte) []byte
+	crcScratchSlab *simnet.Slab
+
 	// Stats.
 	Probes        uint64
 	Retransmits   uint64
@@ -201,10 +210,22 @@ func New(eng *sim.Engine, host *simnet.Host, cores *sim.Server, card *dpu.DPU, p
 		randomizer: eng.Rand.Fork(),
 		pool:       host.PacketPool(),
 	}
+	s.crcScratchFn = s.crcScratch
 	if host.Handler == nil {
 		host.Handler = s.ReceivePacket
 	}
 	return s
+}
+
+// crcScratch materialises a private pooled copy of src for the DPU's
+// datapath-corruption fault (see Stack.crcScratchFn).
+func (s *Stack) crcScratch(src []byte) []byte {
+	sl := s.pool.GetSlab(len(src))
+	b := sl.Bytes()
+	copy(b, src)
+	s.pool.CountCopy(len(src))
+	s.crcScratchSlab = sl
+	return b
 }
 
 // Name identifies the stack variant.

@@ -5,6 +5,7 @@ import (
 
 	"lunasolar/internal/cc"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
 )
@@ -58,6 +59,12 @@ type outPkt struct {
 	ebs     wire.EBS
 	payload []byte
 	size    int // wire payload size (headers + data)
+
+	// slab owns the payload bytes in zero-copy mode: every (re)transmitted
+	// frame attaches it as a fragment, and the reference is released when
+	// the packet is recycled. Nil on the -copy-path hatch, where payload is
+	// a pooled deep copy tracked by payloadPooled instead.
+	slab *simnet.Slab
 
 	owner         *Stack
 	pe            *peer

@@ -38,7 +38,9 @@ const maxRetxExp = 3
 // clears the embedded retransmitter, so it is rebound here.
 func (s *Stack) freeOutPkt(e *outPkt) {
 	e.retx.Disarm()
-	if e.payloadPooled && e.payload != nil {
+	if e.slab != nil {
+		e.slab.Release()
+	} else if e.payloadPooled && e.payload != nil {
 		s.pool.PutBuf(e.payload)
 	}
 	gen := e.gen + 1
@@ -105,10 +107,16 @@ func (s *Stack) getMsg(dataLen int) *transport.Message {
 }
 
 func (s *Stack) putMsg(m *transport.Message) {
-	if m.Data != nil {
+	if m.Payload != nil {
+		m.Payload.Release() // m.Data aliases the slab: one release, no PutBuf
+	} else if m.Data != nil {
 		s.pool.PutBuf(m.Data)
 	}
+	crcs := m.BlockCRCs
 	*m = transport.Message{}
+	if crcs != nil {
+		m.BlockCRCs = crcs[:0] // keep the backing array across recycles
+	}
 	s.freeMsgs = append(s.freeMsgs, m)
 }
 

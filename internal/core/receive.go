@@ -112,6 +112,9 @@ func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) 
 		return
 	}
 	payload := rest[wire.EBSSize:]
+	if len(pkt.Frag) > 0 {
+		payload = pkt.Frag // zero-copy frame: the block rides as a fragment
+	}
 	if int(ebs.BlockLen) <= len(payload) {
 		payload = payload[:ebs.BlockLen]
 	}
@@ -119,14 +122,29 @@ func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) 
 		pkt.Release()
 		return
 	}
-	req := s.getMsg(len(payload))
+	var req *transport.Message
+	if frag := pkt.FragSlab(); frag != nil {
+		// Zero-copy: the request references the frame's payload slab; the
+		// retained reference keeps the bytes alive for the block service
+		// (and its replica fan-out) until the envelope is recycled.
+		req = s.getMsg(0)
+		req.Data = payload
+		req.Payload = frag.Retain()
+	} else {
+		req = s.getMsg(len(payload))
+		copy(req.Data, payload)
+		s.pool.CountCopy(len(payload))
+	}
 	req.Op = wire.RPCWriteReq
 	req.VDisk = ebs.VDisk
 	req.SegmentID = ebs.SegmentID
 	req.LBA = ebs.LBA
 	req.Gen = ebs.Gen
 	req.Flags = ebs.Flags
-	copy(req.Data, payload)
+	// One-touch CRC: the block's CRC travels with the packet; the block
+	// service folds and forwards it downstream (chunk servers verify it at
+	// the device boundary) instead of re-walking the payload.
+	req.BlockCRCs = append(req.BlockCRCs[:0], ebs.BlockCRC)
 	// Per-block server CPU, then hand to the block service; the durable
 	// ACK (Fig. 12's WRITE response) is sent when it replies. The packet
 	// rides along until then: the ack echoes its INT and timestamps.
@@ -134,9 +152,6 @@ func (s *Stack) handleWriteBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) 
 	j.pkt, j.rpcID, j.pktID = pkt, rpc.RPCID, rpc.PktID
 	j.src, j.arrived, j.req = pkt.Src, s.eng.Now(), req
 	s.cores.SubmitArg(s.params.PerBlockCPU, writeJobStart, j)
-	// The block CRC travels with the packet; the block service re-verifies
-	// against ebs.BlockCRC downstream (chunk servers check on write).
-	_ = ebs.BlockCRC
 }
 
 // handleReadReq is the server side of a READ: acknowledge the request
@@ -180,6 +195,19 @@ func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *tran
 	data := resp.Data
 	n := splitBlocks(len(data))
 	pe := s.peerFor(key.peer)
+	// One-touch CRC: the chunk store reports each block's stored CRC with
+	// the read; when the list covers every outgoing block, the server
+	// forwards those values instead of re-walking the payload.
+	carried := resp.BlockCRCs
+	if len(carried) != n {
+		carried = nil
+	}
+	// Zero-copy: every response block references the service's buffer
+	// through one shared slab instead of a pooled copy per block.
+	var ioSlab *simnet.Slab
+	if simnet.ZeroCopy() && n > 0 {
+		ioSlab = s.pool.WrapSlab(data)
+	}
 	for i := 0; i < n; i++ {
 		lo := i * wire.BlockSize
 		hi := lo + wire.BlockSize
@@ -187,7 +215,12 @@ func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *tran
 			hi = len(data)
 		}
 		block := data[lo:hi]
-		sum := crc.Raw(block) // trusted: storage-side software/stored CRC
+		var sum uint32
+		if carried != nil {
+			sum = carried[i] // trusted: the chunk store's stored CRC
+		} else {
+			sum = crc.Raw(block) // trusted: storage-side software CRC
+		}
 		flags := req.Flags & wire.EBSFlagEncrypted
 		if i == n-1 {
 			flags |= wire.EBSFlagLastBlock
@@ -203,12 +236,21 @@ func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *tran
 			ServerNS: uint32(resp.ServerWall.Nanoseconds()),
 			SSDNS:    uint32(resp.SSDTime.Nanoseconds()),
 		}
-		e.payload = s.pool.GetBuf(len(block))
-		copy(e.payload, block)
-		e.payloadPooled = true
-		e.size = wire.RPCSize + wire.EBSSize + len(e.payload)
+		if ioSlab != nil {
+			e.payload = block
+			e.slab = ioSlab.Retain()
+		} else {
+			e.payload = s.pool.GetBuf(len(block))
+			copy(e.payload, block)
+			s.pool.CountCopy(len(block))
+			e.payloadPooled = true
+		}
+		e.size = wire.RPCSize + wire.EBSSize + len(block)
 		sv.pkts = append(sv.pkts, e)
 		sv.unacked++
+	}
+	if ioSlab != nil {
+		ioSlab.Release()
 	}
 	for _, e := range sv.pkts {
 		s.sendPkt(pe, e)
@@ -226,6 +268,9 @@ func (s *Stack) handleReadBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 		return
 	}
 	payload := rest[wire.EBSSize:]
+	if len(pkt.Frag) > 0 {
+		payload = pkt.Frag // zero-copy frame: the block rides as a fragment
+	}
 	if int(ebs.BlockLen) <= len(payload) {
 		payload = payload[:ebs.BlockLen]
 	}
@@ -261,8 +306,23 @@ func (s *Stack) commitReadBlock(pkt *simnet.Packet, rpc wire.RPC, ebs wire.EBS, 
 	// side rides in the header; the CPU folds both into the RPC-level
 	// aggregate and verifies once per RPC.
 	var engineSum uint32
+	var scratch *simnet.Slab
 	if s.params.Mode == Offloaded && s.card != nil {
-		engineSum = s.card.ComputeCRC(payload)
+		// In zero-copy mode the payload fragment aliases the server's
+		// slab (shared with its retransmit queue), so a datapath fault is
+		// materialised into private scratch instead of flipped in place.
+		// Either way the same corrupt bytes reach guest memory below.
+		policy := scratchSelf
+		if pkt.FragSlab() != nil {
+			policy = s.crcScratchFn
+		}
+		var corrupted []byte
+		engineSum, corrupted = s.card.ComputeCRCShared(payload, 0, false, policy)
+		if corrupted != nil {
+			payload = corrupted
+			scratch = s.crcScratchSlab
+			s.crcScratchSlab = nil
+		}
 	} else {
 		engineSum = crc.Raw(payload)
 	}
@@ -289,6 +349,9 @@ func (s *Stack) commitReadBlock(pkt *simnet.Packet, rpc wire.RPC, ebs wire.EBS, 
 	}
 	r.received[rpc.PktID] = true
 	r.got++
+	if scratch != nil {
+		scratch.Release() // corrupt copy has been DMA'd; scratch is done
+	}
 	s.releaseAddr(1)
 	s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
 
@@ -391,6 +454,10 @@ func (s *Stack) runAck(j *ackJob) {
 			}
 			if w.acked == len(w.pkts) {
 				delete(s.writes, w.id)
+				for _, sl := range w.slabs {
+					sl.Release()
+				}
+				w.slabs = nil
 				s.cores.Submit(s.params.PerRPCDoneCPU, func() {
 					w.done(&transport.Response{ServerWall: w.serverWall, SSDTime: w.ssdTime})
 				})
@@ -415,7 +482,13 @@ func (s *Stack) repairAndResend(peerAddr uint32, e *outPkt) {
 	if e.msgType == wire.RPCWriteReq {
 		if w := s.writes[e.key.rpcID]; w != nil {
 			orig := w.blocks[e.key.pktID]
-			copy(e.payload, orig) // same length: the payload began as a copy of orig
+			// In zero-copy mode the payload may BE the trusted buffer (the
+			// rejection was a CRC-value flip, not data corruption) — only
+			// repair bytes when they live elsewhere (a corruption-scratch
+			// slab, or the copy-path's pooled copy; same length either way).
+			if len(e.payload) == 0 || len(orig) == 0 || &e.payload[0] != &orig[0] {
+				copy(e.payload, orig)
+			}
 			e.ebs.BlockCRC = crc.Raw(orig)
 			s.IntegrityHits++
 		}

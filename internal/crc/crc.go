@@ -105,15 +105,82 @@ func gf2MatSquare(sq, m *[32]uint32) {
 	}
 }
 
-// Combine returns the CRC of the concatenation A||B given crcA =
-// Checksum(A), crcB = Checksum(B), and lenB = len(B). This is the zlib
-// crc32_combine construction specialised to CRC-32C.
-func Combine(crcA, crcB uint32, lenB int64) uint32 {
-	if lenB <= 0 {
-		return crcA
+// gf2MatMul sets dst = a·b over GF(2). Column i of the product is a applied
+// to column i of b (m[i] holds the image of basis vector e_i).
+func gf2MatMul(dst, a, b *[32]uint32) {
+	for i := 0; i < 32; i++ {
+		dst[i] = gf2MatTimes(a, b[i])
 	}
-	var even, odd [32]uint32
+}
 
+// CombineOp is the GF(2) shift operator for a fixed appended length,
+// flattened into a single 32×32 matrix. Building it costs the same
+// squaring chain as one Combine call; applying it afterwards is a single
+// matrix–vector product. The data path memoizes the operator for the fixed
+// 4 KiB block length so per-block CRC folding at the blockserver/DPU
+// boundary never rebuilds the matrices.
+//
+// The operator is valid for both CRC forms: the raw (zero-init, linear)
+// CRC satisfies Raw(A||B) = M_lenB·Raw(A) ⊕ Raw(B) directly, and the zlib
+// construction makes the same identity hold for the inverted Checksum form.
+type CombineOp struct {
+	mat  [32]uint32
+	lenB int64
+}
+
+// MakeCombineOp precomputes the combine operator for appending lenB bytes.
+func MakeCombineOp(lenB int64) CombineOp {
+	op := CombineOp{lenB: lenB}
+	for i := 0; i < 32; i++ {
+		op.mat[i] = 1 << i // identity: lenB <= 0 appends nothing
+	}
+	if lenB <= 0 {
+		return op
+	}
+	var even, odd, tmp [32]uint32
+	shiftSeed(&even, &odd)
+	n := lenB
+	for {
+		gf2MatSquare(&even, &odd)
+		if n&1 != 0 {
+			gf2MatMul(&tmp, &even, &op.mat)
+			op.mat = tmp
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+		gf2MatSquare(&odd, &even)
+		if n&1 != 0 {
+			gf2MatMul(&tmp, &odd, &op.mat)
+			op.mat = tmp
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+	}
+	return op
+}
+
+// Len returns the appended length the operator was built for.
+func (op *CombineOp) Len() int64 { return op.lenB }
+
+// Combine folds crcB (over lenB bytes) onto crcA with one matrix–vector
+// product: CRC(A||B) from CRC(A) and CRC(B).
+func (op *CombineOp) Combine(crcA, crcB uint32) uint32 {
+	return gf2MatTimes(&op.mat, crcA) ^ crcB
+}
+
+// blockLen4K is the fixed EBS block length (wire.BlockSize; the literal
+// avoids an import cycle) whose combine operator is memoized at init.
+const blockLen4K = 4096
+
+var op4K = MakeCombineOp(blockLen4K)
+
+// shiftSeed initialises the squaring chain: even = operator for two zero
+// bits, odd = operator for four zero bits (zlib crc32_combine seeding).
+func shiftSeed(even, odd *[32]uint32) {
 	// odd = operator for one zero bit.
 	odd[0] = Poly
 	row := uint32(1)
@@ -121,10 +188,23 @@ func Combine(crcA, crcB uint32, lenB int64) uint32 {
 		odd[i] = row
 		row <<= 1
 	}
-	// even = operator for two zero bits.
-	gf2MatSquare(&even, &odd)
-	// odd = operator for four zero bits.
-	gf2MatSquare(&odd, &even)
+	gf2MatSquare(even, odd)
+	gf2MatSquare(odd, even)
+}
+
+// Combine returns the CRC of the concatenation A||B given crcA =
+// Checksum(A), crcB = Checksum(B), and lenB = len(B). This is the zlib
+// crc32_combine construction specialised to CRC-32C. The fixed 4 KiB block
+// length hits the memoized operator and skips the squaring chain entirely.
+func Combine(crcA, crcB uint32, lenB int64) uint32 {
+	if lenB <= 0 {
+		return crcA
+	}
+	if lenB == blockLen4K {
+		return op4K.Combine(crcA, crcB)
+	}
+	var even, odd [32]uint32
+	shiftSeed(&even, &odd)
 
 	// Apply len2 zero bytes to crcA, 3 bits at a time (len*8 bits).
 	n := lenB
@@ -147,6 +227,26 @@ func Combine(crcA, crcB uint32, lenB int64) uint32 {
 		}
 	}
 	return crcA ^ crcB
+}
+
+// CombineBlocks folds the raw CRCs of consecutive equal-length blocks into
+// the raw CRC of their concatenation, reusing one precomputed operator for
+// the whole fold (memoized for 4 KiB blocks). An empty slice folds to 0,
+// the raw CRC of the empty payload.
+func CombineBlocks(crcs []uint32, blockLen int64) uint32 {
+	if len(crcs) == 0 {
+		return 0
+	}
+	op := &op4K
+	if blockLen != blockLen4K {
+		fresh := MakeCombineOp(blockLen)
+		op = &fresh
+	}
+	agg := crcs[0]
+	for _, c := range crcs[1:] {
+		agg = op.Combine(agg, c)
+	}
+	return agg
 }
 
 // XorAggregate folds per-block raw CRCs into the single value Solar's CPU

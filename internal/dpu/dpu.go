@@ -123,20 +123,50 @@ func (d *DPU) PipelineReadLatency(encrypted bool) time.Duration {
 // caller's buffer is modified — the corruption will reach storage unless
 // software catches it).
 func (d *DPU) ComputeCRC(data []byte) uint32 {
+	sum, _ := d.ComputeCRCShared(data, 0, false, corruptInPlace)
+	return sum
+}
+
+// corruptInPlace is ComputeCRC's scratch policy: the caller's buffer is
+// private, so the datapath fault may land directly in it.
+func corruptInPlace(b []byte) []byte { return b }
+
+// ComputeCRCShared is the CRC engine for callers whose buffer aliases
+// trusted memory (the zero-copy data path) or who already know the block's
+// raw CRC (one-touch metadata computed at SA ingress).
+//
+// A datapath-corruption fault is materialised into scratch(data) — a
+// private copy the caller provides — instead of being flipped in place;
+// the corrupted copy is returned (nil when the block came through clean).
+// With haveCached set, cached must be the raw CRC-32C of data and the
+// fault-free path reports it without re-walking the bytes.
+//
+// The fault lottery and flip positions draw from exactly the same random
+// sequence as ComputeCRC, so a given seed corrupts the same blocks the
+// same way regardless of which entry point — or which data-path mode —
+// the caller uses.
+func (d *DPU) ComputeCRCShared(data []byte, cached uint32, haveCached bool, scratch func([]byte) []byte) (uint32, []byte) {
 	if d.Cfg.Faults.DataBitFlip > 0 && d.rand.Bernoulli(d.Cfg.Faults.DataBitFlip) {
 		d.dataFlips++
-		i := d.rand.Intn(len(data))
-		data[i] ^= 1 << uint(d.rand.Intn(8))
+		buf := scratch(data)
+		i := d.rand.Intn(len(buf))
+		buf[i] ^= 1 << uint(d.rand.Intn(8))
 		// The engine checksums the already-corrupted data: CRC matches the
 		// corrupt payload, so only an end-to-end expected value catches it.
-		return crc.Raw(data)
+		if len(buf) > 0 && len(data) > 0 && &buf[0] == &data[0] {
+			return crc.Raw(buf), nil // flipped in place: nothing materialised
+		}
+		return crc.Raw(buf), buf
 	}
-	sum := crc.Raw(data)
+	sum := cached
+	if !haveCached {
+		sum = crc.Raw(data)
+	}
 	if d.Cfg.Faults.CRCBitFlip > 0 && d.rand.Bernoulli(d.Cfg.Faults.CRCBitFlip) {
 		d.crcFlips++
 		sum ^= 1 << uint(d.rand.Intn(32))
 	}
-	return sum
+	return sum, nil
 }
 
 // LookupFault reports whether this table lookup hit a corrupted entry.

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"lunasolar/internal/simnet"
+)
+
+// TestCopyPathDifferentialOutput is the zero-copy data path's end-to-end
+// regression gate, the experiment-level counterpart of the write-path copy
+// accounting in the root package: a full experiment must produce
+// byte-identical formatted output whether payloads travel as refcounted
+// slabs or as the seed's deep copies. The -copy-path hatch changes only
+// where bytes live — never what metadata travels, what a frame costs on the
+// wire, or which random draws the fault engines make — so any divergence
+// here is a data-path bug, not noise. Fig6 covers the steady-state write
+// and read paths of all three stacks (including retransmit slab reuse);
+// Table2 covers failure injection, where packets are dropped mid-flight and
+// re-sent from the same slab.
+//
+// The test flips the package-wide data-path default, so it does not run in
+// parallel with anything else.
+func TestCopyPathDifferentialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	if raceEnabled {
+		t.Skip("determinism gate, not a memory-safety test; too slow under the race detector")
+	}
+	prev := simnet.ZeroCopy()
+	defer simnet.SetZeroCopy(prev)
+	// As in the wheel differential: a short failure window still drives
+	// every Table2 scenario through injection, retransmission and failover.
+	table2Window = 400 * time.Millisecond
+	defer func() { table2Window = 0 }()
+	for _, tc := range []struct {
+		name string
+		fn   func(Options) *Table
+	}{
+		{"fig6", Fig6},
+		{"table2", Table2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(zero bool) string {
+				simnet.SetZeroCopy(zero)
+				return tc.fn(Options{Seed: 7, Quick: true, Workers: 4}).Format()
+			}
+			zc, cp := run(true), run(false)
+			if zc != cp {
+				t.Fatalf("zero-copy and copy-path runs diverged at the same seed\n--- zero-copy ---\n%s\n--- copy-path ---\n%s", zc, cp)
+			}
+		})
+	}
+}

@@ -12,10 +12,17 @@ import (
 // PSN) + RPC header + EBS header.
 const pktHdrSize = wire.TCPSegSize + wire.RPCSize + wire.EBSSize
 
-// outPkt is one unacknowledged data packet.
+// outPkt is one unacknowledged data packet, kept scattered: the RPC+EBS
+// header image lives in a small pooled prefix encoded once at queue time,
+// the chunk is referenced through a slab (shared with the message payload
+// in zero-copy mode, a pooled deep copy behind -copy-path). Every
+// (re)transmission builds its own frame — BTH + header copy + fragment —
+// so nothing the pool reclaims is ever shared with an in-flight frame.
 type outPkt struct {
-	psn     uint32
-	payload []byte // full frame payload including headers
+	psn  uint32
+	hdr  []byte       // pooled RPC+EBS header image (wire.HeadersSize)
+	pay  []byte       // chunk bytes; subrange of slab
+	slab *simnet.Slab // reference held until the packet is acknowledged
 }
 
 // qp is one reliable-connection queue pair: go-back-N over PSNs.
@@ -49,6 +56,7 @@ type inMsg struct {
 	numPkts  int
 	received int
 	payload  []byte
+	crcs     []uint32 // carried one-touch block CRCs, in PSN order
 }
 
 func newQP(s *Stack, k qpKey) *qp {
@@ -65,20 +73,31 @@ func newQP(s *Stack, k qpKey) *qp {
 func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
 
 // sendMessage segments one RPC message into MTU packets and queues them.
+// Each packet's RPC+EBS header image is encoded once into a pooled prefix;
+// the chunk is attached by reference (zero-copy) or as one pooled copy
+// (-copy-path). When the caller supplied per-block one-touch CRCs and the
+// chunking aligns with them — MTU == BlockSize for data, or a single
+// header-only packet carrying a fold — each packet's EBS header carries
+// its block's CRC, flagged with EBSFlagHasCRC.
 func (q *qp) sendMessage(id uint64, op uint8, req *transport.Message, resp *transport.Response) {
 	var payload []byte
+	var crcs []uint32
+	var paySlab *simnet.Slab
 	ebs := wire.EBS{Version: wire.EBSVersion}
 	if req != nil {
 		payload = req.Data
+		crcs = req.BlockCRCs
+		paySlab = req.Payload
 		ebs.Op = op
 		ebs.VDisk = req.VDisk
 		ebs.SegmentID = req.SegmentID
 		ebs.LBA = req.LBA
 		ebs.Gen = req.Gen
-		ebs.Flags = req.Flags
+		ebs.Flags = req.Flags &^ wire.EBSFlagHasCRC
 		ebs.BlockLen = uint32(req.ReadLen)
 	} else {
 		payload = resp.Data
+		crcs = resp.BlockCRCs
 		ebs.ServerNS = uint32(resp.ServerWall.Nanoseconds())
 		ebs.SSDNS = uint32(resp.SSDTime.Nanoseconds())
 	}
@@ -87,6 +106,20 @@ func (q *qp) sendMessage(id uint64, op uint8, req *transport.Message, resp *tran
 	if numPkts == 0 {
 		numPkts = 1
 	}
+	if len(crcs) != numPkts || (len(payload) > 0 && mtu != wire.BlockSize) {
+		crcs = nil // carriage only when packets and CRC entries correspond 1:1
+	}
+	// Zero-copy: chunks reference the message payload through one shared
+	// slab (the caller's, when it already has one) instead of being copied.
+	var ioSlab *simnet.Slab
+	if simnet.ZeroCopy() && len(payload) > 0 {
+		if paySlab != nil {
+			ioSlab = paySlab.Retain()
+		} else {
+			ioSlab = q.s.pool.WrapSlab(payload)
+		}
+	}
+	baseFlags := ebs.Flags
 	for i := 0; i < numPkts; i++ {
 		lo := i * mtu
 		hi := lo + mtu
@@ -94,21 +127,36 @@ func (q *qp) sendMessage(id uint64, op uint8, req *transport.Message, resp *tran
 			hi = len(payload)
 		}
 		chunk := payload[lo:hi]
-		buf := make([]byte, pktHdrSize+len(chunk))
+		ebs.Flags = baseFlags
+		ebs.BlockCRC = 0
+		if crcs != nil {
+			ebs.BlockCRC = crcs[i]
+			ebs.Flags |= wire.EBSFlagHasCRC
+		}
 		rpc := wire.RPC{RPCID: id, PktID: uint16(i), NumPkts: uint16(numPkts), MsgType: op}
 		if resp != nil {
 			rpc.MsgType = wire.RPCWriteResp
 		}
-		// BTH is encoded at transmit time (PSN/ack fields are dynamic).
-		if err := rpc.Encode(buf[wire.TCPSegSize:]); err != nil {
+		p := outPkt{psn: q.nextPSN, hdr: q.s.pool.GetBuf(wire.HeadersSize)}
+		if err := wire.EncodeHeaders(p.hdr, &rpc, &ebs); err != nil {
 			panic(err)
 		}
-		if err := ebs.Encode(buf[wire.TCPSegSize+wire.RPCSize:]); err != nil {
-			panic(err)
+		if len(chunk) > 0 {
+			if ioSlab != nil {
+				p.slab = ioSlab.Retain()
+				p.pay = chunk
+			} else {
+				p.slab = q.s.pool.GetSlab(len(chunk))
+				p.pay = p.slab.Bytes()
+				copy(p.pay, chunk)
+				q.s.pool.CountCopy(len(chunk))
+			}
 		}
-		copy(buf[pktHdrSize:], chunk)
-		q.sndQueue = append(q.sndQueue, outPkt{psn: q.nextPSN, payload: buf})
+		q.sndQueue = append(q.sndQueue, p)
 		q.nextPSN++
+	}
+	if ioSlab != nil {
+		ioSlab.Release()
 	}
 	q.pump()
 }
@@ -122,13 +170,13 @@ func (q *qp) pump() {
 		if idx >= len(q.sndQueue) {
 			break
 		}
-		p := q.sndQueue[idx]
+		psn := q.sndQueue[idx].psn
 		if !q.sampleValid {
-			q.samplePSN = p.psn + 1
+			q.samplePSN = psn + 1
 			q.sampleAt = q.s.eng.Now()
 			q.sampleValid = true
 		}
-		q.transmit(p)
+		q.transmit(psn)
 		q.sndNxt++
 	}
 	if q.inflight() > 0 && !q.retx.Active() {
@@ -136,28 +184,49 @@ func (q *qp) pump() {
 	}
 }
 
-// transmit sends one packet, paying cache and PCIe costs.
-func (q *qp) transmit(p outPkt) {
+// lookup returns the queued packet holding psn, or nil when a cumulative
+// ack already retired it.
+func (q *qp) lookup(psn uint32) *outPkt {
+	idx := int(int32(psn - q.sndUna))
+	if idx < 0 || idx >= len(q.sndQueue) {
+		return nil
+	}
+	return &q.sndQueue[idx]
+}
+
+// transmit sends the queued packet holding psn, paying cache and PCIe
+// costs. The frame is built only when the NIC actually fires: a cumulative
+// ack racing the cache/PCIe crossing may retire the PSN first, in which
+// case nothing goes out — an RNIC never replays acknowledged PSNs, and the
+// packet's pooled header and payload reference are already reclaimed.
+func (q *qp) transmit(psn uint32) {
 	send := func() {
+		p := q.lookup(psn)
+		if p == nil {
+			return
+		}
 		bth := wire.TCPSeg{
 			SrcPort: q.key.localQPN,
 			DstPort: q.key.remoteQPN,
-			Seq:     p.psn,
+			Seq:     psn,
 			Ack:     q.expectPSN,
 			Flags:   wire.TCPFlagACK,
 		}
-		if err := bth.Encode(p.payload); err != nil {
+		// Every transmission builds its own frame: BTH and header image are
+		// private to the frame, the chunk rides as a refcounted fragment —
+		// the RNIC's gather DMA from registered memory.
+		pkt := q.s.pool.Get(pktHdrSize)
+		if err := bth.Encode(pkt.Payload); err != nil {
 			panic(err)
 		}
-		// Pooled envelope, externally owned payload: the frame buffer lives
-		// in sndQueue for go-back-N retransmission, so the pool must not
-		// reclaim it when the receiver releases the packet.
-		pkt := q.s.pool.Get(0)
+		copy(pkt.Payload[wire.TCPSegSize:], p.hdr)
+		if p.slab != nil {
+			pkt.AttachFrag(p.slab, p.pay)
+		}
 		pkt.Dst = q.key.peer
 		pkt.Proto = Proto
 		pkt.SrcPort = q.key.localQPN
 		pkt.DstPort = q.key.remoteQPN
-		pkt.Payload = p.payload
 		pkt.Overhead = simnet.EthOverhead + wire.IPv4Size
 		pkt.SentAt = q.s.eng.Now()
 		if !q.s.host.Send(pkt) {
@@ -165,7 +234,11 @@ func (q *qp) transmit(p outPkt) {
 		}
 	}
 	step := func() {
-		data := len(p.payload) - pktHdrSize
+		p := q.lookup(psn)
+		if p == nil {
+			return
+		}
+		data := len(p.pay)
 		if q.s.pcie != nil && data > 0 {
 			q.s.pcie.Transfer(2*data, send)
 		} else {
@@ -235,12 +308,28 @@ func (q *qp) goBackN() {
 	q.pump()
 }
 
-// packetArrived processes one inbound frame on this QP.
-func (q *qp) packetArrived(bth wire.TCPSeg, rest []byte) {
+// releasePkt returns a retired packet's pooled header and payload
+// reference; the wipe keeps the recycled slice backing from pinning them.
+func (q *qp) releasePkt(p *outPkt) {
+	if p.hdr != nil {
+		q.s.pool.PutBuf(p.hdr)
+	}
+	if p.slab != nil {
+		p.slab.Release()
+	}
+	*p = outPkt{}
+}
+
+// packetArrived processes one inbound frame on this QP. chunk is the data
+// fragment for zero-copy frames (nil for flat or control frames).
+func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte) {
 	// Acknowledgment side (cumulative; NAK flagged with RST).
 	ack := bth.Ack
 	if seqLT(q.sndUna, ack) && !seqLT(q.sndNxt, ack) {
 		n := int(ack - q.sndUna)
+		for i := 0; i < n; i++ {
+			q.releasePkt(&q.sndQueue[i])
+		}
 		q.sndQueue = q.sndQueue[n:]
 		q.sndUna = ack
 		q.retx.RecordAck()
@@ -287,16 +376,33 @@ func (q *qp) packetArrived(bth wire.TCPSeg, rest []byte) {
 	if err := ebs.Decode(rest[wire.RPCSize:]); err != nil {
 		return
 	}
-	chunk := rest[wire.RPCSize+wire.EBSSize:]
+	if chunk == nil {
+		chunk = rest[wire.RPCSize+wire.EBSSize:]
+	}
 	m := q.assembler[rpc.RPCID]
 	if m == nil {
 		m = &inMsg{ebs: ebs, msgType: rpc.MsgType, numPkts: int(rpc.NumPkts)}
 		q.assembler[rpc.RPCID] = m
 	}
+	// Message reassembly is the receive side's one materialisation: chunks
+	// of a multi-packet message must land contiguously for the handler. It
+	// happens in both data-path modes and is counted as such.
 	m.payload = append(m.payload, chunk...)
+	if len(chunk) > 0 {
+		q.s.pool.CountCopy(len(chunk))
+	}
+	// Carried one-touch CRCs arrive in PSN order (strict in-order receiver);
+	// the set is usable only if every packet of the message carried one.
+	if ebs.Flags&wire.EBSFlagHasCRC != 0 {
+		m.crcs = append(m.crcs, ebs.BlockCRC)
+	}
 	m.received++
 	if m.received == m.numPkts {
 		delete(q.assembler, rpc.RPCID)
-		q.s.deliver(q, rpc.RPCID, m.msgType, m.ebs, m.payload)
+		crcs := m.crcs
+		if len(crcs) != m.numPkts {
+			crcs = nil
+		}
+		q.s.deliver(q, rpc.RPCID, m.msgType, m.ebs, m.payload, crcs)
 	}
 }

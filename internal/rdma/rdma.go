@@ -195,20 +195,22 @@ func (s *Stack) ReceivePacket(pkt *simnet.Packet) {
 		s.qps[k] = q
 	}
 	rest := pkt.Payload[wire.TCPSegSize:]
+	frag := pkt.Frag // zero-copy frames carry the chunk as a fragment
 	// packetArrived copies what it keeps (assembler chunks), so the frame
 	// can be released as soon as it returns.
-	step := func() { q.packetArrived(bth, rest); pkt.Release() }
+	step := func() { q.packetArrived(bth, rest, frag); pkt.Release() }
 	wait := func() { s.touchCache(k, step) }
-	if s.pcie != nil && len(rest) > 0 {
-		s.pcie.Transfer(2*len(rest), wait)
+	if s.pcie != nil && len(rest)+len(frag) > 0 {
+		s.pcie.Transfer(2*(len(rest)+len(frag)), wait)
 	} else {
 		wait()
 	}
 }
 
 // deliver hands a complete message up: requests to the handler, responses
-// to their pending callback.
-func (s *Stack) deliver(q *qp, rpcID uint64, msgType uint8, ebs wire.EBS, payload []byte) {
+// to their pending callback. crcs is the message's carried one-touch CRC
+// list (nil when the sender attached none).
+func (s *Stack) deliver(q *qp, rpcID uint64, msgType uint8, ebs wire.EBS, payload []byte, crcs []uint32) {
 	s.cores.Submit(s.params.PerRPCCPU, func() {
 		switch msgType {
 		case wire.RPCWriteReq, wire.RPCReadReq:
@@ -217,8 +219,8 @@ func (s *Stack) deliver(q *qp, rpcID uint64, msgType uint8, ebs wire.EBS, payloa
 			}
 			req := &transport.Message{
 				Op: msgType, VDisk: ebs.VDisk, SegmentID: ebs.SegmentID,
-				LBA: ebs.LBA, Gen: ebs.Gen, Flags: ebs.Flags,
-				ReadLen: int(ebs.BlockLen), Data: payload,
+				LBA: ebs.LBA, Gen: ebs.Gen, Flags: ebs.Flags &^ wire.EBSFlagHasCRC,
+				ReadLen: int(ebs.BlockLen), Data: payload, BlockCRCs: crcs,
 			}
 			s.handler(q.key.peer, req, func(resp *transport.Response) {
 				s.reply(q, rpcID, resp)
@@ -228,6 +230,7 @@ func (s *Stack) deliver(q *qp, rpcID uint64, msgType uint8, ebs wire.EBS, payloa
 				delete(s.pending, rpcID)
 				done(&transport.Response{
 					Data:       payload,
+					BlockCRCs:  crcs,
 					ServerWall: time.Duration(ebs.ServerNS),
 					SSDTime:    time.Duration(ebs.SSDNS),
 				})

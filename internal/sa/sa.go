@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"lunasolar/internal/crc"
 	"lunasolar/internal/seccrypto"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/trace"
@@ -153,6 +154,10 @@ type Agent struct {
 	gen       uint32
 	ciphers   map[uint32]*seccrypto.BlockCipher
 
+	// Recycled BlockCRCs backing arrays (one-touch CRC metadata), so the
+	// steady-state write path does not allocate per RPC.
+	crcLists [][]uint32
+
 	// Stats.
 	IOs      uint64
 	Splits   uint64
@@ -183,6 +188,35 @@ func (a *Agent) SetCollector(c *trace.Collector) { a.collector = c }
 // read completion, with block-independent counters so arrival order never
 // matters.
 func (a *Agent) SetCipher(vdisk uint32, c *seccrypto.BlockCipher) { a.ciphers[vdisk] = c }
+
+// getCRCList returns a recycled BlockCRCs backing array (empty, capacity
+// preserved); putCRCList returns one once its RPC completes.
+func (a *Agent) getCRCList() []uint32 {
+	if n := len(a.crcLists); n > 0 {
+		l := a.crcLists[n-1]
+		a.crcLists[n-1] = nil
+		a.crcLists = a.crcLists[:n-1]
+		return l
+	}
+	return nil
+}
+
+func (a *Agent) putCRCList(l []uint32) {
+	a.crcLists = append(a.crcLists, l[:0])
+}
+
+// appendBlockCRCs appends the raw CRC-32C of each 4 KiB block of data
+// (short tail blocks hashed at their actual length).
+func (a *Agent) appendBlockCRCs(dst []uint32, data []byte) []uint32 {
+	for off := 0; off < len(data); off += wire.BlockSize {
+		end := off + wire.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		dst = append(dst, crc.Raw(data[off:end]))
+	}
+	return dst
+}
 
 // cryptBlocks en/decrypts buf in place, one counter stream per block.
 func (a *Agent) cryptBlocks(vdisk uint32, segment, lba uint64, buf []byte) {
@@ -382,10 +416,29 @@ func (a *Agent) issue(span *trace.Span, vdisk uint32, gen uint32, op uint8,
 				a.cryptBlocks(vdisk, pc.ref.SegmentID, pc.lba, enc)
 				msg.Data = enc
 			}
+			// One-touch CRC: the per-block raw CRC is computed exactly
+			// once, here at SA ingress, over the bytes that will cross the
+			// wire; every downstream verification folds these values
+			// instead of re-walking the payload. The CRCPer4K cost was
+			// already charged in saBusy (or rides the FPGA pipeline), so
+			// this changes who reads the bytes, not what the simulation
+			// charges. Carriage is deliberately mode-independent — the
+			// -copy-path hatch changes where bytes live, never what
+			// metadata travels — so both modes stay byte-identical.
+			// Attached only for the offloaded (Solar) stacks, whose wire
+			// format carries a per-block CRC; skipped when the DPU's SEC
+			// engine will re-encrypt: the wire bytes are not ours to hash.
+			if a.params.Offloaded && !a.params.Encrypted {
+				msg.BlockCRCs = a.appendBlockCRCs(a.getCRCList(), msg.Data)
+			}
 		} else {
 			msg.ReadLen = pc.n
 		}
 		a.fn.Call(pc.ref.Server, msg, func(resp *transport.Response) {
+			if msg.BlockCRCs != nil {
+				a.putCRCList(msg.BlockCRCs)
+				msg.BlockCRCs = nil
+			}
 			if resp.Err != nil && firstErr == nil {
 				firstErr = resp.Err
 			}

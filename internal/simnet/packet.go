@@ -32,6 +32,7 @@ type Packet struct {
 	TTL      uint8
 
 	Payload  []byte // RPC header onward
+	Frag     []byte // zero-copy payload fragment carried after Payload
 	Overhead int    // envelope bytes: Eth + IP + transport header
 
 	INT *wire.INTStack // non-nil when the sender requested telemetry
@@ -40,13 +41,33 @@ type Packet struct {
 
 	// Pool bookkeeping; zero for packets built with struct literals.
 	pool        *PacketPool
-	ownsPayload bool // Payload came from the pool and returns with the packet
+	ownsPayload bool  // Payload came from the pool and returns with the packet
+	frag        *Slab // reference held for Frag's lifetime
 	free        bool
 	intStore    wire.INTStack // backing storage for INT when pooled
 }
 
-// WireSize returns the frame's size on the wire in bytes.
-func (p *Packet) WireSize() int { return p.Overhead + len(p.Payload) }
+// WireSize returns the frame's size on the wire in bytes. A zero-copy
+// fragment counts exactly like inlined payload bytes, so frame sizes (and
+// therefore serialization times, buffer occupancy and ECN marks) are
+// identical in both data-path modes.
+func (p *Packet) WireSize() int { return p.Overhead + len(p.Payload) + len(p.Frag) }
+
+// AttachFrag attaches a zero-copy payload fragment — a subrange of slab s —
+// to the frame, taking a slab reference for the packet's lifetime
+// (released by Packet.Release). Only pooled packets may carry fragments.
+func (p *Packet) AttachFrag(s *Slab, b []byte) {
+	if p.pool == nil {
+		panic("simnet: AttachFrag on a non-pooled packet")
+	}
+	p.Frag = b
+	p.frag = s.Retain()
+}
+
+// FragSlab returns the slab backing the packet's fragment (nil when the
+// frame carries no fragment). Receivers that keep the payload beyond the
+// packet's life Retain it.
+func (p *Packet) FragSlab() *Slab { return p.frag }
 
 // ResetINT attaches the packet's embedded telemetry stack (emptied), so
 // senders that request INT do not allocate a stack per packet.
@@ -70,6 +91,7 @@ func (p *Packet) Release() {
 	if p.ownsPayload && p.Payload != nil {
 		pp.PutBuf(p.Payload)
 	}
+	p.frag.Release()
 	hops := p.intStore.Hops
 	*p = Packet{pool: pp, free: true}
 	p.intStore.Hops = hops[:0]

@@ -28,8 +28,12 @@ type PacketPool struct {
 	small [][]byte
 	mid   [][]byte
 	data  [][]byte
+	slabs []*Slab
 
 	gets, puts, news uint64
+
+	copies      uint64
+	copiedBytes uint64
 }
 
 // Get returns a packet with a zeroed envelope and a pool-owned payload
@@ -111,9 +115,10 @@ func (pp *PacketPool) Gets() uint64 { return pp.gets }
 // News returns the number of pool misses (fresh packet allocations).
 func (pp *PacketPool) News() uint64 { return pp.news }
 
-// Outstanding returns packets handed out but not yet released. With the
-// fabric idle this should be zero; anything else is a leaked packet (a
-// receive path that forgot to Release).
+// Outstanding returns packets and slab references handed out but not yet
+// released. With the fabric idle this should be zero; anything else is a
+// leaked packet (a receive path that forgot to Release) or a leaked slab
+// reference (a Retain without its Release).
 func (pp *PacketPool) Outstanding() uint64 { return pp.gets - pp.puts }
 
 // linkXfer carries one in-flight frame through the port's two scheduled

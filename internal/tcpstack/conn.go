@@ -24,7 +24,7 @@ type conn struct {
 	rtt  *transport.RTT
 
 	// Sender state.
-	outBuf  []byte // bytes [sndUna, sndUna+len)
+	outQ    spanQueue // bytes [sndUna, sndUna+outQ.len())
 	sndUna  uint32
 	sndNxt  uint32
 	maxSent uint32 // high-water mark of sndNxt (survives RTO rewinds)
@@ -66,9 +66,9 @@ func newConn(s *Stack, k connKey) *conn {
 	return c
 }
 
-// enqueueRecord appends a framed record to the send stream and pumps.
-func (c *conn) enqueueRecord(rec []byte) {
-	c.outBuf = append(c.outBuf, rec...)
+// enqueueRecord appends a framed record span to the send stream and pumps.
+func (c *conn) enqueueRecord(sp span) {
+	c.outQ.push(sp)
 	c.pump()
 }
 
@@ -76,7 +76,30 @@ func (c *conn) enqueueRecord(rec []byte) {
 func (c *conn) inflight() int { return int(c.sndNxt - c.sndUna) }
 
 // unsent returns bytes queued but not yet transmitted.
-func (c *conn) unsent() int { return len(c.outBuf) - c.inflight() }
+func (c *conn) unsent() int { return c.outQ.len() - c.inflight() }
+
+// gatherStream copies stream bytes [seq, seq+len(dst)) into dst. Bytes a
+// racing cumulative ack already trimmed are zero-filled — the receiver
+// discards any segment overlapping acknowledged bytes unread, so the fill
+// can never change what the stream delivers.
+func (c *conn) gatherStream(dst []byte, seq uint32) {
+	rel := int(int32(seq - c.sndUna))
+	if rel < 0 {
+		nz := -rel
+		if nz > len(dst) {
+			nz = len(dst)
+		}
+		for i := 0; i < nz; i++ {
+			dst[i] = 0
+		}
+		if nz == len(dst) {
+			return
+		}
+		c.outQ.copyOut(dst[nz:], 0)
+		return
+	}
+	c.outQ.copyOut(dst, rel)
+}
 
 // pump transmits while the congestion window allows.
 func (c *conn) pump() {
@@ -86,8 +109,6 @@ func (c *conn) pump() {
 		if n > p.MSS {
 			n = p.MSS
 		}
-		off := c.inflight()
-		seg := c.outBuf[off : off+n]
 		seq := c.sndNxt
 		c.sndNxt += uint32(n)
 		if seqLT(c.maxSent, c.sndNxt) {
@@ -98,15 +119,18 @@ func (c *conn) pump() {
 			c.sampleAt = c.s.eng.Now()
 			c.sampleValid = true
 		}
-		c.transmit(seq, seg, false)
+		c.transmit(seq, n, false)
 	}
 	if c.inflight() > 0 && !c.retx.Active() {
 		c.retx.Arm()
 	}
 }
 
-// transmit sends one segment (data or retransmission).
-func (c *conn) transmit(seq uint32, payload []byte, isRetx bool) {
+// transmit sends one segment of n stream bytes starting at seq (data or
+// retransmission). The bytes are gathered from the span queue at frame
+// build, so the event captures only (seq, n) — not a slice that would pin
+// the old flat buffer.
+func (c *conn) transmit(seq uint32, n int, isRetx bool) {
 	p := c.s.params
 	cost := p.PerPktTxCPU
 	if p.TSOBatch > 1 {
@@ -115,14 +139,14 @@ func (c *conn) transmit(seq uint32, payload []byte, isRetx bool) {
 	cost += c.s.contention()
 	c.txSegs++
 	send := func() {
-		pkt := c.makePacket(seq, payload, 0)
+		pkt := c.makePacket(seq, n, 0)
 		if !c.s.host.Send(pkt) {
 			pkt.Release()
 		}
 	}
 	step := func() {
-		if c.s.pcie != nil && len(payload) > 0 {
-			c.s.pcie.Transfer(2*len(payload), send)
+		if c.s.pcie != nil && n > 0 {
+			c.s.pcie.Transfer(2*n, send)
 		} else {
 			send()
 		}
@@ -133,9 +157,12 @@ func (c *conn) transmit(seq uint32, payload []byte, isRetx bool) {
 	c.s.cores.Submit(cost, step)
 }
 
-// makePacket builds the frame (TCP header + stream payload) from the
-// host's packet pool.
-func (c *conn) makePacket(seq uint32, payload []byte, extraFlags uint8) *simnet.Packet {
+// makePacket builds the frame (TCP header + n stream bytes from seq) from
+// the host's packet pool. The gather here is the data path's single
+// payload copy: headers were encoded once into the record's pooled
+// prefix, and the payload bytes move straight from their slab into the
+// frame (the NIC's scatter-gather DMA, modelled as one memcpy).
+func (c *conn) makePacket(seq uint32, n int, extraFlags uint8) *simnet.Packet {
 	hdr := wire.TCPSeg{
 		SrcPort: c.key.localPort,
 		DstPort: c.key.remotePort,
@@ -144,11 +171,14 @@ func (c *conn) makePacket(seq uint32, payload []byte, extraFlags uint8) *simnet.
 		Flags:   wire.TCPFlagACK | extraFlags,
 		Window:  65535,
 	}
-	pkt := c.s.pool.Get(wire.TCPSegSize + len(payload))
+	pkt := c.s.pool.Get(wire.TCPSegSize + n)
 	if err := hdr.Encode(pkt.Payload); err != nil {
 		panic(err)
 	}
-	copy(pkt.Payload[wire.TCPSegSize:], payload)
+	if n > 0 {
+		c.gatherStream(pkt.Payload[wire.TCPSegSize:], seq)
+		c.s.pool.CountCopy(n)
+	}
 	ecn := uint8(wire.ECNNotECT)
 	if c.s.params.UseECN {
 		ecn = wire.ECNECT0
@@ -172,7 +202,7 @@ func (c *conn) sendPureAck(ece bool) {
 	}
 	cost := p.PerPktTxCPU / 2
 	c.s.cores.Submit(cost, func() {
-		pkt := c.makePacket(c.sndNxt, nil, flags)
+		pkt := c.makePacket(c.sndNxt, 0, flags)
 		if !c.s.host.Send(pkt) {
 			pkt.Release()
 		}
@@ -213,7 +243,7 @@ func (c *conn) retransmitHead() {
 	if n <= 0 {
 		return
 	}
-	c.transmit(c.sndUna, c.outBuf[:n], true)
+	c.transmit(c.sndUna, n, true)
 }
 
 // segmentArrived processes an inbound segment (data, ack, or both).
@@ -234,7 +264,7 @@ func (c *conn) processAck(hdr wire.TCPSeg, pureAck bool) {
 			c.sndNxt = ack
 		}
 		acked := int(ack - c.sndUna)
-		c.outBuf = c.outBuf[acked:]
+		c.outQ.trim(c.s.pool, acked)
 		c.sndUna = ack
 		c.dupAcks = 0
 		c.retx.RecordAck()

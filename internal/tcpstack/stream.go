@@ -1,0 +1,101 @@
+package tcpstack
+
+import "lunasolar/internal/simnet"
+
+// span is one framed record on the send stream, kept scattered until frame
+// build: the record header lives in a small pooled prefix, the payload is
+// attached by reference (a shared slab in zero-copy mode, a pooled deep
+// copy behind the -copy-path escape hatch). The old path flattened both
+// into one heap-allocated []byte per record and then copied again into
+// every segment; spans are copied at most once, by the frame gather.
+type span struct {
+	hdr       []byte       // pooled record header prefix (wire.RecordHeaderSize)
+	pay       []byte       // payload bytes; subrange of slab when slab != nil
+	slab      *simnet.Slab // reference held until the span is acked away
+	payPooled bool         // pay came from GetBuf (copy-path deep copy)
+}
+
+func (sp *span) size() int { return len(sp.hdr) + len(sp.pay) }
+
+// spanQueue is the send stream [sndUna, sndUna+length): a FIFO of record
+// spans with byte-granular head trimming, so cumulative acks release
+// header buffers and payload references as soon as the bytes are
+// acknowledged. Storage is a head-indexed slice reused in place — no
+// allocation in steady state, deterministic reuse order.
+type spanQueue struct {
+	spans   []span
+	head    int // index of the first live span
+	headOff int // bytes of spans[head] already trimmed
+	length  int // live bytes in the queue
+}
+
+func (q *spanQueue) len() int { return q.length }
+
+func (q *spanQueue) push(sp span) {
+	if q.head == len(q.spans) {
+		// Fully drained: rewind so append reuses the backing array.
+		q.spans = q.spans[:0]
+		q.head = 0
+	}
+	q.spans = append(q.spans, sp)
+	q.length += sp.size()
+}
+
+// trim drops n acknowledged bytes from the head, returning header buffers
+// to the pool and dropping payload references of fully consumed spans.
+func (q *spanQueue) trim(pool *simnet.PacketPool, n int) {
+	q.length -= n
+	n += q.headOff
+	q.headOff = 0
+	for n > 0 {
+		sp := &q.spans[q.head]
+		if sz := sp.size(); n < sz {
+			q.headOff = n
+			return
+		} else {
+			n -= sz
+		}
+		q.release(pool, sp)
+		q.head++
+	}
+}
+
+func (q *spanQueue) release(pool *simnet.PacketPool, sp *span) {
+	if sp.hdr != nil {
+		pool.PutBuf(sp.hdr)
+	}
+	if sp.slab != nil {
+		sp.slab.Release()
+	} else if sp.payPooled {
+		pool.PutBuf(sp.pay)
+	}
+	*sp = span{}
+}
+
+// copyOut gathers queue bytes [off, off+len(dst)) into dst, off relative
+// to the queue head. Ranges beyond the queued bytes are zero-filled: a
+// deferred (re)transmission can race with a cumulative ack that already
+// trimmed part of its range, and the receiver provably discards any
+// segment overlapping acknowledged bytes without reading its content, so
+// the fill value can never influence the stream.
+func (q *spanQueue) copyOut(dst []byte, off int) {
+	off += q.headOff
+	n := 0
+	for i := q.head; i < len(q.spans) && n < len(dst); i++ {
+		sp := &q.spans[i]
+		for _, part := range [2][]byte{sp.hdr, sp.pay} {
+			if off >= len(part) {
+				off -= len(part)
+				continue
+			}
+			n += copy(dst[n:], part[off:])
+			off = 0
+			if n == len(dst) {
+				return
+			}
+		}
+	}
+	for ; n < len(dst); n++ {
+		dst[n] = 0
+	}
+}

@@ -172,7 +172,7 @@ func (s *Stack) Call(dst uint32, req *transport.Message, done func(*transport.Re
 	// Per-RPC CPU + non-busy latency, then enqueue on the stream.
 	s.cores.Submit(s.params.PerRPCTxCPU+s.copyCost(len(req.Data)), func() {
 		s.eng.Schedule(s.params.PerRPCTxDelay, func() {
-			c.enqueueRecord(encodeRecord(id, req.Op, req, nil))
+			c.enqueueRecord(s.makeRecordSpan(id, req.Op, req, nil))
 		})
 	})
 }
@@ -188,7 +188,7 @@ func (s *Stack) copyCost(payload int) time.Duration {
 func (s *Stack) reply(c *conn, id uint64, resp *transport.Response) {
 	s.cores.Submit(s.params.PerRPCTxCPU+s.copyCost(len(resp.Data)), func() {
 		s.eng.Schedule(s.params.PerRPCTxDelay, func() {
-			c.enqueueRecord(encodeRecord(id, wire.RPCWriteResp, nil, resp))
+			c.enqueueRecord(s.makeRecordSpan(id, wire.RPCWriteResp, nil, resp))
 		})
 	})
 }
@@ -287,12 +287,17 @@ type record struct {
 	payload []byte
 }
 
-const recordHdrSize = 4 + wire.RPCSize + wire.EBSSize
+const recordHdrSize = wire.RecordHeaderSize
 
-func encodeRecord(id uint64, op uint8, req *transport.Message, resp *transport.Response) []byte {
+// makeRecordSpan frames one RPC as a stream span: the record header
+// encoded into a pooled prefix, the payload attached by reference. In
+// zero-copy mode the payload shares the message's slab (retaining it) or
+// wraps the caller's buffer without copying; behind -copy-path it is
+// deep-copied into a pooled buffer, reproducing the seed's behaviour minus
+// the per-record heap allocation.
+func (s *Stack) makeRecordSpan(id uint64, op uint8, req *transport.Message, resp *transport.Response) span {
 	var payload []byte
 	ebs := wire.EBS{Version: wire.EBSVersion}
-	msgType := op
 	if req != nil {
 		payload = req.Data
 		ebs.Op = op
@@ -307,17 +312,28 @@ func encodeRecord(id uint64, op uint8, req *transport.Message, resp *transport.R
 		ebs.ServerNS = uint32(resp.ServerWall.Nanoseconds())
 		ebs.SSDNS = uint32(resp.SSDTime.Nanoseconds())
 	}
-	buf := make([]byte, recordHdrSize+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(buf)))
-	rpc := wire.RPC{RPCID: id, MsgType: msgType, NumPkts: 1}
-	if err := rpc.Encode(buf[4:]); err != nil {
+	rpc := wire.RPC{RPCID: id, MsgType: op, NumPkts: 1}
+	sp := span{hdr: s.pool.GetBuf(recordHdrSize)}
+	if err := wire.EncodeRecordHeader(sp.hdr, recordHdrSize+len(payload), &rpc, &ebs); err != nil {
 		panic(err)
 	}
-	if err := ebs.Encode(buf[4+wire.RPCSize:]); err != nil {
-		panic(err)
+	if len(payload) == 0 {
+		return sp
 	}
-	copy(buf[recordHdrSize:], payload)
-	return buf
+	if simnet.ZeroCopy() {
+		if req != nil && req.Payload != nil {
+			sp.slab = req.Payload.Retain()
+		} else {
+			sp.slab = s.pool.WrapSlab(payload)
+		}
+		sp.pay = payload
+		return sp
+	}
+	sp.pay = s.pool.GetBuf(len(payload))
+	copy(sp.pay, payload)
+	s.pool.CountCopy(len(payload))
+	sp.payPooled = true
+	return sp
 }
 
 func recordToMessage(rec record) *transport.Message {

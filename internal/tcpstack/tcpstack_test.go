@@ -291,7 +291,14 @@ func TestPCIeChannelCapsThroughput(t *testing.T) {
 }
 
 func TestParseRecordsPartial(t *testing.T) {
-	rec := encodeRecord(7, wire.RPCWriteReq, &transport.Message{Op: wire.RPCWriteReq, Data: []byte("hello")}, nil)
+	payload := []byte("hello")
+	rec := make([]byte, recordHdrSize+len(payload))
+	rpc := wire.RPC{RPCID: 7, MsgType: wire.RPCWriteReq, NumPkts: 1}
+	ebs := wire.EBS{Version: wire.EBSVersion, Op: wire.RPCWriteReq}
+	if err := wire.EncodeRecordHeader(rec, len(rec), &rpc, &ebs); err != nil {
+		t.Fatal(err)
+	}
+	copy(rec[recordHdrSize:], payload)
 	var got []record
 	// Feed in two halves: nothing emitted until complete.
 	buf := parseRecords(rec[:10], func(r record) { got = append(got, r) })

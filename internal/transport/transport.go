@@ -9,6 +9,8 @@ package transport
 import (
 	"errors"
 	"time"
+
+	"lunasolar/internal/simnet"
 )
 
 // Message is one storage RPC: a WRITE carrying block data toward a block
@@ -23,6 +25,20 @@ type Message struct {
 	Flags     uint8
 	Data      []byte // WRITE: payload (multiple 4 KiB blocks)
 	ReadLen   int    // READ: bytes requested
+
+	// Payload, when non-nil, is the refcounted slab whose bytes Data
+	// aliases (zero-copy mode). The reference belongs to whoever set the
+	// field — a stack receive path or a fan-out layer — and only that
+	// owner releases it; stacks that keep the payload in flight Retain
+	// their own references instead of copying the bytes.
+	Payload *simnet.Slab
+
+	// BlockCRCs carries the raw CRC-32C of each 4 KiB block of Data,
+	// computed once at SA ingress (zero-copy mode only; nil means
+	// "recompute locally", the copy-path behaviour). Downstream stages
+	// verify by folding these with crc.Combine/XorAggregate instead of
+	// re-walking payload bytes.
+	BlockCRCs []uint32
 }
 
 // Response is the outcome of a Call. ServerWall and SSDTime are the
@@ -32,6 +48,11 @@ type Message struct {
 type Response struct {
 	Data []byte // READ: payload
 	Err  error
+
+	// BlockCRCs returns the stored raw CRC-32C per 4 KiB block of Data on
+	// reads (zero-copy mode), so the reader verifies against device
+	// metadata without the server re-walking the bytes.
+	BlockCRCs []uint32
 
 	ServerWall time.Duration // block-server residence time (BN + SSD)
 	SSDTime    time.Duration // chunk-server + media portion

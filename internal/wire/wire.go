@@ -271,6 +271,10 @@ const (
 const (
 	EBSFlagEncrypted = 1 << 0 // payload passed through the SEC engine
 	EBSFlagLastBlock = 1 << 1 // final block of the I/O
+	// EBSFlagHasCRC marks BlockCRC as carrying one-touch CRC metadata
+	// (computed once at ingress), distinguishing a genuine CRC of zero
+	// from "no CRC attached" on transports where carriage is optional.
+	EBSFlagHasCRC = 1 << 2
 )
 
 // EBSSize is the EBS header length.

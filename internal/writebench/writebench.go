@@ -1,0 +1,127 @@
+// Package writebench is the shared harness behind BenchmarkWritePath4K and
+// ebsbench's -bench-out report: a minimal two-host Solar write path (DPU
+// client on one host, storage-server stack on the other, a no-op block
+// service) that isolates the per-block data path the zero-copy work targets
+// — SA ingress, one-touch CRC, scatter-gather framing, fabric transit, and
+// receive-side materialisation — from replication and store costs.
+//
+// The harness deliberately allocates nothing per write in steady state:
+// the request message, payload buffer and completion callback are all owned
+// by the Rig, so testing.AllocsPerRun and pool-miss deltas measure the
+// stack, not the driver.
+package writebench
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/internal/core"
+	"lunasolar/internal/dpu"
+	"lunasolar/internal/sim"
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/transport"
+	"lunasolar/internal/wire"
+)
+
+// Rig is a two-host cluster driving 4 KiB writes client → server.
+type Rig struct {
+	Eng    *sim.Engine
+	Pool   *simnet.PacketPool
+	client *core.Stack
+	dst    uint32
+
+	payload   []byte
+	msg       transport.Message
+	onDone    func(*transport.Response)
+	completed int
+	issued    int
+}
+
+var emptyResp transport.Response
+
+// NewRig builds the two-host write path. The client runs the full Offloaded
+// (Solar) mode — FPGA CRC engine, per-block framing — against a
+// storage-server stack whose handler acknowledges immediately.
+func NewRig(seed int64) *Rig {
+	eng := sim.NewEngine(seed)
+	cfg := simnet.DefaultConfig()
+	cfg.RacksPerPod = 2
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 2
+	cfg.CoresPerDC = 2
+	fab := simnet.New(eng, cfg)
+
+	dcfg := dpu.DefaultConfig()
+	dcfg.Faults = dpu.FaultRates{}
+	card := dpu.New(eng, dcfg)
+
+	cp := core.DefaultParams()
+	cp.Mode = core.Offloaded
+	client := core.New(eng, fab.Host(0, 0, 0, 0), card.CPU, card, cp)
+	server := core.New(eng, fab.Host(0, 1, 0, 0), sim.NewServer(eng, "storage-cpu", 16), nil, core.ServerParams())
+	server.SetHandler(func(src uint32, req *transport.Message, reply func(*transport.Response)) {
+		reply(&emptyResp)
+	})
+
+	r := &Rig{Eng: eng, Pool: fab.Pool(), client: client, dst: server.LocalAddr()}
+	r.payload = make([]byte, wire.BlockSize)
+	for i := range r.payload {
+		r.payload[i] = byte(i * 13)
+	}
+	r.msg = transport.Message{Op: wire.RPCWriteReq, VDisk: 1, SegmentID: 1, Gen: 1, Data: r.payload}
+	r.onDone = func(*transport.Response) { r.completed++ }
+	return r
+}
+
+// WriteOne issues a single 4 KiB write and runs the engine until the
+// cluster is idle (the write acknowledged, every timer drained).
+func (r *Rig) WriteOne() {
+	r.issued++
+	r.msg.LBA = uint64(r.issued%4096) << 12
+	r.client.Call(r.dst, &r.msg, r.onDone)
+	r.Eng.Run()
+}
+
+// Check verifies every issued write completed and no pooled packet or slab
+// reference leaked; it returns an error describing the first violation.
+func (r *Rig) Check() error {
+	if r.completed != r.issued {
+		return fmt.Errorf("writebench: %d of %d writes completed", r.completed, r.issued)
+	}
+	if n := r.Pool.Outstanding(); n != 0 {
+		return fmt.Errorf("writebench: %d pooled packets/slab refs leaked", n)
+	}
+	return nil
+}
+
+// Stats is a snapshot of the rig's data-path counters.
+type Stats struct {
+	Copies      uint64 // payload memcpys on the network data path
+	CopiedBytes uint64 // payload bytes those memcpys moved
+	PoolMisses  uint64 // fresh pool allocations (packets, buffers, slab headers)
+	Events      uint64 // engine events processed
+	SimTime     time.Duration
+}
+
+// Snapshot captures the current counter values; subtract two snapshots to
+// attribute work to a window.
+func (r *Rig) Snapshot() Stats {
+	return Stats{
+		Copies:      r.Pool.Copies(),
+		CopiedBytes: r.Pool.CopiedBytes(),
+		PoolMisses:  r.Pool.News(),
+		Events:      r.Eng.Processed(),
+		SimTime:     r.Eng.Now().Duration(),
+	}
+}
+
+// Delta returns the counter movement since an earlier snapshot.
+func (s Stats) Delta(from Stats) Stats {
+	return Stats{
+		Copies:      s.Copies - from.Copies,
+		CopiedBytes: s.CopiedBytes - from.CopiedBytes,
+		PoolMisses:  s.PoolMisses - from.PoolMisses,
+		Events:      s.Events - from.Events,
+		SimTime:     s.SimTime - from.SimTime,
+	}
+}

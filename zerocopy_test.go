@@ -1,0 +1,63 @@
+package lunasolar
+
+import (
+	"testing"
+
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/writebench"
+)
+
+// TestWritePath4KZeroCopySteadyState is the zero-copy acceptance gate for
+// the 4 KiB write path, enforced as a test so it runs on every `go test`
+// (the benchmark only reports). In steady state the zero-copy data path
+// must make zero payload copies (the block is CRC'd once at ingress and
+// never duplicated again) and zero payload allocations: every buffer, slab
+// header and packet comes from the engine-owned pool, so the pool-miss
+// counter must not move. The copy-path hatch must cost strictly more
+// copies — proof the accounting measures the thing the refactor removed —
+// while completing the same writes with the same event count.
+func TestWritePath4KZeroCopySteadyState(t *testing.T) {
+	prev := simnet.ZeroCopy()
+	defer simnet.SetZeroCopy(prev)
+
+	const ops = 50
+	run := func(zero bool) (perOpCopies float64, d writebench.Stats, allocs float64) {
+		simnet.SetZeroCopy(zero)
+		r := writebench.NewRig(1)
+		for i := 0; i < 64; i++ {
+			r.WriteOne()
+		}
+		start := r.Snapshot()
+		for i := 0; i < ops; i++ {
+			r.WriteOne()
+		}
+		d = r.Snapshot().Delta(start)
+		allocs = testing.AllocsPerRun(100, r.WriteOne)
+		if err := r.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(d.Copies) / ops, d, allocs
+	}
+
+	zCopies, zd, zAllocs := run(true)
+	cCopies, cd, _ := run(false)
+
+	if zCopies > 1 {
+		t.Errorf("zero-copy write path: %.2f payload copies/op, want <= 1", zCopies)
+	}
+	if zd.PoolMisses != 0 {
+		t.Errorf("zero-copy write path: %d pool misses over %d steady-state ops, want 0 payload allocs", zd.PoolMisses, ops)
+	}
+	// Per-RPC bookkeeping (the outstanding-write record, timer nodes) may
+	// allocate a handful of small objects; a 4 KiB payload alloc would blow
+	// straight through this bound.
+	if zAllocs > 8 {
+		t.Errorf("zero-copy write path: %.1f heap allocs/op in steady state, want <= 8", zAllocs)
+	}
+	if cCopies <= zCopies {
+		t.Errorf("copy-path made %.2f copies/op vs zero-copy %.2f — the hatch should cost strictly more", cCopies, zCopies)
+	}
+	if zd.Events != cd.Events {
+		t.Errorf("event counts diverged: zero-copy %d, copy-path %d — modes must be behaviour-identical", zd.Events, cd.Events)
+	}
+}
