@@ -1,16 +1,49 @@
 # Repo-wide checks. `make check` is the pre-commit gate: build, vet, the
-# full test suite under the race detector (the parallel runner is the main
-# customer), and a short benchmark smoke to catch perf-metric regressions.
+# lunavet analysis suite, the full test suite under the race detector (the
+# parallel runner is the main customer), and a short benchmark smoke to
+# catch perf-metric regressions.
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke check
+# Pinned external-tool versions. The tools are optional locally (the
+# targets skip with an install hint when the binary is absent — the repo
+# must build and check with nothing beyond the Go toolchain, so there is
+# no tools.go/go.sum pin); CI installs exactly these versions so the
+# enforced toolchain is reproducible.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lunavet: the repo's own analyzers (determinism, maporder, slabown,
+# hotalloc — see internal/lint). Zero non-suppressed diagnostics is a hard
+# gate; suppressions need a justified //lint:allow. Also runnable as
+# `go vet -vettool=$$(go env GOPATH)/bin/lunavet ./...` after `go install
+# ./cmd/lunavet`.
+lint:
+	$(GO) run ./cmd/lunavet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not found; skipping. Install with:"; \
+		echo "  $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck not found; skipping. Install with:"; \
+		echo "  $(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -30,4 +63,4 @@ bench-smoke:
 bench:
 	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
 
-check: build vet race bench-smoke
+check: build vet lint staticcheck govulncheck race bench-smoke

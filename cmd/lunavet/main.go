@@ -1,0 +1,205 @@
+// Command lunavet runs the internal/lint analysis suite — determinism,
+// maporder, slabown, hotalloc — over the repo's packages and fails on any
+// non-suppressed diagnostic. It is the compile-time half of the
+// invariants the runtime gates (leak gate, differential tests,
+// AllocsPerRun) enforce after the fact; see DESIGN.md "Invariants & how
+// they are enforced".
+//
+// Two modes:
+//
+//	lunavet [flags] [packages]      standalone, e.g. `lunavet ./...`
+//	go vet -vettool=$(which lunavet) ./...
+//
+// The second form speaks `go vet`'s unit-checker protocol (a .cfg file
+// per package), so lunavet composes with vet's caching and package graph.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lunasolar/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// `go vet` probes the tool's identity with -V=full before handing it
+	// package configs; answer before flag parsing sees anything else.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Printf("lunavet version devel-stdlib\n")
+			return 0
+		}
+		// The vet driver also asks which analyzer flags the tool accepts;
+		// the suite exposes none.
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("lunavet", flag.ContinueOnError)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		summary  = fs.String("summary", "", "write a GitHub-flavored markdown summary to this file")
+		checks   = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+		listOnly = fs.Bool("list", false, "list analyzers and exit")
+		dir      = fs.String("dir", ".", "directory to resolve package patterns from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lunavet:", err)
+		return 2
+	}
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	// Unit-checker mode: go vet invokes the tool with a single *.cfg path.
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVettool(rest[0], analyzers)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lunavet:", err)
+		return 2
+	}
+
+	kept, suppressed := []posDiag{}, []posDiag{}
+	for _, pkg := range pkgs {
+		k, s, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+		for _, d := range k {
+			kept = append(kept, toPosDiag(pkg, d))
+		}
+		for _, d := range s {
+			suppressed = append(suppressed, toPosDiag(pkg, d))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Diagnostics: kept, Suppressed: suppressed}); err != nil {
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range kept {
+			fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	if *summary != "" {
+		if err := writeSummary(*summary, kept, suppressed, len(pkgs)); err != nil {
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "lunavet: %d diagnostic(s) in %d package(s); %d suppressed by //lint:allow\n",
+			len(kept), len(pkgs), len(suppressed))
+		return 1
+	}
+	return 0
+}
+
+// posDiag is a diagnostic with its position resolved to a string, ready
+// for printing or JSON.
+type posDiag struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+type report struct {
+	Diagnostics []posDiag `json:"diagnostics"`
+	Suppressed  []posDiag `json:"suppressed"`
+}
+
+func toPosDiag(pkg *lint.Package, d lint.Diagnostic) posDiag {
+	pos := pkg.Fset.Position(d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(mustGetwd(), pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return posDiag{
+		Pos:      fmt.Sprintf("%s:%d:%d", name, pos.Line, pos.Column),
+		Analyzer: d.Analyzer,
+		Category: d.Category,
+		Message:  d.Message,
+	}
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}
+
+// writeSummary renders a markdown report for CI step summaries.
+func writeSummary(path string, kept, suppressed []posDiag, npkgs int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## lunavet\n\n")
+	if len(kept) == 0 {
+		fmt.Fprintf(&b, "✅ %d packages analyzed, no diagnostics", npkgs)
+	} else {
+		fmt.Fprintf(&b, "❌ %d diagnostic(s) across %d packages", len(kept), npkgs)
+	}
+	fmt.Fprintf(&b, " (%d suppressed by `//lint:allow`).\n\n", len(suppressed))
+	if len(kept) > 0 {
+		fmt.Fprintf(&b, "| Position | Analyzer | Message |\n|---|---|---|\n")
+		for _, d := range kept {
+			fmt.Fprintf(&b, "| `%s` | %s | %s |\n", d.Pos, d.Analyzer, escapeMD(d.Message))
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(suppressed) > 0 {
+		byAnalyzer := map[string]int{}
+		for _, d := range suppressed {
+			byAnalyzer[d.Analyzer]++
+		}
+		var names []string
+		for n := range byAnalyzer {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "<details><summary>Suppressed findings</summary>\n\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "- %s: %d\n", n, byAnalyzer[n])
+		}
+		fmt.Fprintf(&b, "\n</details>\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func escapeMD(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"lunasolar/internal/lint"
+)
+
+// vetConfig mirrors the JSON config `go vet` hands a -vettool per package
+// (the unit-checker protocol from golang.org/x/tools/go/analysis/unitchecker,
+// reimplemented here on the standard library).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool analyzes one package from a `go vet` unit-checker config.
+func runVettool(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lunavet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lunavet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// vet's driver requires the facts file to exist even though the suite
+	// carries no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Tests legitimately use wall clocks, global rand and unordered maps:
+	// analyze only the non-test files of each package variant.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, f := range files {
+		a, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+		asts = append(asts, a)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	importPath := strings.TrimSuffix(strings.Fields(cfg.ImportPath)[0], "_test")
+	tpkg, err := conf.Check(importPath, fset, asts, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "lunavet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &lint.Package{
+		ImportPath: importPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      asts,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	kept, _, err := lint.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lunavet:", err)
+		return 2
+	}
+	for _, d := range kept {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(kept) > 0 {
+		return 1
+	}
+	return 0
+}

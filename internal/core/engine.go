@@ -370,6 +370,8 @@ func (s *Stack) transmitOn(pe *peer, p *path, e *outPkt) {
 // (re)transmission attaches its own reference. On the -copy-path hatch the
 // payload is copied into a flat frame as the seed code did. WireSize is
 // identical either way.
+//
+//lint:hotpath
 func (s *Stack) buildWire(e *outPkt, pathID uint16) *simnet.Packet {
 	rpc := wire.RPC{
 		RPCID: e.key.rpcID, PktID: e.key.pktID,

@@ -35,6 +35,8 @@ func (s *Stack) startProber(pe *peer) {
 }
 
 // sendProbe emits one reliable probe on a specific path.
+//
+//lint:hotpath
 func (s *Stack) sendProbe(pe *peer, p *path) {
 	e := s.newOutPkt()
 	e.key = pktKey{rpcID: s.ids.Next(), pktID: probePktID}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lunasolar/internal/lint"
+	"lunasolar/internal/lint/linttest"
+)
+
+// Each analyzer runs against golden fixtures that prove both directions:
+// it fires on every violation shape (the // want comments) and stays
+// silent on the allowed patterns (fixture lines with no want).
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.Determinism},
+		"lintdata/internal/sim/determ", // in scope: every violation fires
+		"lintdata/bench",               // out of scope: same calls, no findings
+	)
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.MapOrder}, "lintdata/maporder")
+}
+
+func TestSlabOwn(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.SlabOwn}, "lintdata/slabown")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.HotAlloc}, "lintdata/hotalloc")
+}
+
+// The full suite over every fixture package must agree with the union of
+// wants — analyzers do not interfere with each other.
+func TestSuiteOverRepo(t *testing.T) {
+	pkgs, err := lint.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the whole repo, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		kept, _, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range kept {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package lint is lunavet's analysis suite: four analyzers that enforce,
+// at analysis time, the invariants the simulator otherwise only catches at
+// run time — bit-identical virtual-time output (determinism, maporder),
+// slab/packet Retain-Release pairing (slabown), and allocation-free hot
+// paths (hotalloc).
+//
+// The package deliberately depends only on the standard library. The types
+// here mirror golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic)
+// closely enough that porting onto the real framework is a mechanical
+// change, but the repo builds and lints with nothing beyond the Go
+// toolchain — no module downloads, no vendoring.
+//
+// Suppressions. A diagnostic is suppressed by a comment on the offending
+// line or the line directly above it:
+//
+//	//lint:allow <key>[,<key>...] — <justification>
+//
+// where <key> is the analyzer name or the diagnostic category (e.g.
+// "wallclock"), and the justification is mandatory: an allow directive
+// with no stated reason is itself reported. The driver counts suppressed
+// diagnostics so CI can surface them in the step summary.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named check with a Run function
+// that inspects a package and reports diagnostics through the Pass.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "determinism"
+	Doc  string // one-paragraph description of what it enforces
+	Run  func(*Pass) error
+}
+
+// All returns the full lunavet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, SlabOwn, HotAlloc}
+}
+
+// ByName resolves a comma-separated analyzer list ("determinism,slabown").
+// An empty spec means the whole suite.
+func ByName(spec string) ([]*Analyzer, error) {
+	if spec == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// A Diagnostic is one finding at a position. Category is the suppression
+// key ("wallclock", "globalrand", ...); it defaults to the analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Category string
+	Message  string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic under the given suppression category
+// (empty means the analyzer's own name).
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	if category == "" {
+		category = p.Analyzer.Name
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over one loaded package and returns the
+// surviving diagnostics plus the ones an allow directive suppressed
+// (reported separately so drivers can count them). Malformed allow
+// directives — no justification after the key list — come back as
+// diagnostics of the pseudo-analyzer "allow".
+func Run(pkg *Package, analyzers []*Analyzer) (kept, suppressed []Diagnostic, err error) {
+	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	for _, d := range all {
+		if allows.covers(pkg.Fset.Position(d.Pos), d) {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sortDiags(pkg.Fset, kept)
+	sortDiags(pkg.Fset, suppressed)
+	return kept, suppressed, nil
+}
+
+func sortDiags(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	keys []string
+	line int // the source line the directive is written on
+}
+
+// allowSet indexes directives by file and line.
+type allowSet map[string]map[int][]allowDirective
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows scans every comment in the package for allow directives.
+// Directives missing a justification are returned as diagnostics.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowfoo — not ours
+				}
+				keys, justified := parseAllow(rest)
+				pos := fset.Position(c.Pos())
+				if len(keys) == 0 || !justified {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Category: "allow",
+						Message:  "//lint:allow needs a key and a justification: //lint:allow <key> — <why this is safe>",
+					})
+					continue
+				}
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]allowDirective{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], allowDirective{keys: keys, line: pos.Line})
+			}
+		}
+	}
+	return set, bad
+}
+
+// parseAllow splits "wallclock, select — measuring wall time" into its
+// keys and reports whether a non-empty justification follows them. Keys
+// are comma-separated; the justification is everything after the last key
+// (an optional "—", "--" or ":" separator is tolerated and stripped).
+func parseAllow(rest string) (keys []string, justified bool) {
+	fields := strings.Fields(rest)
+	i := 0
+	for ; i < len(fields); i++ {
+		f := fields[i]
+		if trimmed := strings.TrimRight(strings.TrimSuffix(f, ","), ":"); trimmed != "" {
+			keys = append(keys, trimmed)
+		}
+		if !strings.HasSuffix(f, ",") {
+			i++
+			break // a key without a trailing comma is the last one
+		}
+	}
+	just := strings.TrimSpace(strings.TrimLeft(strings.Join(fields[i:], " "), "—-: \t"))
+	return keys, just != ""
+}
+
+// covers reports whether a directive on the diagnostic's line or the line
+// directly above names the diagnostic's analyzer or category.
+func (s allowSet) covers(pos token.Position, d Diagnostic) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, dir := range byLine[line] {
+			for _, k := range dir.keys {
+				if k == d.Analyzer || k == d.Category {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// scopeMatch reports whether a package import path falls under pattern.
+// Patterns are path fragments matched on segment boundaries: "internal/sim"
+// matches "lunasolar/internal/sim" and "lunasolar/internal/sim/runtime" but
+// not "lunasolar/internal/simnet". A trailing '*' widens the last segment
+// to a prefix: "internal/sim*" matches simnet too.
+func scopeMatch(path, pattern string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		stem := strings.TrimSuffix(pattern, "*")
+		for i := 0; i+len(stem) <= len(path); i++ {
+			if (i == 0 || path[i-1] == '/') && path[i:i+len(stem)] == stem {
+				return true
+			}
+		}
+		return false
+	}
+	if path == pattern || strings.HasPrefix(path, pattern+"/") {
+		return true
+	}
+	if strings.HasSuffix(path, "/"+pattern) || strings.Contains(path, "/"+pattern+"/") {
+		return true
+	}
+	return false
+}
+
+// inScope reports whether the package matches any of the patterns.
+func inScope(path string, patterns []string) bool {
+	for _, pat := range patterns {
+		if scopeMatch(path, pat) {
+			return true
+		}
+	}
+	return false
+}

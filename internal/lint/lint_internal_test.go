@@ -1,0 +1,70 @@
+package lint
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in        string
+		keys      []string
+		justified bool
+	}{
+		{" wallclock — bench layer measures wall time", []string{"wallclock"}, true},
+		{" wallclock, select — two keys, one reason", []string{"wallclock", "select"}, true},
+		{" slabown: colon separator works too", []string{"slabown"}, true},
+		{" hotalloc plain words count as justification", []string{"hotalloc"}, true},
+		{" wallclock", []string{"wallclock"}, false},
+		{" wallclock —", []string{"wallclock"}, false},
+		{"", nil, false},
+	}
+	for _, c := range cases {
+		keys, justified := parseAllow(c.in)
+		if justified != c.justified {
+			t.Errorf("parseAllow(%q): justified = %v, want %v", c.in, justified, c.justified)
+		}
+		if len(keys) != len(c.keys) {
+			t.Errorf("parseAllow(%q): keys = %v, want %v", c.in, keys, c.keys)
+			continue
+		}
+		for i := range keys {
+			if keys[i] != c.keys[i] {
+				t.Errorf("parseAllow(%q): keys = %v, want %v", c.in, keys, c.keys)
+				break
+			}
+		}
+	}
+}
+
+func TestScopeMatch(t *testing.T) {
+	cases := []struct {
+		path, pat string
+		want      bool
+	}{
+		{"lunasolar/internal/sim", "internal/sim", true},
+		{"lunasolar/internal/sim/runtime", "internal/sim", true},
+		{"lunasolar/internal/simnet", "internal/sim", false},
+		{"lunasolar/internal/simnet", "internal/sim*", true},
+		{"lunasolar/internal/sim/runtime", "internal/sim*", true},
+		{"lunasolar/internal/core", "internal/core", true},
+		{"lunasolar/internal/coreutils", "internal/core", false},
+		{"lintdata/internal/sim/determ", "internal/sim*", true},
+		{"lintdata/bench", "internal/sim*", false},
+	}
+	for _, c := range cases {
+		if got := scopeMatch(c.path, c.pat); got != c.want {
+			t.Errorf("scopeMatch(%q, %q) = %v, want %v", c.path, c.pat, got, c.want)
+		}
+	}
+}
+
+// A directive without a justification must not suppress, and must be
+// reported itself. This is unit-tested here because the golden fixtures
+// cannot put a want comment on a line that is itself a line comment.
+func TestAllowRequiresJustification(t *testing.T) {
+	keys, justified := parseAllow(" wallclock")
+	if justified {
+		t.Fatalf("bare key parsed as justified")
+	}
+	if len(keys) != 1 || keys[0] != "wallclock" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

@@ -1,0 +1,3 @@
+module lintdata
+
+go 1.22

@@ -1,0 +1,65 @@
+// Package hotalloc exercises the hot-path allocation analyzer: annotated
+// functions report every allocation shape, unannotated twins stay silent.
+package hotalloc
+
+import "fmt"
+
+type frame struct {
+	buf []byte
+	n   int
+}
+
+//lint:hotpath
+func forwardBad(f *frame, data []byte) string {
+	f.buf = append(f.buf, data...) // want `append may grow the backing array`
+	tmp := make([]byte, 16)        // want `make\(\.\.\.\) allocates`
+	_ = tmp
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates`
+	_ = s
+	p := &frame{} // want `&composite literal may escape`
+	_ = p
+	q := new(frame) // want `new\(\.\.\.\) allocates`
+	_ = q
+	str := string(data) // want `string\(\.\.\.\) conversion copies`
+	b := []byte(str)    // want `\[\]byte/\[\]rune\(\.\.\.\) conversion copies`
+	_ = b
+	fmt.Println(f.n) // want `fmt\.Println boxes every argument`
+	n := f.n
+	cb := func() int { return n } // want `closure captures n`
+	_ = cb
+	return "x" + str // want `string concatenation allocates`
+}
+
+// The allocation-free idioms the hot paths actually use: reslicing pooled
+// buffers, value struct literals, static func values, plain arithmetic.
+//
+//lint:hotpath
+func forwardClean(f *frame, data []byte) int {
+	f.buf = f.buf[:0]
+	for i := range data {
+		f.buf = f.buf[:i]
+	}
+	f.n += len(data)
+	v := frame{n: f.n}
+	f.n = v.n
+	g := func() {}
+	g()
+	return f.n
+}
+
+// Identical code without the annotation: no diagnostics.
+func coldPath(f *frame, data []byte) string {
+	f.buf = append(f.buf, data...)
+	fmt.Println(f.n)
+	return "x" + string(data)
+}
+
+// A justified allow documents a site proven safe by the alloc gates.
+//
+//lint:hotpath
+func suppressedAppend(f *frame, data []byte) {
+	//lint:allow hotalloc — buf is preallocated to the max frame size; append can never grow it
+	f.buf = append(f.buf, data...)
+}

@@ -1,0 +1,10 @@
+// Package sim is a fixture stand-in for the real event engine: the
+// maporder analyzer keys sinks on (package name, method name), so these
+// shapes are what it matches against.
+package sim
+
+type Engine struct{ seq uint64 }
+
+func (e *Engine) Schedule(after int64, fn func()) { e.seq++ }
+
+func (e *Engine) ScheduleAt(at int64, fn func()) { e.seq++ }

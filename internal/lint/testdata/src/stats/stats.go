@@ -1,0 +1,6 @@
+// Package stats is a fixture stand-in for the real stats aggregates.
+package stats
+
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Record(v int64) { h.n++ }

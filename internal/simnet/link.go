@@ -75,6 +75,8 @@ func (p *Port) serialization(n int) time.Duration {
 // Send enqueues pkt on the port's output queue. It returns false if the
 // packet was dropped (link down or tail drop). Delivery to the peer's owner
 // happens after queueing + serialization + propagation.
+//
+//lint:hotpath
 func (p *Port) Send(pkt *Packet) bool {
 	eng := p.fab.Eng
 	if !p.up || p.peer == nil || !p.peer.up {
@@ -122,12 +124,18 @@ func (p *Port) Send(pkt *Packet) bool {
 	return true
 }
 
+// linkTxDone models the frame leaving the queue once serialized.
+//
+//lint:hotpath
 func linkTxDone(a any) {
 	x := a.(*linkXfer)
 	x.port.queuedBytes -= x.size
 	x.port.txBytes += uint64(x.size)
 }
 
+// linkDeliver hands the frame to the peer's owner after propagation.
+//
+//lint:hotpath
 func linkDeliver(a any) {
 	x := a.(*linkXfer)
 	p, pkt := x.port, x.pkt

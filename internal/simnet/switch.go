@@ -70,21 +70,29 @@ type Switch struct {
 	blackholeFrac float64
 	blackholeSalt uint32
 
+	// Drop-reason keys are precomputed so the forwarding path never
+	// concatenates strings, even when dropping (hotalloc-enforced).
+	dropHang, dropRand, dropBH, dropNoRoute string
+
 	rx, forwarded, dropped uint64
 }
 
 func newSwitch(f *Fabric, name string, tier Tier, latency time.Duration, salt uint32) *Switch {
 	return &Switch{
-		fab:        f,
-		name:       name,
-		tier:       tier,
-		salt:       salt,
-		latency:    latency,
-		hostRoutes: map[uint32]*ecmpGroup{},
-		rackRoutes: map[uint32]*ecmpGroup{},
-		podRoutes:  map[uint32]*ecmpGroup{},
-		dcRoutes:   map[uint32]*ecmpGroup{},
-		alive:      true,
+		fab:         f,
+		name:        name,
+		tier:        tier,
+		salt:        salt,
+		latency:     latency,
+		hostRoutes:  map[uint32]*ecmpGroup{},
+		rackRoutes:  map[uint32]*ecmpGroup{},
+		podRoutes:   map[uint32]*ecmpGroup{},
+		dcRoutes:    map[uint32]*ecmpGroup{},
+		alive:       true,
+		dropHang:    "hang:" + name,
+		dropRand:    "rand:" + name,
+		dropBH:      "blackhole:" + name,
+		dropNoRoute: "noroute:" + name,
 	}
 }
 
@@ -197,17 +205,19 @@ func (s *Switch) route(dst uint32) *ecmpGroup {
 // Receive forwards a packet after the switch pipeline latency. The switch
 // owns the packet while it transits, so every drop path releases it back
 // to the pool.
+//
+//lint:hotpath
 func (s *Switch) Receive(pkt *Packet, _ *Port) {
 	s.rx++
 	if !s.alive {
 		s.dropped++
-		s.fab.countDrop("hang:" + s.name)
+		s.fab.countDrop(s.dropHang)
 		pkt.Release()
 		return
 	}
 	if s.dropRate > 0 && s.fab.rand.Bernoulli(s.dropRate) {
 		s.dropped++
-		s.fab.countDrop("rand:" + s.name)
+		s.fab.countDrop(s.dropRand)
 		pkt.Release()
 		return
 	}
@@ -215,7 +225,7 @@ func (s *Switch) Receive(pkt *Packet, _ *Port) {
 		h := FlowHash(pkt, s.blackholeSalt)
 		if float64(h%10000) < s.blackholeFrac*10000 {
 			s.dropped++
-			s.fab.countDrop("blackhole:" + s.name)
+			s.fab.countDrop(s.dropBH)
 			pkt.Release()
 			return
 		}
@@ -231,7 +241,7 @@ func (s *Switch) Receive(pkt *Packet, _ *Port) {
 	egress := s.pick(g, pkt)
 	if egress == nil {
 		s.dropped++
-		s.fab.countDrop("noroute:" + s.name)
+		s.fab.countDrop(s.dropNoRoute)
 		pkt.Release()
 		return
 	}
@@ -241,12 +251,15 @@ func (s *Switch) Receive(pkt *Packet, _ *Port) {
 	s.fab.Eng.ScheduleArg(s.latency, switchForward, x)
 }
 
+// switchForward completes a transit after the pipeline latency.
+//
+//lint:hotpath
 func switchForward(a any) {
 	x := a.(*swFwd)
 	s, egress, pkt := x.sw, x.egress, x.pkt
 	s.fab.putFwd(x)
 	if !s.alive { // failed while the packet was in the pipeline
-		s.fab.countDrop("hang:" + s.name)
+		s.fab.countDrop(s.dropHang)
 		pkt.Release()
 		return
 	}
