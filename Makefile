@@ -13,7 +13,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke check
+.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff check
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One quick experiment benchmark, the raw event-loop benchmark, and the
-# 4 KiB write-path pair (zero-copy vs copy-path): enough to verify the
-# events/sec, sim-µs/wall-ms, copies/op and allocs/op metrics still report.
+# One quick experiment benchmark, the raw event-loop benchmark, the
+# 4 KiB write-path pair (zero-copy vs copy-path), and the CDF lookup
+# benchmark guarding the sort.Search fix: enough to verify the events/sec,
+# sim-µs/wall-ms, copies/op and allocs/op metrics still report.
 bench-smoke:
 	$(GO) test -run xxx -bench 'Fig6|SimulatorEventRate|WritePath4K' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'CDFAt' -benchtime 1x -benchmem ./internal/stats
+
+# The telemetry hatch must not change any experiment output: a quick fig6
+# run with telemetry enabled (-metrics-out flips the hatch) has to match the
+# default run byte-for-byte once the wall-clock lines are stripped. The
+# registry written along the way doubles as a schema smoke test.
+telemetry-diff:
+	$(GO) run ./cmd/ebsbench -exp fig6 -quick -workers 1 | grep -v 'perf:\|completed in' > /tmp/lunasolar-telemetry-off.txt
+	$(GO) run ./cmd/ebsbench -exp fig6 -quick -workers 1 -metrics-out /tmp/lunasolar-METRICS.json | grep -v 'perf:\|completed in' > /tmp/lunasolar-telemetry-on.txt
+	diff /tmp/lunasolar-telemetry-off.txt /tmp/lunasolar-telemetry-on.txt
+	grep -q '"schema": "lunasolar.metrics/v1"' /tmp/lunasolar-METRICS.json
 
 # Full write-path comparison: measures the 4 KiB write path with refcounted
 # slabs and with the -copy-path hatch, and writes BENCH_pr3.json (ns/op,
@@ -63,4 +75,4 @@ bench-smoke:
 bench:
 	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
 
-check: build vet lint staticcheck govulncheck race bench-smoke
+check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff

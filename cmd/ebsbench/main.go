@@ -25,6 +25,7 @@ import (
 	"lunasolar/internal/sim"
 	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
+	"lunasolar/internal/stats"
 )
 
 var registry = map[string]struct {
@@ -56,6 +57,8 @@ func main() {
 	noWheel := flag.Bool("no-wheel", false, "force coarse timers onto the plain heap (differential debugging; output must be identical)")
 	copyPath := flag.Bool("copy-path", false, "force the deep-copying data path instead of refcounted slabs (differential debugging; output must be identical)")
 	benchOut := flag.String("bench-out", "", "run the 4 KiB write-path microbenchmark in both data-path modes and write the JSON report here (e.g. BENCH_pr3.json)")
+	metricsOut := flag.String("metrics-out", "", "enable telemetry and write the merged observability registry of all experiments here (e.g. METRICS.json)")
+	metricsFormat := flag.String("metrics-format", "json", "format for -metrics-out: json or openmetrics")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -64,6 +67,13 @@ func main() {
 	}
 	if *copyPath {
 		simnet.SetZeroCopy(false)
+	}
+	if *metricsOut != "" {
+		if *metricsFormat != "json" && *metricsFormat != "openmetrics" {
+			fmt.Fprintf(os.Stderr, "ebsbench: unknown -metrics-format %q (json or openmetrics)\n", *metricsFormat)
+			os.Exit(1)
+		}
+		simnet.SetTelemetry(true)
 	}
 
 	if *benchOut != "" {
@@ -92,15 +102,20 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers,
+		Telemetry: *metricsOut != ""}
 
 	// Every experiment shard asserts that its cluster returned all pooled
 	// packets; any leak fails the whole run (after all output is printed).
 	var leakedTotal atomic.Int64
 
+	// Telemetry registries are collected per experiment slot (race-free under
+	// runtime.Map) and merged in run order after the fan-out.
+	var expRegs []*stats.Registry
+
 	// render runs one experiment and returns its full text block, so
 	// concurrent experiments never interleave on stdout.
-	render := func(id string) string {
+	render := func(slot int, id string) string {
 		e, ok := registry[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
@@ -109,6 +124,9 @@ func main() {
 		start := time.Now()
 		tab := e.fn(opts)
 		elapsed := time.Since(start).Round(time.Millisecond)
+		if tab.Telemetry != nil {
+			expRegs[slot] = tab.Telemetry
+		}
 		leaked := 0
 		if tab.Perf != nil {
 			leaked = tab.Perf.Leaked()
@@ -153,14 +171,48 @@ func main() {
 
 	// Experiments are independent of each other: fan them out on the same
 	// worker pool and print the buffered blocks in id order.
+	expRegs = make([]*stats.Registry, len(run))
 	outs := runtime.Map(runtime.Runner{Workers: *workers}, len(run), func(i int) string {
-		return render(run[i])
+		return render(i, run[i])
 	})
 	for _, out := range outs {
 		fmt.Print(out)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, *metricsFormat, expRegs); err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if n := leakedTotal.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "ebsbench: %d pooled packets leaked across experiments\n", n)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics merges the per-experiment registries in run order (each
+// already carries its experiment prefix, e.g. "fig6/solar/...") and writes
+// the result in the requested format.
+func writeMetrics(path, format string, regs []*stats.Registry) error {
+	merged := stats.NewRegistry()
+	for _, reg := range regs {
+		if reg != nil {
+			merged.Merge(reg, "")
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "openmetrics" {
+		if err := merged.WriteOpenMetrics(f); err != nil {
+			return err
+		}
+	} else {
+		if err := merged.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }

@@ -184,6 +184,7 @@ func New(cfg Config) *Cluster {
 			Host: host, Cores: cores, DPU: card, Stack: stack, Agent: agent,
 		})
 	}
+	c.wireRecorders()
 	return c
 }
 

@@ -104,6 +104,13 @@ type Config struct {
 	// Encrypted are still derived from FN/Encrypted.
 	SolarOverride *core.Params
 
+	// FlightRecorderDepth, when positive, attaches a trace.Recorder of that
+	// depth to every Solar stack and chunk server: a ring buffer of the last
+	// N anomalous events (retransmits, failovers, integrity hits, CRC
+	// rejections), dumped on leak-gate or CRC failure for post-mortem
+	// debugging. Zero (the default) disables recording entirely.
+	FlightRecorderDepth int
+
 	Encrypted bool
 	Seed      int64
 }

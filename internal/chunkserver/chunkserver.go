@@ -14,6 +14,7 @@ import (
 
 	"lunasolar/internal/crc"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/trace"
 )
 
 // SSDConfig models one physical SSD.
@@ -62,6 +63,10 @@ type Server struct {
 	blocks   map[uint64]map[uint64]blockRec
 
 	writes, reads, crcErrors, misses uint64
+
+	// rec is the optional flight recorder; CRC rejections — the paper's
+	// Fig. 11 corruption events — are its marquee customer. Nil-safe.
+	rec *trace.Recorder
 }
 
 // New creates a chunk server.
@@ -115,6 +120,7 @@ func (s *Server) WriteBlock(segment, lba uint64, gen uint32, data []byte, expect
 			s.writes++
 			if got := crc.Raw(stored); got != expectCRC {
 				s.crcErrors++
+				s.rec.Record(s.eng.Now().Duration(), trace.EvCRCError, segment, lba)
 				done(fmt.Errorf("chunkserver %s: CRC mismatch at seg=%d lba=%#x: got %08x want %08x",
 					s.name, segment, lba, got, expectCRC))
 				return
@@ -166,3 +172,9 @@ func (s *Server) ReadBlock(segment, lba uint64, done func(data []byte, rawCRC ui
 
 // Utilization returns the SSD's busy-unit average (diagnostics).
 func (s *Server) Utilization() float64 { return s.disk.Utilization() }
+
+// SetRecorder attaches a flight recorder for CRC-rejection post-mortems.
+func (s *Server) SetRecorder(r *trace.Recorder) { s.rec = r }
+
+// Recorder returns the attached flight recorder (nil when off).
+func (s *Server) Recorder() *trace.Recorder { return s.rec }

@@ -26,6 +26,7 @@ import (
 	"lunasolar/internal/seccrypto"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
+	"lunasolar/internal/trace"
 	"lunasolar/internal/transport"
 )
 
@@ -180,6 +181,10 @@ type Stack struct {
 	PathFailovers uint64
 	IntegrityHits uint64 // corruptions caught by software aggregation
 	AdmissionWait time.Duration
+
+	// rec is the optional flight recorder (see trace.Recorder); nil means
+	// recording off, and every hook is nil-safe.
+	rec *trace.Recorder
 }
 
 // New attaches a Solar endpoint to a host. cores is the CPU pool charged

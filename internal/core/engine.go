@@ -5,6 +5,7 @@ import (
 
 	"lunasolar/internal/crc"
 	"lunasolar/internal/simnet"
+	"lunasolar/internal/trace"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
 )
@@ -25,8 +26,8 @@ type outWrite struct {
 	// released when the write completes. Empty on the fault-free path.
 	slabs []*simnet.Slab
 	acked int
-	agg    crc.Aggregator
-	done   func(*transport.Response)
+	agg   crc.Aggregator
+	done  func(*transport.Response)
 
 	serverWall, ssdTime time.Duration // distributed-trace maxima over blocks
 }
@@ -200,6 +201,7 @@ func (s *Stack) callWrite(dst uint32, req *transport.Message, done func(*transpo
 		// blocks in software (full CRC cost) from the trusted buffers.
 		if !w.agg.Verify() {
 			s.IntegrityHits++
+			s.rec.Record(s.eng.Now().Duration(), trace.EvIntegrityHit, id, 0)
 			var fixCPU time.Duration
 			for i, e := range w.pkts {
 				trusted := crc.Raw(w.blocks[i])
@@ -435,6 +437,7 @@ func (s *Stack) onTimeout(pe *peer, e *outPkt) {
 // the window: loss recovery is urgent).
 func (s *Stack) retransmit(pe *peer, e *outPkt) {
 	s.Retransmits++
+	s.rec.Record(s.eng.Now().Duration(), trace.EvRetransmit, e.key.rpcID, uint64(e.key.pktID))
 	e.retx.RecordTimeout()
 	old := e.path
 	if old != nil {

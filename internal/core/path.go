@@ -6,6 +6,7 @@ import (
 	"lunasolar/internal/cc"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
+	"lunasolar/internal/trace"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
 )
@@ -36,6 +37,8 @@ type path struct {
 	outstanding   []outRef // send order; stale/acked entries skipped lazily
 
 	sent, acked, failed uint64
+
+	tele pathTelemetry // INT summary, folded while telemetry is enabled
 }
 
 // outRef is a generation-checked reference into a path's send queue.
@@ -182,6 +185,7 @@ func (s *Stack) failover(pe *peer, old *path) *path {
 	old.failed++
 	s.PathFailovers++
 	np := s.newPath()
+	s.rec.Record(s.eng.Now().Duration(), trace.EvFailover, uint64(old.id), uint64(np.id))
 	for i, p := range pe.paths {
 		if p == old {
 			pe.paths[i] = np

@@ -6,6 +6,7 @@ import (
 	"lunasolar/internal/cc"
 	"lunasolar/internal/crc"
 	"lunasolar/internal/simnet"
+	"lunasolar/internal/trace"
 	"lunasolar/internal/transport"
 	"lunasolar/internal/wire"
 )
@@ -377,6 +378,7 @@ func (s *Stack) finishRead(r *outRead) {
 		return
 	}
 	s.IntegrityHits++
+	s.rec.Record(s.eng.Now().Duration(), trace.EvIntegrityHit, r.id, 0)
 	n := r.total
 	s.admitRead(n, func() { s.issueRead(r.dst, r.msg, n, r.done) })
 }
@@ -427,6 +429,9 @@ func (s *Stack) runAck(j *ackJob) {
 		p.maxAckedSeq = e.pathSeq
 	}
 	rttSample := s.eng.Now().Sub(e.sentAt)
+	if simnet.TelemetryEnabled() {
+		foldINT(&p.tele, j.intStack.Hops, ack.ECNMarked)
+	}
 	if e.retx.Consecutive() == 0 { // Karn: only sample unambiguous transmissions
 		p.observe(rttSample, cc.Feedback{
 			RTT:        rttSample,
@@ -491,6 +496,7 @@ func (s *Stack) repairAndResend(peerAddr uint32, e *outPkt) {
 			}
 			e.ebs.BlockCRC = crc.Raw(orig)
 			s.IntegrityHits++
+			s.rec.Record(s.eng.Now().Duration(), trace.EvIntegrityHit, e.key.rpcID, 0)
 		}
 	}
 	s.cores.Submit(s.params.SoftCRCPer4K, func() {

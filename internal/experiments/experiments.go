@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"lunasolar/internal/sim"
 	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
+	"lunasolar/internal/stats"
 )
 
 // Options tunes experiment scale. Quick reduces sample counts and cluster
@@ -33,6 +35,14 @@ type Options struct {
 	// determinism regression tests). Results are merged in shard order, so
 	// the output is identical for every Workers value.
 	Workers int
+	// Telemetry, when set, has experiments that support it export each
+	// cluster's observability state (per-component latency histograms,
+	// per-switch counters, per-path INT summaries) into Table.Telemetry,
+	// merged in shard order under per-cell prefixes. It does not flip the
+	// simnet telemetry hatch — callers that want INT counters populated must
+	// also call simnet.SetTelemetry(true); the formatted table is identical
+	// either way.
+	Telemetry bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -60,6 +70,12 @@ func (o Options) scale(full, quick int) int {
 func runCells[T any](f *runtime.Fleet, n int, job func(shard int) (T, *ebs.Cluster)) []T {
 	return runtime.Run(f, n, func(shard int) (T, *sim.Engine) {
 		v, c := job(shard)
+		if c.Leaked() > 0 {
+			// Post-mortem for the leak gate: if the cluster carries flight
+			// recorders, their last-N anomalous events point at the stack
+			// that lost the packet.
+			c.DumpFlightRecorders(os.Stderr)
+		}
 		f.Perf.ObserveLeaked(c.Leaked())
 		return v, c.Eng
 	})
@@ -89,6 +105,13 @@ type Table struct {
 	// Perf, when set, carries the fleet's simulator-throughput counters for
 	// the runs behind this table (events/sec, simulated time per wall time).
 	Perf *runtime.Perf
+
+	// Telemetry, when the experiment ran with Options.Telemetry, holds the
+	// merged observability registry of every cluster the experiment drove,
+	// with per-cell prefixes (e.g. "fig6/solar/lat/write/e2e"). Nil
+	// otherwise. It is deliberately not part of Format: the formatted table
+	// is byte-identical with telemetry on or off.
+	Telemetry *stats.Registry
 }
 
 // PerfSummary renders the fleet throughput line, or "" when the experiment

@@ -6,6 +6,7 @@ import (
 
 	"lunasolar/ebs"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
 )
 
 // hangThreshold is the Table 2 criterion: an I/O with no response for one
@@ -133,8 +134,12 @@ func Table2(opts Options) *Table {
 
 	// One shard per (scenario, stack) cell: every cell owns its cluster, so
 	// all fourteen run concurrently and merge in scenario order.
+	type cellOut struct {
+		slow string
+		reg  *stats.Registry
+	}
 	fleet := opts.fleet()
-	cells := runCells(fleet, len(scenarios)*len(stacks), func(shard int) (string, *ebs.Cluster) {
+	cells := runCells(fleet, len(scenarios)*len(stacks), func(shard int) (cellOut, *ebs.Cluster) {
 		sc := scenarios[shard/len(stacks)]
 		fn := stacks[shard%len(stacks)]
 		c := ebs.New(clusterConfig(fn, opts.Seed))
@@ -147,13 +152,25 @@ func Table2(opts Options) *Table {
 		c.RunFor(200 * time.Millisecond) // healthy warmup
 		sc.inject(c)
 		c.RunFor(window)
-		return fmt.Sprintf("%d", hc.finish()), c
+		out := cellOut{slow: fmt.Sprintf("%d", hc.finish())}
+		if opts.Telemetry {
+			out.reg = stats.NewRegistry()
+			c.ExportMetrics(out.reg, "")
+		}
+		return out, c
 	})
 	for i, sc := range scenarios {
 		t.Rows = append(t.Rows, []string{
 			sc.name + " (paper LUNA " + paper[i] + ", SOLAR 0)",
-			cells[i*len(stacks)], cells[i*len(stacks)+1],
+			cells[i*len(stacks)].slow, cells[i*len(stacks)+1].slow,
 		})
+	}
+	if opts.Telemetry {
+		t.Telemetry = stats.NewRegistry()
+		for shard, cell := range cells {
+			t.Telemetry.Merge(cell.reg,
+				fmt.Sprintf("table2/s%d/%s/", shard/len(stacks), stacks[shard%len(stacks)]))
+		}
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("testbed: 8 compute + 8 storage servers, depth 4, 4-32K blocks, R:W 1:4, %v failure window (paper: 90+82 servers)", window))

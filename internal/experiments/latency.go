@@ -68,6 +68,7 @@ func Fig6(opts Options) *Table {
 	type shardOut struct {
 		parts map[key][]time.Duration
 		e2e   map[key]time.Duration
+		reg   *stats.Registry
 	}
 
 	// One share-nothing shard per stack: each builds its own engine,
@@ -88,6 +89,10 @@ func Fig6(opts Options) *Table {
 				out.parts[key{op, q}] = parts
 				out.e2e[key{op, q}] = e2e
 			}
+		}
+		if opts.Telemetry {
+			out.reg = stats.NewRegistry()
+			c.ExportMetrics(out.reg, "")
 		}
 		return out, c
 	})
@@ -121,6 +126,12 @@ func Fig6(opts Options) *Table {
 				us(parts[trace.SSD]), us(parts[trace.SA]),
 				us(e2es[fn][key{p.op, p.q}]),
 			})
+		}
+	}
+	if opts.Telemetry {
+		t.Telemetry = stats.NewRegistry()
+		for i, fn := range stacks {
+			t.Telemetry.Merge(perStack[i].reg, fmt.Sprintf("fig6/%s/", fn))
 		}
 	}
 	kw := e2es[ebs.KernelTCP][key{"write", 0.5}]

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"lunasolar/internal/simnet"
+	"lunasolar/internal/stats"
+)
+
+// TestTelemetryDifferentialOutput is the observability layer's end-to-end
+// regression gate, the same shape as the wheel and copy-path differentials:
+// a full experiment must produce byte-identical formatted output whether the
+// telemetry hatch is on or off. Telemetry only counts — INT folding, ECN
+// tallies, queue high-water marks — and never changes what a packet costs,
+// which path a flow picks, or which random draws the fault engines make, so
+// any divergence here is a telemetry bug leaking into the simulation.
+//
+// The test flips the package-wide telemetry default, so it does not run in
+// parallel with anything else.
+func TestTelemetryDifferentialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	if raceEnabled {
+		t.Skip("determinism gate, not a memory-safety test; too slow under the race detector")
+	}
+	prev := simnet.TelemetryEnabled()
+	defer simnet.SetTelemetry(prev)
+	// As in the other differentials: a short failure window still drives
+	// every Table2 scenario through injection, retransmission and failover.
+	table2Window = 400 * time.Millisecond
+	defer func() { table2Window = 0 }()
+	for _, tc := range []struct {
+		name string
+		fn   func(Options) *Table
+	}{
+		{"fig6", Fig6},
+		{"table2", Table2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(on bool) string {
+				simnet.SetTelemetry(on)
+				return tc.fn(Options{Seed: 7, Quick: true, Workers: 4}).Format()
+			}
+			on, off := run(true), run(false)
+			if on != off {
+				t.Fatalf("telemetry-on and telemetry-off runs diverged at the same seed\n--- on ---\n%s\n--- off ---\n%s", on, off)
+			}
+		})
+	}
+}
+
+// TestExperimentTelemetryExport drives Fig6 with Options.Telemetry and
+// checks the merged registry: per-stack latency histograms, per-path INT
+// summaries for the Solar cell, and a schema-valid JSON export.
+func TestExperimentTelemetryExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	prev := simnet.TelemetryEnabled()
+	simnet.SetTelemetry(true)
+	defer simnet.SetTelemetry(prev)
+
+	tb := Fig6(Options{Seed: 3, Quick: true, Workers: 4, Telemetry: true})
+	if tb.Telemetry == nil {
+		t.Fatal("Options.Telemetry set but Table.Telemetry is nil")
+	}
+	for _, name := range []string{
+		"fig6/kernel/lat/write/e2e",
+		"fig6/luna/lat/write/e2e",
+		"fig6/solar/lat/write/sa",
+		"fig6/solar/lat/write/fn",
+		"fig6/solar/lat/write/bn",
+		"fig6/solar/lat/write/ssd",
+		"fig6/solar/lat/write/e2e",
+	} {
+		if h := tb.Telemetry.Histogram(name); h == nil || h.Count() == 0 {
+			t.Fatalf("missing per-component histogram %q", name)
+		}
+	}
+	var solarINT float64
+	for _, m := range tb.Telemetry.Snapshot().Metrics {
+		if strings.HasPrefix(m.Name, "fig6/solar/") && strings.HasSuffix(m.Name, "/acks_with_int") {
+			solarINT += m.Value
+		}
+	}
+	if solarINT == 0 {
+		t.Fatal("Solar cell exported no per-path INT ack counts with telemetry on")
+	}
+
+	var sb strings.Builder
+	if err := tb.Telemetry.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Metrics []struct {
+			Name string `json:"name"`
+			Type string `json:"type"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Schema != stats.SchemaVersion {
+		t.Fatalf("schema = %q, want %q", doc.Schema, stats.SchemaVersion)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("export has no metrics")
+	}
+}

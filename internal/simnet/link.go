@@ -40,6 +40,11 @@ type Port struct {
 	txBytes     uint64
 	taildrops   uint64
 	sent        uint64
+
+	// Telemetry counters, updated only while TelemetryEnabled (plain field
+	// writes — the hotpath stays allocation-free either way).
+	ecnMarks  uint64
+	maxQueued int
 }
 
 // Peer returns the port at the other end of the link.
@@ -89,10 +94,14 @@ func (p *Port) Send(pkt *Packet) bool {
 		p.fab.countDrop("taildrop")
 		return false
 	}
+	telemetry := telemetryEnabled.Load()
 	// ECN: mark at enqueue if the queue already exceeds the threshold and
 	// the flow is ECN-capable.
 	if p.queuedBytes > p.ecnThresh && pkt.ECN == wire.ECNECT0 {
 		pkt.ECN = wire.ECNCE
+		if telemetry {
+			p.ecnMarks++
+		}
 	}
 	// INT: stamp telemetry at enqueue (queue depth seen by this packet).
 	if pkt.INT != nil {
@@ -105,6 +114,9 @@ func (p *Port) Send(pkt *Packet) bool {
 		})
 	}
 	p.queuedBytes += size
+	if telemetry && p.queuedBytes > p.maxQueued {
+		p.maxQueued = p.queuedBytes
+	}
 	now := eng.Now()
 	start := p.busyUntil
 	if start < now {

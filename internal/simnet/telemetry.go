@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"lunasolar/internal/stats"
+)
+
+// telemetryEnabled gates the observability layer's per-hop counters: port
+// ECN-mark counts and queue high-water marks, folded into the metrics
+// registry at export time. Off (the default) the forwarding path skips the
+// counter updates entirely, so disabled-mode output is bit-identical to a
+// build without the feature — the telemetry differential test enforces this
+// the same way the wheel and copy-path hatches are enforced. On, the
+// updates are plain field increments: zero allocations on the
+// //lint:hotpath functions (AllocsPerRun-gated).
+var telemetryEnabled atomic.Bool
+
+func init() {
+	telemetryEnabled.Store(os.Getenv("LUNASOLAR_TELEMETRY") != "")
+}
+
+// SetTelemetry flips the package-wide telemetry switch. Like SetZeroCopy it
+// is a process-wide experiment switch, not a per-cluster knob: flip it
+// before building clusters.
+func SetTelemetry(on bool) { telemetryEnabled.Store(on) }
+
+// TelemetryEnabled reports whether per-hop telemetry counters are active.
+func TelemetryEnabled() bool { return telemetryEnabled.Load() }
+
+// EcnMarks returns how many packets this port marked CE at enqueue.
+// Counted only while telemetry is enabled.
+func (p *Port) EcnMarks() uint64 { return p.ecnMarks }
+
+// MaxQueuedBytes returns the output queue's high-water mark in bytes.
+// Tracked only while telemetry is enabled.
+func (p *Port) MaxQueuedBytes() int { return p.maxQueued }
+
+// RegisterInto exports the fabric's per-hop telemetry into reg:
+// drops-by-reason counters under "<prefix>drops/<reason>", and per-switch
+// forwarding counters, ECN marks (summed over the switch's ports) and queue
+// high-water marks (max over ports) under "<prefix>sw/<name>/...". Reasons
+// and switches are walked in sorted/tier order so the export is
+// deterministic.
+func (f *Fabric) RegisterInto(reg *stats.Registry, prefix string) {
+	drops := f.Drops()
+	reasons := make([]string, 0, len(drops))
+	for k := range drops {
+		reasons = append(reasons, k)
+	}
+	sort.Strings(reasons)
+	for _, k := range reasons {
+		reg.AddCounter(prefix+"drops/"+k, drops[k])
+	}
+	for _, sw := range f.Switches() {
+		base := prefix + "sw/" + sw.Name() + "/"
+		reg.AddCounter(base+"rx", sw.rx)
+		reg.AddCounter(base+"forwarded", sw.forwarded)
+		reg.AddCounter(base+"dropped", sw.dropped)
+		var ecn uint64
+		maxq := 0
+		for _, p := range sw.ports {
+			ecn += p.ecnMarks
+			if p.maxQueued > maxq {
+				maxq = p.maxQueued
+			}
+		}
+		reg.AddCounter(base+"ecn_marks", ecn)
+		reg.SetGauge(base+"max_queued_bytes", float64(maxq))
+	}
+}

@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"testing"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/stats"
+)
+
+// TestForwardingAllocFreeTelemetry is the telemetry-enabled twin of
+// TestForwardingAllocFree: the per-hop counters must not cost a single
+// allocation on the hotpath.
+func TestForwardingAllocFreeTelemetry(t *testing.T) {
+	prev := TelemetryEnabled()
+	SetTelemetry(true)
+	defer SetTelemetry(prev)
+
+	eng := sim.NewEngine(7)
+	cfg := DefaultConfig()
+	cfg.RacksPerPod = 2
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 2
+	cfg.CoresPerDC = 2
+	fab := New(eng, cfg)
+
+	a := fab.Host(0, 0, 0, 0)
+	b := fab.Host(0, 1, 0, 0)
+	a.Handler = func(pkt *Packet) { pkt.Release() }
+	b.Handler = func(pkt *Packet) { pkt.Release() }
+
+	send := func() {
+		pkt := a.PacketPool().Get(4096)
+		pkt.Dst = b.Addr()
+		pkt.Proto = 17
+		pkt.SrcPort = 30001
+		pkt.DstPort = 7010
+		pkt.Overhead = EthOverhead
+		pkt.SentAt = eng.Now()
+		if !a.Send(pkt) {
+			pkt.Release()
+		}
+		eng.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(200, send); allocs != 0 {
+		t.Fatalf("telemetry-enabled forwarding allocates %.1f objects per packet, want 0", allocs)
+	}
+	if n := fab.Pool().Outstanding(); n != 0 {
+		t.Fatalf("pool reports %d leaked packets", n)
+	}
+}
+
+// Telemetry counters track queue high-water marks when enabled and stay
+// frozen when disabled.
+func TestPortTelemetryCounters(t *testing.T) {
+	prev := TelemetryEnabled()
+	SetTelemetry(true)
+	defer SetTelemetry(prev)
+
+	eng := sim.NewEngine(3)
+	cfg := DefaultConfig()
+	cfg.RacksPerPod = 1
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 1
+	cfg.CoresPerDC = 1
+	fab := New(eng, cfg)
+	a := fab.Host(0, 0, 0, 0)
+	b := fab.Host(0, 0, 0, 1)
+	b.Handler = func(pkt *Packet) { pkt.Release() }
+
+	burst := func(n int) {
+		for i := 0; i < n; i++ {
+			pkt := a.PacketPool().Get(8192)
+			pkt.Dst = b.Addr()
+			pkt.Proto = 17
+			pkt.SrcPort = uint16(40000 + i)
+			pkt.DstPort = 7010
+			pkt.Overhead = EthOverhead
+			if !a.Send(pkt) {
+				pkt.Release()
+			}
+		}
+		eng.Run()
+	}
+	burst(32) // back-to-back sends pile up in the NIC queues
+	var maxq int
+	for _, p := range a.Ports() {
+		if p.MaxQueuedBytes() > maxq {
+			maxq = p.MaxQueuedBytes()
+		}
+	}
+	if maxq < 2*8192 {
+		t.Fatalf("high-water mark %dB never saw queue buildup from a 32-packet burst", maxq)
+	}
+
+	// Disabled: the marks freeze even under more load.
+	SetTelemetry(false)
+	before := maxq
+	burst(64)
+	maxq = 0
+	for _, p := range a.Ports() {
+		if p.MaxQueuedBytes() > maxq {
+			maxq = p.MaxQueuedBytes()
+		}
+	}
+	if maxq != before {
+		t.Fatalf("high-water mark moved from %d to %d with telemetry disabled", before, maxq)
+	}
+}
+
+// Fabric.RegisterInto exports drops-by-reason and per-switch counters with
+// deterministic names.
+func TestFabricRegisterInto(t *testing.T) {
+	prev := TelemetryEnabled()
+	SetTelemetry(true)
+	defer SetTelemetry(prev)
+
+	eng := sim.NewEngine(5)
+	cfg := DefaultConfig()
+	cfg.RacksPerPod = 1
+	cfg.HostsPerRack = 2
+	cfg.SpinesPerPod = 1
+	cfg.CoresPerDC = 1
+	fab := New(eng, cfg)
+	a := fab.Host(0, 0, 0, 0)
+	b := fab.Host(0, 0, 0, 1)
+	b.Handler = func(pkt *Packet) { pkt.Release() }
+
+	pkt := a.PacketPool().Get(4096)
+	pkt.Dst = b.Addr()
+	pkt.Proto = 17
+	pkt.SrcPort = 30001
+	pkt.DstPort = 7010
+	pkt.Overhead = EthOverhead
+	if !a.Send(pkt) {
+		pkt.Release()
+	}
+	eng.Run()
+
+	reg := stats.NewRegistry()
+	fab.RegisterInto(reg, "net/")
+	var sawRx bool
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Type == "counter" && m.Value > 0 &&
+			len(m.Name) > 4 && m.Name[:7] == "net/sw/" {
+			sawRx = true
+		}
+	}
+	if !sawRx {
+		t.Fatal("no per-switch counters exported")
+	}
+	// Export must be deterministic.
+	reg2 := stats.NewRegistry()
+	fab.RegisterInto(reg2, "net/")
+	s1, s2 := reg.Snapshot(), reg2.Snapshot()
+	if len(s1.Metrics) != len(s2.Metrics) {
+		t.Fatal("repeat export differs")
+	}
+	for i := range s1.Metrics {
+		if s1.Metrics[i].Name != s2.Metrics[i].Name || s1.Metrics[i].Value != s2.Metrics[i].Value {
+			t.Fatalf("metric %d differs: %+v vs %+v", i, s1.Metrics[i], s2.Metrics[i])
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the structured-export format. Consumers (CI
+// artifact diffing, dashboards) match on it before parsing; bump it on any
+// field change.
+const SchemaVersion = "lunasolar.metrics/v1"
+
+// Registry names and aggregates metrics for structured export. Every
+// counter, gauge, histogram and time series an experiment wants published
+// is folded in under a slash-separated name ("fig6/solar/write/fn"); the
+// registry then renders the whole set as schema-versioned JSON or
+// OpenMetrics text with fully deterministic ordering (names sorted, field
+// order fixed by struct layout) so exports diff cleanly across runs.
+//
+// Registries are single-goroutine objects, like the rest of this package:
+// the share-nothing harness gives each shard its own registry and merges
+// them in shard order.
+type Registry struct {
+	counters map[string]uint64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+	series   map[string]*TimeSeries
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+		series:   make(map[string]*TimeSeries),
+	}
+}
+
+// AddCounter accumulates delta into the named counter, creating it at zero.
+func (r *Registry) AddCounter(name string, delta uint64) {
+	r.counters[name] += delta
+}
+
+// SetGauge sets the named gauge to v (last write wins).
+func (r *Registry) SetGauge(name string, v float64) {
+	r.gauges[name] = v
+}
+
+// ObserveHistogram merges h into the named histogram, creating it if
+// needed. The source histogram is not retained, so callers may keep
+// mutating it.
+func (r *Registry) ObserveHistogram(name string, h *Histogram) {
+	dst, ok := r.hists[name]
+	if !ok {
+		dst = NewHistogram()
+		r.hists[name] = dst
+	}
+	dst.Merge(h)
+}
+
+// ObserveSeries folds ts into the named time series bin-by-bin. All
+// observations of one name must share a bin width; a mismatch is a
+// programming error and panics.
+func (r *Registry) ObserveSeries(name string, ts *TimeSeries) {
+	dst, ok := r.series[name]
+	if !ok {
+		dst = NewTimeSeries(ts.binWidth)
+		r.series[name] = dst
+	}
+	if dst.binWidth != ts.binWidth {
+		panic(fmt.Sprintf("stats: series %q bin width %v != %v", name, dst.binWidth, ts.binWidth))
+	}
+	dst.grow(len(ts.bins) - 1)
+	for i := range ts.bins {
+		dst.bins[i] += ts.bins[i]
+		dst.counts[i] += ts.counts[i]
+	}
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (r *Registry) Counter(name string) uint64 { return r.counters[name] }
+
+// Gauge returns the named gauge's value (0 if absent).
+func (r *Registry) Gauge(name string) float64 { return r.gauges[name] }
+
+// Histogram returns the named histogram, or nil.
+func (r *Registry) Histogram(name string) *Histogram { return r.hists[name] }
+
+// Series returns the named time series, or nil.
+func (r *Registry) Series(name string) *TimeSeries { return r.series[name] }
+
+// Len returns the total number of registered metrics.
+func (r *Registry) Len() int {
+	return len(r.counters) + len(r.gauges) + len(r.hists) + len(r.series)
+}
+
+// Merge folds every metric of src into r with prefix prepended to its name.
+// The harness uses it to combine per-shard registries in shard order, which
+// keeps the merged result deterministic for a fixed seed.
+func (r *Registry) Merge(src *Registry, prefix string) {
+	for _, name := range sortedKeysU64(src.counters) {
+		r.AddCounter(prefix+name, src.counters[name])
+	}
+	for _, name := range sortedKeysF64(src.gauges) {
+		r.SetGauge(prefix+name, src.gauges[name])
+	}
+	for _, name := range sortedKeysHist(src.hists) {
+		r.ObserveHistogram(prefix+name, src.hists[name])
+	}
+	for _, name := range sortedKeysSeries(src.series) {
+		r.ObserveSeries(prefix+name, src.series[name])
+	}
+}
+
+func sortedKeysU64(m map[string]uint64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysF64(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysHist(m map[string]*Histogram) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysSeries(m map[string]*TimeSeries) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Metric is one exported entry. Exactly the fields for its Type are set:
+// counters and gauges carry Value; histograms carry the count/percentile
+// block (nanosecond units, matching time.Duration); time series carry the
+// bin block. Field order in the JSON is the struct order below and never
+// changes within a schema version.
+type Metric struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"` // "counter" | "gauge" | "histogram" | "timeseries"
+	Value float64 `json:"value,omitempty"`
+
+	Count  uint64  `json:"count,omitempty"`
+	SumNs  float64 `json:"sum_ns,omitempty"`
+	MinNs  int64   `json:"min_ns,omitempty"`
+	MaxNs  int64   `json:"max_ns,omitempty"`
+	MeanNs int64   `json:"mean_ns,omitempty"`
+	P50Ns  int64   `json:"p50_ns,omitempty"`
+	P95Ns  int64   `json:"p95_ns,omitempty"`
+	P99Ns  int64   `json:"p99_ns,omitempty"`
+
+	BinWidthNs int64     `json:"bin_width_ns,omitempty"`
+	Bins       []float64 `json:"bins,omitempty"`
+	BinCounts  []uint64  `json:"bin_counts,omitempty"`
+}
+
+// Export is the top-level JSON document.
+type Export struct {
+	Schema  string   `json:"schema"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot renders every metric, names sorted within each type and types
+// interleaved into one global name order, so the export is a deterministic
+// function of the registry's contents.
+func (r *Registry) Snapshot() Export {
+	ms := make([]Metric, 0, r.Len())
+	for _, name := range sortedKeysU64(r.counters) {
+		ms = append(ms, Metric{Name: name, Type: "counter", Value: float64(r.counters[name])})
+	}
+	for _, name := range sortedKeysF64(r.gauges) {
+		ms = append(ms, Metric{Name: name, Type: "gauge", Value: r.gauges[name]})
+	}
+	for _, name := range sortedKeysHist(r.hists) {
+		h := r.hists[name]
+		ms = append(ms, Metric{
+			Name:   name,
+			Type:   "histogram",
+			Count:  h.Count(),
+			SumNs:  h.sum,
+			MinNs:  int64(h.Min()),
+			MaxNs:  int64(h.Max()),
+			MeanNs: int64(h.Mean()),
+			P50Ns:  int64(h.Median()),
+			P95Ns:  int64(h.P95()),
+			P99Ns:  int64(h.P99()),
+		})
+	}
+	for _, name := range sortedKeysSeries(r.series) {
+		ts := r.series[name]
+		ms = append(ms, Metric{
+			Name:       name,
+			Type:       "timeseries",
+			BinWidthNs: int64(ts.binWidth),
+			Bins:       append([]float64(nil), ts.bins...),
+			BinCounts:  append([]uint64(nil), ts.counts...),
+		})
+	}
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return Export{Schema: SchemaVersion, Metrics: ms}
+}
+
+// WriteJSON writes the indented JSON export.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteOpenMetrics writes the export in OpenMetrics text form: counters as
+// _total samples, histograms as summaries with quantile labels (seconds, the
+// OpenMetrics base unit for time), time series as gauge samples labelled by
+// bin. Names are sanitized to the OpenMetrics charset and the output always
+// terminates with "# EOF".
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		name := sanitizeMetricName(m.Name)
+		switch m.Type {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", name, name, uint64(m.Value)); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, m.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+				return err
+			}
+			for _, q := range []struct {
+				label string
+				ns    int64
+			}{{"0.5", m.P50Ns}, {"0.95", m.P95Ns}, {"0.99", m.P99Ns}} {
+				if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", name, q.label, seconds(q.ns)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, m.SumNs/1e9, name, m.Count); err != nil {
+				return err
+			}
+		case "timeseries":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			for i, v := range m.Bins {
+				if _, err := fmt.Fprintf(w, "%s{bin=\"%d\"} %g\n", name, i, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func seconds(ns int64) float64 { return time.Duration(ns).Seconds() }
+
+// sanitizeMetricName maps a registry name onto the OpenMetrics charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: slashes, dots and dashes become underscores and
+// a leading digit gains an underscore prefix.
+func sanitizeMetricName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			// digits are fine except in the leading position
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 0 && b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}

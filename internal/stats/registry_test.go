@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildRegistry(order []int) *Registry {
+	r := NewRegistry()
+	// Insert in caller-chosen order to prove output order is independent
+	// of map insertion history.
+	for _, i := range order {
+		switch i {
+		case 0:
+			r.AddCounter("fig6/solar/retransmits", 3)
+		case 1:
+			r.SetGauge("fig6/solar/goodput_gbps", 87.5)
+		case 2:
+			h := NewHistogram()
+			h.Record(100 * time.Microsecond)
+			h.Record(300 * time.Microsecond)
+			r.ObserveHistogram("fig6/solar/write/fn", h)
+		case 3:
+			ts := NewTimeSeries(time.Second)
+			ts.Add(0, 10)
+			ts.Add(1500*time.Millisecond, 20)
+			r.ObserveSeries("fig6/solar/iops", ts)
+		}
+	}
+	return r
+}
+
+func TestRegistryDeterministicExport(t *testing.T) {
+	a := buildRegistry([]int{0, 1, 2, 3})
+	b := buildRegistry([]int{3, 2, 1, 0})
+	var ja, jb, oa, ob strings.Builder
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("JSON export depends on insertion order:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if err := a.WriteOpenMetrics(&oa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteOpenMetrics(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if oa.String() != ob.String() {
+		t.Fatal("OpenMetrics export depends on insertion order")
+	}
+}
+
+func TestRegistryJSONSchema(t *testing.T) {
+	r := buildRegistry([]int{0, 1, 2, 3})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var ex Export
+	if err := json.Unmarshal([]byte(sb.String()), &ex); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if ex.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", ex.Schema, SchemaVersion)
+	}
+	if len(ex.Metrics) != 4 {
+		t.Fatalf("metrics = %d, want 4", len(ex.Metrics))
+	}
+	// Global name order.
+	for i := 1; i < len(ex.Metrics); i++ {
+		if ex.Metrics[i-1].Name > ex.Metrics[i].Name {
+			t.Fatalf("metrics not name-sorted: %q > %q", ex.Metrics[i-1].Name, ex.Metrics[i].Name)
+		}
+	}
+	byName := map[string]Metric{}
+	for _, m := range ex.Metrics {
+		byName[m.Name] = m
+	}
+	if m := byName["fig6/solar/retransmits"]; m.Type != "counter" || m.Value != 3 {
+		t.Fatalf("counter metric = %+v", m)
+	}
+	if m := byName["fig6/solar/write/fn"]; m.Type != "histogram" || m.Count != 2 ||
+		m.MinNs != int64(100*time.Microsecond) || m.MaxNs != int64(300*time.Microsecond) {
+		t.Fatalf("histogram metric = %+v", m)
+	}
+	if m := byName["fig6/solar/iops"]; m.Type != "timeseries" ||
+		m.BinWidthNs != int64(time.Second) || len(m.Bins) != 2 || m.Bins[0] != 10 || m.Bins[1] != 20 {
+		t.Fatalf("timeseries metric = %+v", m)
+	}
+}
+
+func TestRegistryMergeWithPrefix(t *testing.T) {
+	shard0 := buildRegistry([]int{0, 1, 2, 3})
+	shard1 := buildRegistry([]int{0, 2})
+	merged := NewRegistry()
+	merged.Merge(shard0, "")
+	merged.Merge(shard1, "")
+	if got := merged.Counter("fig6/solar/retransmits"); got != 6 {
+		t.Fatalf("merged counter = %d, want 6", got)
+	}
+	if h := merged.Histogram("fig6/solar/write/fn"); h == nil || h.Count() != 4 {
+		t.Fatalf("merged histogram count = %v", h)
+	}
+	// Prefixed merge keeps shards distinct.
+	pref := NewRegistry()
+	pref.Merge(shard0, "shard0/")
+	pref.Merge(shard1, "shard1/")
+	if got := pref.Counter("shard0/fig6/solar/retransmits"); got != 3 {
+		t.Fatalf("prefixed counter = %d", got)
+	}
+	if pref.Counter("fig6/solar/retransmits") != 0 {
+		t.Fatal("unprefixed name leaked into prefixed merge")
+	}
+	// Series merge sums bins.
+	merged.Merge(buildRegistry([]int{3}), "")
+	if ts := merged.Series("fig6/solar/iops"); ts == nil || ts.Sum(0) != 20 || ts.Sum(1) != 40 {
+		t.Fatalf("merged series = %+v", ts)
+	}
+}
+
+func TestRegistryOpenMetricsFormat(t *testing.T) {
+	r := buildRegistry([]int{0, 1, 2, 3})
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics output must end with # EOF, got:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE fig6_solar_retransmits counter",
+		"fig6_solar_retransmits_total 3",
+		"# TYPE fig6_solar_write_fn summary",
+		`fig6_solar_write_fn{quantile="0.5"}`,
+		"fig6_solar_write_fn_count 2",
+		"# TYPE fig6_solar_goodput_gbps gauge",
+		"fig6_solar_goodput_gbps 87.5",
+		`fig6_solar_iops{bin="1"} 20`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "/") {
+		t.Fatal("unsanitized metric name in OpenMetrics output")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"fig6/solar.write-fn", "fig6_solar_write_fn"},
+		{"9lives", "_9lives"},
+		{"ok_name:sub", "ok_name:sub"},
+	} {
+		if got := sanitizeMetricName(tc.in); got != tc.want {
+			t.Fatalf("sanitize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

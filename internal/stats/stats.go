@@ -29,6 +29,23 @@ const bucketsPerOctave = 128
 // numOctaves covers 1ns .. ~2^40ns (~18 minutes).
 const numOctaves = 41
 
+// floorSample is the histogram's domain floor in nanoseconds. The log
+// buckets cannot represent values below 1ns, so every observation — in
+// Record's clamp, in bucketIndex, and therefore in Min() — is clamped to
+// this single floor. Zero and negative durations record as 1ns; callers
+// that accumulate durations before recording (trace.Span.Add) clamp their
+// own negative *increments* to zero, which is consistent: the floor applies
+// to the observed total, not to each accumulation step.
+const floorSample = 1
+
+// clampSample applies the shared domain floor.
+func clampSample(v int64) int64 {
+	if v < floorSample {
+		return floorSample
+	}
+	return v
+}
+
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	return &Histogram{
@@ -38,9 +55,7 @@ func NewHistogram() *Histogram {
 }
 
 func bucketIndex(v int64) int {
-	if v < 1 {
-		v = 1
-	}
+	v = clampSample(v)
 	exp := 63 - leadingZeros64(uint64(v))
 	if exp >= numOctaves {
 		exp = numOctaves - 1
@@ -64,12 +79,11 @@ func bucketLow(i int) int64 {
 
 func leadingZeros64(x uint64) int { return bits.LeadingZeros64(x) }
 
-// Record adds one observation.
+// Record adds one observation. Observations below the 1ns domain floor
+// (zero or negative durations) are clamped to it, so Min(), the buckets and
+// the quantiles all agree on what was recorded.
 func (h *Histogram) Record(d time.Duration) {
-	v := int64(d)
-	if v < 0 {
-		v = 0
-	}
+	v := clampSample(int64(d))
 	h.buckets[bucketIndex(v)]++
 	h.count++
 	h.sum += float64(v)
@@ -92,7 +106,8 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum / float64(h.count))
 }
 
-// Min returns the smallest observation (0 if empty).
+// Min returns the smallest observation after the domain-floor clamp —
+// never below 1ns for a non-empty histogram (0 if empty).
 func (h *Histogram) Min() time.Duration {
 	if h.count == 0 {
 		return 0
@@ -207,17 +222,16 @@ func (c *CDF) sort() {
 	}
 }
 
-// At returns P(X <= v).
+// At returns P(X <= v). The upper bound over equal samples is found by a
+// second binary search, so duplicate-heavy distributions (the Fig. 5 size
+// CDFs are dominated by a handful of popular sizes) stay O(log n) instead
+// of degrading to a linear scan across the run of equal values.
 func (c *CDF) At(v float64) float64 {
 	if len(c.samples) == 0 {
 		return 0
 	}
 	c.sort()
-	i := sort.SearchFloat64s(c.samples, v)
-	// Include equal values.
-	for i < len(c.samples) && c.samples[i] <= v {
-		i++
-	}
+	i := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > v })
 	return float64(i) / float64(len(c.samples))
 }
 
@@ -242,8 +256,9 @@ func (c *CDF) Quantile(q float64) float64 {
 
 // Counter is a monotonically increasing event counter with a rate helper.
 type Counter struct {
-	n     uint64
-	since time.Duration
+	n      uint64
+	since  time.Duration
+	marked uint64 // count snapshot at the window mark
 }
 
 // Inc adds delta.
@@ -252,16 +267,23 @@ func (c *Counter) Inc(delta uint64) { c.n += delta }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n }
 
-// MarkWindow records the window start for Rate.
-func (c *Counter) MarkWindow(at time.Duration) { c.since = at }
+// MarkWindow records the window start for Rate, snapshotting the current
+// count so Rate measures only events inside the window. Events counted
+// before the mark do not leak into the rate.
+func (c *Counter) MarkWindow(at time.Duration) {
+	c.since = at
+	c.marked = c.n
+}
 
-// Rate returns events/second between the window mark and now.
+// Rate returns events/second between the window mark and now: the events
+// counted since MarkWindow divided by the window duration (not the lifetime
+// count, which would overstate the rate after any pre-window activity).
 func (c *Counter) Rate(now time.Duration) float64 {
 	dt := (now - c.since).Seconds()
 	if dt <= 0 {
 		return 0
 	}
-	return float64(c.n) / dt
+	return float64(c.n-c.marked) / dt
 }
 
 // TimeSeries accumulates values into fixed-width time bins — hourly traffic

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -76,7 +77,7 @@ func TestHistogramReset(t *testing.T) {
 func TestHistogramExtremes(t *testing.T) {
 	h := NewHistogram()
 	h.Record(0)
-	h.Record(time.Duration(-5)) // clamped to 0→bucket 1ns
+	h.Record(time.Duration(-5)) // clamped to the 1ns floor
 	h.Record(20 * time.Minute)  // beyond top octave, clamped
 	if h.Count() != 3 {
 		t.Fatalf("count = %d", h.Count())
@@ -174,6 +175,169 @@ func TestCounterRate(t *testing.T) {
 	}
 }
 
+// Regression: Rate must divide the events counted *inside* the window by
+// the window duration. The old code divided the lifetime count by the
+// window duration, so any Incs before MarkWindow inflated the rate.
+func TestCounterRateExcludesPreWindowEvents(t *testing.T) {
+	var c Counter
+	c.Inc(100_000) // lifetime history before the window
+	c.MarkWindow(10 * time.Second)
+	c.Inc(500)
+	if got := c.Rate(15 * time.Second); got != 100 {
+		t.Fatalf("windowed rate = %v, want 100/s (pre-mark events leaked in)", got)
+	}
+	// Re-marking starts a fresh window from the new snapshot.
+	c.MarkWindow(15 * time.Second)
+	c.Inc(30)
+	if got := c.Rate(18 * time.Second); got != 10 {
+		t.Fatalf("re-marked rate = %v, want 10/s", got)
+	}
+	if c.Value() != 100_530 {
+		t.Fatalf("lifetime value = %d", c.Value())
+	}
+}
+
+// Regression: the histogram's clamp is single-sourced at the 1ns domain
+// floor. The old code clamped negatives to 0 in Record but to 1 in
+// bucketIndex, so Min() could report 0ns while every bucket said 1ns.
+func TestHistogramFloorSingleSourced(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(-time.Second)
+	if got := h.Min(); got != time.Nanosecond {
+		t.Fatalf("Min = %v, want 1ns (the bucket floor)", got)
+	}
+	if got := h.Quantile(0); got != time.Nanosecond {
+		t.Fatalf("Quantile(0) = %v, want 1ns", got)
+	}
+	if got := h.Quantile(1); got != time.Nanosecond {
+		t.Fatalf("Quantile(1) = %v, want 1ns (max is also clamped)", got)
+	}
+	if got := h.Max(); got != time.Nanosecond {
+		t.Fatalf("Max = %v, want 1ns", got)
+	}
+}
+
+// CDF.At must agree with the naive definition P(X <= v) on duplicate-heavy
+// sample sets (where the old linear scan was O(n) but still correct — this
+// pins the binary-search rewrite to the same answers).
+func TestCDFAtDuplicateHeavy(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	sizes := []float64{4096, 8192, 16384, 65536} // Fig. 5-style popular sizes
+	var c CDF
+	var raw []float64
+	for i := 0; i < 5000; i++ {
+		v := sizes[r.Intn(len(sizes))]
+		c.Add(v)
+		raw = append(raw, v)
+	}
+	naive := func(v float64) float64 {
+		n := 0
+		for _, s := range raw {
+			if s <= v {
+				n++
+			}
+		}
+		return float64(n) / float64(len(raw))
+	}
+	for _, v := range []float64{0, 4095, 4096, 4097, 8192, 16384, 65536, 1e9} {
+		if got, want := c.At(v), naive(v); got != want {
+			t.Fatalf("At(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// BenchmarkCDFAt gates the CDF.At complexity fix: with every sample equal,
+// the old post-binary-search linear scan walked the whole run per query
+// (O(n)); the sort.Search upper bound keeps each query O(log n). The
+// benchmark is wired into `make bench-smoke` so a regression to linear
+// behavior shows up as a ~1000x ns/op jump.
+func BenchmarkCDFAt(b *testing.B) {
+	var c CDF
+	for i := 0; i < 1<<16; i++ {
+		c.Add(4096) // worst case: one giant run of duplicates
+	}
+	c.At(0) // pre-sort outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.At(4096); got != 1 {
+			b.Fatalf("At = %v", got)
+		}
+	}
+}
+
+// Property: Histogram.Quantile tracks the exact nearest-rank quantile of
+// the raw samples within the ~1% log-bucket width, for random sample sets
+// and a spread of quantiles.
+func TestHistogramQuantileNearestRank(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	qs := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(400)
+		samples := make([]int64, n)
+		h := NewHistogram()
+		// Mix magnitudes so buckets across many octaves are exercised.
+		scale := int64(1) << uint(r.Intn(30))
+		for i := range samples {
+			v := 1 + r.Int63n(scale)
+			samples[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range qs {
+			rank := int(q * float64(n)) // same index convention as Quantile
+			if rank >= n {
+				rank = n - 1
+			}
+			exact := samples[rank]
+			got := int64(h.Quantile(q))
+			relErr := float64(got-exact) / float64(exact)
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			if relErr > 0.012 {
+				t.Fatalf("trial %d n=%d q=%.2f: got %d, exact nearest-rank %d (err %.4f > bucket width)",
+					trial, n, q, got, exact, relErr)
+			}
+		}
+	}
+}
+
+// Merge must fold counts, sums and extremes for every combination of empty
+// and populated operands.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	full := func() *Histogram {
+		h := NewHistogram()
+		h.Record(10 * time.Microsecond)
+		h.Record(2 * time.Millisecond)
+		return h
+	}
+	// empty.Merge(full): adopts o's extremes.
+	a := NewHistogram()
+	a.Merge(full())
+	if a.Count() != 2 || a.Min() != 10*time.Microsecond || a.Max() != 2*time.Millisecond {
+		t.Fatalf("empty.Merge(full): n=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	// full.Merge(empty): unchanged (an empty histogram's MaxInt64 min must
+	// not poison the target).
+	b := full()
+	b.Merge(NewHistogram())
+	if b.Count() != 2 || b.Min() != 10*time.Microsecond || b.Max() != 2*time.Millisecond {
+		t.Fatalf("full.Merge(empty): n=%d min=%v max=%v", b.Count(), b.Min(), b.Max())
+	}
+	if b.Mean() != full().Mean() {
+		t.Fatalf("merge with empty changed mean: %v", b.Mean())
+	}
+	// Quantiles of a merged histogram cover both sources.
+	c := full()
+	d := NewHistogram()
+	d.Record(50 * time.Millisecond)
+	c.Merge(d)
+	if got := c.Quantile(1); got < 49*time.Millisecond {
+		t.Fatalf("merged max quantile = %v", got)
+	}
+}
+
 func TestTimeSeries(t *testing.T) {
 	ts := NewTimeSeries(time.Hour)
 	ts.Add(30*time.Minute, 5)
@@ -193,5 +357,39 @@ func TestTimeSeries(t *testing.T) {
 	}
 	if got := ts.Sum(99); got != 0 {
 		t.Fatalf("missing bin = %v", got)
+	}
+}
+
+// Bin boundaries: a sample at exactly k*binWidth belongs to bin k (bins are
+// half-open [k*w, (k+1)*w)), one tick before the boundary stays in bin k-1,
+// and negative times clamp into bin 0.
+func TestTimeSeriesBinBoundaries(t *testing.T) {
+	w := time.Hour
+	ts := NewTimeSeries(w)
+	ts.Add(0, 1)                 // exact lower edge of bin 0
+	ts.Add(w-time.Nanosecond, 2) // last tick of bin 0
+	ts.Add(w, 4)                 // exact lower edge of bin 1
+	ts.Add(2*w, 8)               // exact lower edge of bin 2
+	ts.Add(-time.Minute, 16)     // negative clamps to bin 0
+	if got := ts.Sum(0); got != 19 {
+		t.Fatalf("bin0 sum = %v, want 1+2+16", got)
+	}
+	if got := ts.Sum(1); got != 4 {
+		t.Fatalf("bin1 sum = %v", got)
+	}
+	if got := ts.Sum(2); got != 8 {
+		t.Fatalf("bin2 sum = %v", got)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	if got := ts.Avg(0); got != 19.0/3 {
+		t.Fatalf("bin0 avg = %v", got)
+	}
+	if got := ts.Avg(7); got != 0 {
+		t.Fatalf("untouched bin avg = %v", got)
+	}
+	if got := ts.BinWidth(); got != w {
+		t.Fatalf("bin width = %v", got)
 	}
 }

@@ -106,6 +106,7 @@ type Stack struct {
 	// Stats.
 	Retransmits uint64
 	Timeouts    uint64
+	EcnMarks    uint64 // CE-marked segments received (telemetry-gated)
 }
 
 type connKey struct {
@@ -226,6 +227,9 @@ func (s *Stack) receive(pkt *simnet.Packet) {
 	}
 	payload := pkt.Payload[wire.TCPSegSize:]
 	ce := pkt.ECN == wire.ECNCE
+	if ce && simnet.TelemetryEnabled() {
+		s.EcnMarks++
+	}
 
 	// Per-packet receive CPU (pure ACKs cost half), then protocol
 	// processing. PCIe crossing for payload-bearing segments.

@@ -48,7 +48,13 @@ type Span struct {
 	parts [numComponents]time.Duration
 }
 
-// Add attributes d to component c.
+// Add attributes d to component c. Negative increments clamp to zero: a
+// span accumulates deltas between event timestamps, and a negative delta
+// means the caller's clocks crossed, not that the component gave time back.
+// This is deliberately consistent with the stats.Histogram 1ns domain floor
+// — the floor applies once to the *recorded total* in Collector.Record,
+// while Add keeps each individual increment non-negative so one bad delta
+// cannot cancel out real attributed time.
 func (s *Span) Add(c Component, d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -127,6 +133,36 @@ func (c *Collector) Breakdown(op string, q float64) (parts []time.Duration, e2e 
 		parts = append(parts, c.Component(op, comp).Quantile(q))
 	}
 	return parts, c.E2E(op).Quantile(q)
+}
+
+// RegisterInto exports every histogram into reg under
+// "<prefix><op>/<component>" and "<prefix><op>/e2e" (components lowercased:
+// sa, fn, bn, ssd). Ops and components are walked in fixed display order so
+// the export is deterministic.
+func (c *Collector) RegisterInto(reg *stats.Registry, prefix string) {
+	for _, op := range []string{"read", "write"} {
+		if c.E2E(op).Count() == 0 {
+			continue
+		}
+		for _, comp := range Components {
+			reg.ObserveHistogram(prefix+op+"/"+lowerComponent(comp), c.Component(op, comp))
+		}
+		reg.ObserveHistogram(prefix+op+"/e2e", c.E2E(op))
+	}
+}
+
+func lowerComponent(c Component) string {
+	switch c {
+	case SA:
+		return "sa"
+	case FN:
+		return "fn"
+	case BN:
+		return "bn"
+	case SSD:
+		return "ssd"
+	}
+	return "unknown"
 }
 
 // String renders a compact summary for logs.
