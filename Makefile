@@ -13,7 +13,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff check
+.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff check
 
 build:
 	$(GO) build ./...
@@ -69,10 +69,22 @@ telemetry-diff:
 	diff /tmp/lunasolar-telemetry-off.txt /tmp/lunasolar-telemetry-on.txt
 	grep -q '"schema": "lunasolar.metrics/v1"' /tmp/lunasolar-METRICS.json
 
+# The coupled runner must not change any experiment output: the partitioned
+# experiments driven by four window workers have to match the serial
+# (one-worker) run byte-for-byte once the wall-clock lines are stripped.
+# This is the conservative-sync determinism gate.
+coupled-diff:
+	$(GO) run ./cmd/ebsbench -exp coupled,coupledfail -quick -coupled-workers 1 | grep -v 'perf:\|completed in' > /tmp/lunasolar-coupled-serial.txt
+	$(GO) run ./cmd/ebsbench -exp coupled,coupledfail -quick -coupled-workers 4 | grep -v 'perf:\|completed in' > /tmp/lunasolar-coupled-parallel.txt
+	diff /tmp/lunasolar-coupled-serial.txt /tmp/lunasolar-coupled-parallel.txt
+
 # Full write-path comparison: measures the 4 KiB write path with refcounted
 # slabs and with the -copy-path hatch, and writes BENCH_pr3.json (ns/op,
 # allocs/op, copies/op, bytes-copied/op per mode). CI uploads the file.
+# The coupled-scaling report (events/sec at 1/2/4/8 window workers, with a
+# built-in byte-identity gate) lands in BENCH_pr6.json alongside it.
 bench:
 	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
+	$(GO) run ./cmd/ebsbench -quick -coupled-bench-out BENCH_pr6.json
 
-check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff
+check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff

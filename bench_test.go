@@ -165,6 +165,33 @@ func benchWritePath4K(b *testing.B, zero bool) {
 func BenchmarkWritePath4K(b *testing.B)         { benchWritePath4K(b, true) }
 func BenchmarkWritePath4KCopyPath(b *testing.B) { benchWritePath4K(b, false) }
 
+// benchCoupled runs the partitioned write storm with the given number of
+// window workers and reports the fleet's events/sec. Comparing the
+// sub-benchmarks shows the coupled runner's scaling (or, on few-core
+// hosts, its barrier overhead); BENCH_pr6.json records the same sweep
+// with the byte-identity gate attached.
+func benchCoupled(b *testing.B, workers int) {
+	opts := benchOpts(b)
+	opts.CoupledWorkers = workers
+	var events, wallMs float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.CoupledStorm(opts)
+		if leaked := t.Perf.Leaked(); leaked != 0 {
+			b.Fatalf("%d pooled packets leaked", leaked)
+		}
+		events += float64(t.Perf.Events())
+		wallMs += float64(t.Perf.WallTime().Nanoseconds()) / 1e6
+	}
+	if wallMs > 0 {
+		b.ReportMetric(events/(wallMs/1e3), "events/sec")
+	}
+}
+
+func BenchmarkCoupled1Worker(b *testing.B)  { benchCoupled(b, 1) }
+func BenchmarkCoupled2Workers(b *testing.B) { benchCoupled(b, 2) }
+func BenchmarkCoupled4Workers(b *testing.B) { benchCoupled(b, 4) }
+func BenchmarkCoupled8Workers(b *testing.B) { benchCoupled(b, 8) }
+
 // BenchmarkSimulatorEventRate measures raw event-loop throughput with a
 // saturating Solar workload — the simulator's own performance envelope.
 func BenchmarkSimulatorEventRate(b *testing.B) {

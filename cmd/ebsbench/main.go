@@ -46,6 +46,9 @@ var registry = map[string]struct {
 	"table3":    {experiments.Table3, "FPGA resource consumption"},
 	"ablate":    {experiments.Ablations, "Solar design-choice ablations (paths, CRC, Addr table)"},
 	"rdmacliff": {experiments.RDMACliff, "RDMA connection-scalability cliff (the §3.1 FN rejection)"},
+
+	"coupled":     {experiments.CoupledStorm, "big-pod write storm on one 4-way partitioned fabric"},
+	"coupledfail": {experiments.CoupledFailover, "partitioned-fabric storm through a spine reboot"},
 }
 
 func main() {
@@ -53,10 +56,12 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	coupledWorkers := flag.Int("coupled-workers", 0, "worker count driving a coupled experiment's fabric partitions (0 = GOMAXPROCS, 1 = serial windows; output is identical for every value)")
 	jsonOut := flag.Bool("json", false, "emit one JSON metric row per line instead of tables")
 	noWheel := flag.Bool("no-wheel", false, "force coarse timers onto the plain heap (differential debugging; output must be identical)")
 	copyPath := flag.Bool("copy-path", false, "force the deep-copying data path instead of refcounted slabs (differential debugging; output must be identical)")
 	benchOut := flag.String("bench-out", "", "run the 4 KiB write-path microbenchmark in both data-path modes and write the JSON report here (e.g. BENCH_pr3.json)")
+	coupledBenchOut := flag.String("coupled-bench-out", "", "run the coupled-fabric storm at 1/2/4/8 workers, check byte-identity, and write the scaling report here (e.g. BENCH_pr6.json)")
 	metricsOut := flag.String("metrics-out", "", "enable telemetry and write the merged observability registry of all experiments here (e.g. METRICS.json)")
 	metricsFormat := flag.String("metrics-format", "json", "format for -metrics-out: json or openmetrics")
 	list := flag.Bool("list", false, "list experiments")
@@ -81,6 +86,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ebsbench: bench: %v\n", err)
 			os.Exit(1)
 		}
+		if *exp == "" && !*list && *coupledBenchOut == "" {
+			return
+		}
+	}
+	if *coupledBenchOut != "" {
+		if err := writeCoupledBenchReport(*coupledBenchOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: coupled bench: %v\n", err)
+			os.Exit(1)
+		}
 		if *exp == "" && !*list {
 			return
 		}
@@ -103,7 +117,7 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers,
-		Telemetry: *metricsOut != ""}
+		CoupledWorkers: *coupledWorkers, Telemetry: *metricsOut != ""}
 
 	// Every experiment shard asserts that its cluster returned all pooled
 	// packets; any leak fails the whole run (after all output is printed).

@@ -11,6 +11,7 @@ import (
 	"lunasolar/internal/rdma"
 	"lunasolar/internal/sa"
 	"lunasolar/internal/sim"
+	"lunasolar/internal/sim/runtime"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/tcpstack"
 	"lunasolar/internal/trace"
@@ -24,17 +25,20 @@ const computePod = 0
 
 // Cluster is a fully wired EBS deployment.
 type Cluster struct {
-	Eng    *sim.Engine
+	Eng    *sim.Engine // partition 0's engine; the only engine when serial
 	Fabric *simnet.Fabric
 	cfg    Config
+
+	engines []*sim.Engine
+	coupled *runtime.Coupled // nil for serial clusters
 
 	computes []*ComputeServer
 	blocks   []*StorageServer
 	chunks   []*StorageServer
 
-	segs      *sa.SegmentTable
-	collector *trace.Collector
-	nextVD    uint32
+	segs       *sa.SegmentTable
+	collectors []*trace.Collector // one per partition, engine-owned like pools
+	nextVD     uint32
 }
 
 // ComputeServer is one compute host: its agent, stack, and (when
@@ -80,14 +84,36 @@ func New(cfg Config) *Cluster {
 		panic("ebs: Edge mode integrates the Solar-era DPU; set FN to Solar")
 	}
 
-	eng := sim.NewEngine(cfg.Seed)
-	fab := simnet.New(eng, cfg.Fabric)
+	parts := cfg.CoupledParts
+	if parts < 1 {
+		parts = 1
+	}
+	engines := make([]*sim.Engine, parts)
+	collectors := make([]*trace.Collector, parts)
+	for i := range engines {
+		engines[i] = sim.NewEngine(mixSeed(cfg.Seed, i))
+		collectors[i] = trace.NewCollector()
+	}
+	plan := simnet.PlanPartitions(cfg.Fabric, parts)
+	fab := simnet.NewPartitioned(engines, cfg.Fabric, plan)
 	c := &Cluster{
-		Eng:       eng,
-		Fabric:    fab,
-		cfg:       cfg,
-		segs:      sa.NewSegmentTable(),
-		collector: trace.NewCollector(),
+		Eng:        engines[0],
+		Fabric:     fab,
+		cfg:        cfg,
+		engines:    engines,
+		segs:       sa.NewSegmentTable(),
+		collectors: collectors,
+	}
+	if parts > 1 {
+		c.coupled = &runtime.Coupled{
+			Engines:   engines,
+			Lookahead: fab.Lookahead(),
+			Workers:   cfg.CoupledWorkers,
+			AtBarrier: func() {
+				fab.PublishCutState()
+				fab.DrainInboxes()
+			},
+		}
 	}
 
 	// Storage hosts: chunk servers first (block servers need their
@@ -103,17 +129,19 @@ func New(cfg Config) *Cluster {
 	var chunkAddrs []uint32
 	for i := 0; i < cfg.ChunkServers; i++ {
 		host := storageHost(cfg.BlockServers + i)
-		cores := sim.NewServer(eng, fmt.Sprintf("chunk%d-cpu", i), cfg.StorageCores)
-		cs := chunkserver.New(eng, fmt.Sprintf("chunk%d", i), cfg.SSD)
+		heng := host.Engine()
+		cores := sim.NewServer(heng, fmt.Sprintf("chunk%d-cpu", i), cfg.StorageCores)
+		cs := chunkserver.New(heng, fmt.Sprintf("chunk%d", i), cfg.SSD)
 		bn := c.newStack(c.bnKind(), host, cores, nil)
-		chunkserver.NewService(eng, cs, bn)
+		chunkserver.NewService(heng, cs, bn)
 		c.chunks = append(c.chunks, &StorageServer{Host: host, Cores: cores, Chunk: cs})
 		chunkAddrs = append(chunkAddrs, host.Addr())
 	}
 
 	for i := 0; i < cfg.BlockServers && !cfg.Edge; i++ {
 		host := storageHost(i)
-		cores := sim.NewServer(eng, fmt.Sprintf("block%d-cpu", i), cfg.StorageCores)
+		heng := host.Engine()
+		cores := sim.NewServer(heng, fmt.Sprintf("block%d-cpu", i), cfg.StorageCores)
 		var fnStack transport.Stack
 		var bnClient transport.Client
 		if c.bnKind() == cfg.FN {
@@ -128,7 +156,7 @@ func New(cfg Config) *Cluster {
 			c.routeMux(mux, c.bnKind(), bn)
 			fnStack, bnClient = fn, bn
 		}
-		bs, err := blockserver.New(eng, fmt.Sprintf("block%d", i), fnStack, bnClient,
+		bs, err := blockserver.New(heng, fmt.Sprintf("block%d", i), fnStack, bnClient,
 			chunkAddrs, cores, blockserver.DefaultParams())
 		if err != nil {
 			panic(err)
@@ -140,31 +168,32 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.ComputeServers; i++ {
 		rack := i / cfg.Fabric.HostsPerRack
 		host := fab.Host(0, computePod, rack, i%cfg.Fabric.HostsPerRack)
+		heng := host.Engine()
 		var card *dpu.DPU
 		var cores *sim.Server
 		if cfg.BareMetal || cfg.Edge {
-			card = dpu.New(eng, cfg.DPU)
+			card = dpu.New(heng, cfg.DPU)
 			cores = card.CPU
 		} else {
-			cores = sim.NewServer(eng, fmt.Sprintf("compute%d-stack", i), cfg.StackCores)
+			cores = sim.NewServer(heng, fmt.Sprintf("compute%d-stack", i), cfg.StackCores)
 		}
 
 		if cfg.Edge {
 			// §4.8 integrated mode: SA → in-card handover → local block
 			// server → BN replication to the chunk servers.
 			lo := transport.NewLoopback(func(d time.Duration, fn func()) {
-				eng.Schedule(d, fn)
+				heng.Schedule(d, fn)
 			}, 2*time.Microsecond, host.Addr())
 			bn := c.newStack(RDMA, host, cores, nil)
-			bs, err := blockserver.New(eng, fmt.Sprintf("edge-block%d", i), lo, bn,
+			bs, err := blockserver.New(heng, fmt.Sprintf("edge-block%d", i), lo, bn,
 				chunkAddrs, cores, blockserver.DefaultParams())
 			if err != nil {
 				panic(err)
 			}
 			saParams := sa.OffloadedParams()
 			saParams.Encrypted = cfg.Encrypted
-			agent := sa.New(eng, cores, lo, c.segs, saParams)
-			agent.SetCollector(c.collector)
+			agent := sa.New(heng, cores, lo, c.segs, saParams)
+			agent.SetCollector(c.collectors[host.PartIndex()])
 			c.computes = append(c.computes, &ComputeServer{
 				Host: host, Cores: cores, DPU: card, Stack: lo, Agent: agent,
 			})
@@ -178,14 +207,22 @@ func New(cfg Config) *Cluster {
 			saParams = sa.OffloadedParams()
 		}
 		saParams.Encrypted = cfg.Encrypted
-		agent := sa.New(eng, cores, stack, c.segs, saParams)
-		agent.SetCollector(c.collector)
+		agent := sa.New(heng, cores, stack, c.segs, saParams)
+		agent.SetCollector(c.collectors[host.PartIndex()])
 		c.computes = append(c.computes, &ComputeServer{
 			Host: host, Cores: cores, DPU: card, Stack: stack, Agent: agent,
 		})
 	}
 	c.wireRecorders()
 	return c
+}
+
+// mixSeed derives partition i's engine seed: partition 0 keeps the
+// configured seed (so a one-partition cluster is bit-identical to the
+// serial construction), and higher partitions fan out through a golden-
+// ratio stride.
+func mixSeed(seed int64, i int) int64 {
+	return seed + int64(i)*0x1f3a8d2c9b47e681
 }
 
 func (c *Cluster) bnKind() StackKind {
@@ -195,19 +232,21 @@ func (c *Cluster) bnKind() StackKind {
 	return RDMA
 }
 
-// newStack constructs one endpoint of the given kind on host.
+// newStack constructs one endpoint of the given kind on host, scheduled on
+// the engine owning the host's partition.
 func (c *Cluster) newStack(kind StackKind, host *simnet.Host, cores *sim.Server, card *dpu.DPU) transport.Stack {
+	eng := host.Engine()
 	var pcie *sim.Channel
 	if card != nil {
 		pcie = card.PCIe
 	}
 	switch kind {
 	case KernelTCP:
-		return tcpstack.New(c.Eng, host, cores, pcie, KernelStackParams())
+		return tcpstack.New(eng, host, cores, pcie, KernelStackParams())
 	case Luna:
-		return tcpstack.New(c.Eng, host, cores, pcie, LunaStackParams())
+		return tcpstack.New(eng, host, cores, pcie, LunaStackParams())
 	case RDMA:
-		return rdma.New(c.Eng, host, cores, pcie, RDMAStackParams())
+		return rdma.New(eng, host, cores, pcie, RDMAStackParams())
 	case Solar, SolarStar:
 		if card != nil {
 			p := SolarStackParams(kind, c.cfg.Encrypted)
@@ -216,9 +255,9 @@ func (c *Cluster) newStack(kind StackKind, host *simnet.Host, cores *sim.Server,
 				p.Mode = SolarStackParams(kind, c.cfg.Encrypted).Mode
 				p.Encrypted = c.cfg.Encrypted
 			}
-			return core.New(c.Eng, host, cores, card, p)
+			return core.New(eng, host, cores, card, p)
 		}
-		return core.New(c.Eng, host, cores, nil, core.ServerParams())
+		return core.New(eng, host, cores, nil, core.ServerParams())
 	}
 	panic("ebs: unknown stack kind")
 }
@@ -261,26 +300,62 @@ func (c *Cluster) Chunks() []*StorageServer { return c.chunks }
 // Blocks returns the block-server nodes.
 func (c *Cluster) Blocks() []*StorageServer { return c.blocks }
 
-// Collector returns the cluster-wide trace collector.
-func (c *Cluster) Collector() *trace.Collector { return c.collector }
+// Collector returns the cluster-wide trace collector. Coupled clusters
+// keep one collector per partition; the view returned here merges them in
+// partition order, so aggregates are identical for every worker count.
+func (c *Cluster) Collector() *trace.Collector {
+	if len(c.collectors) == 1 {
+		return c.collectors[0]
+	}
+	merged := trace.NewCollector()
+	for _, col := range c.collectors {
+		merged.Merge(col)
+	}
+	return merged
+}
 
-// Run drains all pending events.
-func (c *Cluster) Run() { c.Eng.Run() }
+// Engines returns the per-partition engines (one entry for serial
+// clusters). Benchmark harnesses sum processed-event counts across them.
+func (c *Cluster) Engines() []*sim.Engine { return c.engines }
 
-// Leaked reports pooled packets checked out of the fabric's packet pool
+// Run drains all pending events — through the coupled runner's
+// barrier-synchronized windows when the cluster is partitioned, serially
+// otherwise.
+func (c *Cluster) Run() {
+	if c.coupled != nil {
+		c.coupled.Run()
+		return
+	}
+	c.Eng.Run()
+}
+
+// Leaked reports pooled packets checked out of the fabric's packet pools
 // with no event left that could return them — a reference leak in some
 // stack's packet handling. A cluster stopped mid-run (RunFor with I/O
-// still in flight) legitimately holds packets, so the check only applies
-// once the engine has fully drained; Leaked returns 0 otherwise.
+// still in flight) legitimately holds packets, and so does one with
+// frames parked in a cross-partition mailbox, so the check only applies
+// once every engine has fully drained and the inboxes are empty; Leaked
+// returns 0 otherwise.
 func (c *Cluster) Leaked() int {
-	if c.Eng.Pending() != 0 {
+	for _, eng := range c.engines {
+		if eng.Pending() != 0 {
+			return 0
+		}
+	}
+	if c.Fabric.InboxPending() != 0 {
 		return 0
 	}
-	return int(c.Fabric.Pool().Outstanding())
+	return int(c.Fabric.OutstandingAll())
 }
 
 // RunFor advances virtual time by d.
-func (c *Cluster) RunFor(d time.Duration) { c.Eng.RunFor(d) }
+func (c *Cluster) RunFor(d time.Duration) {
+	if c.coupled != nil {
+		c.coupled.RunUntil(c.Eng.Now().Add(d))
+		return
+	}
+	c.Eng.RunFor(d)
+}
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() time.Duration { return c.Eng.Now().Duration() }

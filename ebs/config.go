@@ -111,6 +111,19 @@ type Config struct {
 	// debugging. Zero (the default) disables recording entirely.
 	FlightRecorderDepth int
 
+	// CoupledParts splits the fabric into that many partitions advanced by
+	// the coupled (conservative time-synchronized) runner; see
+	// internal/simnet/partition.go and internal/sim/runtime/coupled.go.
+	// 0 or 1 builds the classic serial cluster. The partition count is part
+	// of the scenario: for a fixed CoupledParts, output is byte-identical
+	// for every CoupledWorkers value.
+	CoupledParts int
+
+	// CoupledWorkers bounds the goroutines driving partition windows.
+	// 0 uses GOMAXPROCS; 1 is the serial determinism baseline. Ignored
+	// unless CoupledParts > 1.
+	CoupledWorkers int
+
 	Encrypted bool
 	Seed      int64
 }

@@ -18,7 +18,7 @@ import (
 // counters ("<prefix>chunk<i>/..."). All sections walk their sources in
 // construction order, so the export is deterministic for a fixed seed.
 func (c *Cluster) ExportMetrics(reg *stats.Registry, prefix string) {
-	c.collector.RegisterInto(reg, prefix+"lat/")
+	c.Collector().RegisterInto(reg, prefix+"lat/")
 	c.Fabric.RegisterInto(reg, prefix+"net/")
 	for i, cs := range c.computes {
 		base := fmt.Sprintf("%scompute%d/", prefix, i)

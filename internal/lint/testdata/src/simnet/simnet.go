@@ -26,3 +26,10 @@ func (s *Slab) Release() {}
 func (s *Slab) Bytes() []byte { return s.buf }
 
 func (p *Packet) Release() {}
+
+// Inbox models the cross-partition mailbox: Handoff transfers ownership
+// of its first argument to the receiving partition. The analyzer matches
+// the method by name, as it does the pool protocol by receiver type.
+type Inbox struct{ pending int }
+
+func (ib *Inbox) Handoff(p *Packet, at int64) { ib.pending++ }

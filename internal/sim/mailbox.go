@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Inbound is one externally injected event waiting in a Mailbox: a deliver
+// time plus a (source, sequence) key that makes the merge order total. Src
+// identifies the sending partition; Seq is a per-sender monotone counter,
+// so (At, Src, Seq) is unique and orders deposits deterministically no
+// matter which goroutine posted first in wall time.
+type Inbound struct {
+	At  Time
+	Src int
+	Seq uint64
+	Arg any
+}
+
+// Mailbox is a thread-safe inbound queue for events injected into an
+// engine's partition from outside its ownership domain (the coupled-fabric
+// cross-partition path). Producers Post from their own window; a single
+// consumer — the barrier coordinator, while no window is running — drains
+// it with Drain and schedules the entries onto the receiving engine.
+//
+// The mailbox deliberately does not schedule anything itself: it holds
+// opaque payloads until the coordinator owns the receiving engine, keeping
+// the share-nothing rule ("one driver per engine") intact within windows.
+type Mailbox struct {
+	mu      sync.Mutex
+	pending []Inbound
+
+	// spare recycles the drained batch's backing array; touched only by
+	// Drain's single consumer.
+	spare []Inbound
+}
+
+// Post enqueues one inbound event. Safe to call from any goroutine.
+func (m *Mailbox) Post(in Inbound) {
+	m.mu.Lock()
+	m.pending = append(m.pending, in)
+	m.mu.Unlock()
+}
+
+// Len returns the number of undelivered entries.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Drain removes every pending entry and calls fn for each in (At, Src, Seq)
+// order. The sort makes delivery independent of wall-clock posting order,
+// which is what keeps coupled runs bit-identical across worker counts.
+// Only one goroutine may call Drain at a time (the barrier coordinator).
+func (m *Mailbox) Drain(fn func(Inbound)) {
+	m.mu.Lock()
+	batch := m.pending
+	m.pending = m.spare[:0]
+	m.mu.Unlock()
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range batch {
+		fn(batch[i])
+		batch[i] = Inbound{}
+	}
+	m.spare = batch[:0]
+}

@@ -22,10 +22,19 @@
 // # Ownership
 //
 // An Engine is share-nothing: it is owned by exactly one goroutine at a
-// time, the one driving Step/Run/RunUntil. Independent engines may run on
-// separate goroutines concurrently (see sim/runtime for a parallel shard
-// runner); sharing one engine between goroutines is a bug, and the engine
-// detects concurrent drivers with a cheap atomic check and panics.
+// time, the one driving Step/Run/RunUntil/RunWindow. Sharing one engine
+// between goroutines is a bug, and the engine detects concurrent drivers
+// with a cheap atomic check and panics. Two execution regimes build on
+// this rule (see sim/runtime):
+//
+//   - Independent shards: each engine owns a whole model and runs to
+//     completion with no communication (the Runner/Fleet path).
+//   - Coupled partitions: several engines share one model, advance in
+//     bounded windows (RunWindow), and exchange events only between
+//     windows through per-engine Mailboxes drained by a single barrier
+//     coordinator (the Coupled path). Within a window the share-nothing
+//     rule still holds; ownership of an engine transfers between worker
+//     goroutines only across barriers.
 //
 // # Allocation discipline
 //
@@ -293,6 +302,41 @@ func (e *Engine) RunUntil(t Time) {
 
 // RunFor executes events for duration d of virtual time from now.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// RunWindow is the bounded-horizon drive mode used by coupled partitions:
+// it executes events with timestamps <= until, advances the clock to
+// until, and returns how many events fired in the window. Identical to
+// RunUntil except for the count, which lets a barrier coordinator detect
+// quiescent windows.
+func (e *Engine) RunWindow(until Time) int {
+	before := e.processed
+	e.RunUntil(until)
+	return int(e.processed - before)
+}
+
+// NextEventAt returns a lower bound on the next pending event's firing
+// time, or ok == false when nothing is queued. For heap events the bound
+// is exact; for events parked in the timing wheel it is the occupied
+// slot's start time, which is never later than any event in the slot.
+// The bound is safe for window planning: running RunUntil past the bound
+// settles due wheel slots into the heap, so repeated NextEventAt /
+// RunWindow cycles converge on the true time and always make progress.
+func (e *Engine) NextEventAt() (Time, bool) {
+	var t Time
+	ok := false
+	if len(e.heap) > 0 {
+		t, ok = e.heap[0].at, true
+	}
+	if e.wheel.count > 0 {
+		if due, _, _ := e.wheelNextDue(); !ok || due < t {
+			t, ok = due, true
+		}
+	}
+	if ok && t < e.now {
+		t = e.now
+	}
+	return t, ok
+}
 
 // Intrusive binary min-heap ordered by (at, seq). Events carry their own
 // heap index so Cancel can remove them eagerly in O(log n) without the

@@ -58,12 +58,16 @@ func DefaultConfig() Config {
 }
 
 // Fabric is a built topology: hosts, switches, links, routing, and the
-// failure-injection surface.
+// failure-injection surface. A fabric spans one or more partitions (see
+// partition.go); serial fabrics are simply the one-partition case, so the
+// two construction paths share every invariant.
 type Fabric struct {
-	Eng *sim.Engine
+	Eng *sim.Engine // partition 0's engine; the only engine of serial fabrics
 	cfg Config
 
-	rand     *sim.Rand
+	plan  *PartPlan
+	parts []*fabricPart
+
 	hosts    map[uint32]*Host
 	hostList []*Host
 	tors     []*Switch
@@ -72,39 +76,52 @@ type Fabric struct {
 	dcrs     []*Switch
 	byName   map[string]*Switch
 
-	hopSeq uint16
-	drops  map[string]uint64
-
-	// Engine-owned free lists (see pool.go): packets/buffers plus the
-	// event-state nodes used by the link and switch hot paths.
-	pool     PacketPool
-	freeXfer []*linkXfer
-	freeFwd  []*swFwd
+	hopSeq   uint16
+	cutPorts []*Port
 }
 
-// Pool returns the fabric's engine-owned packet pool.
-func (f *Fabric) Pool() *PacketPool { return &f.pool }
+// Pool returns partition 0's engine-owned packet pool — the whole fabric's
+// pool for serial fabrics. Partitioned callers account per partition via
+// OutstandingAll/PartOutstanding.
+func (f *Fabric) Pool() *PacketPool { return &f.parts[0].pool }
 
-// New builds the fabric described by cfg.
+// New builds the fabric described by cfg on a single engine.
 func New(eng *sim.Engine, cfg Config) *Fabric {
+	return build([]*sim.Engine{eng}, cfg, PlanPartitions(cfg, 1))
+}
+
+func build(engs []*sim.Engine, cfg Config, plan *PartPlan) *Fabric {
 	if cfg.DCs < 1 || cfg.PodsPerDC < 1 || cfg.RacksPerPod < 1 || cfg.HostsPerRack < 1 {
 		panic("simnet: topology dimensions must be >= 1")
 	}
 	f := &Fabric{
-		Eng:    eng,
+		Eng:    engs[0],
 		cfg:    cfg,
-		rand:   eng.Rand.Fork(),
+		plan:   plan,
 		hosts:  map[uint32]*Host{},
 		byName: map[string]*Switch{},
-		drops:  map[string]uint64{},
 	}
-	salt := func() uint32 { return f.rand.Uint32() }
+	for i, eng := range engs {
+		ps := &fabricPart{
+			idx:   i,
+			fab:   f,
+			eng:   eng,
+			rand:  eng.Rand.Fork(),
+			drops: map[string]uint64{},
+		}
+		ps.inbox.part = ps
+		f.parts = append(f.parts, ps)
+	}
+	// Build-time randomness (switch salts) always draws from partition 0's
+	// stream, so a one-partition fabric consumes engine randomness exactly
+	// like the pre-partitioning serial build did.
+	salt := func() uint32 { return f.parts[0].rand.Uint32() }
 
 	buf, ecn := cfg.BufferBytes, cfg.ECNThresholdBytes
 
 	// DC routers (region tier).
 	for i := 0; i < cfg.DCRouters; i++ {
-		s := newSwitch(f, fmt.Sprintf("dcr%d", i), TierDCR, cfg.SwitchLatency, salt())
+		s := newSwitch(f, f.parts[plan.DCRPart(i)], fmt.Sprintf("dcr%d", i), TierDCR, cfg.SwitchLatency, salt())
 		f.dcrs = append(f.dcrs, s)
 		f.byName[s.name] = s
 	}
@@ -113,7 +130,7 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		// Cores of this DC.
 		var dcCores []*Switch
 		for c := 0; c < cfg.CoresPerDC; c++ {
-			s := newSwitch(f, fmt.Sprintf("core-d%d-%d", dc, c), TierCore, cfg.SwitchLatency, salt())
+			s := newSwitch(f, f.parts[plan.CorePart(dc, c)], fmt.Sprintf("core-d%d-%d", dc, c), TierCore, cfg.SwitchLatency, salt())
 			f.cores = append(f.cores, s)
 			f.byName[s.name] = s
 			dcCores = append(dcCores, s)
@@ -132,7 +149,7 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 			// Spines of this pod.
 			var podSpines []*Switch
 			for sp := 0; sp < cfg.SpinesPerPod; sp++ {
-				s := newSwitch(f, fmt.Sprintf("spine-d%dp%d-%d", dc, pod, sp), TierSpine, cfg.SwitchLatency, salt())
+				s := newSwitch(f, f.parts[plan.SpinePart(dc, pod, sp)], fmt.Sprintf("spine-d%dp%d-%d", dc, pod, sp), TierSpine, cfg.SwitchLatency, salt())
 				f.spines = append(f.spines, s)
 				f.byName[s.name] = s
 				podSpines = append(podSpines, s)
@@ -148,10 +165,11 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 			}
 
 			for rack := 0; rack < cfg.RacksPerPod; rack++ {
+				rackPart := f.parts[plan.RackPart(dc, pod, rack)]
 				// The ToR pair.
 				pair := make([]*Switch, 2)
 				for t := 0; t < 2; t++ {
-					s := newSwitch(f, fmt.Sprintf("tor-d%dp%dr%d-%c", dc, pod, rack, 'a'+t), TierToR, cfg.SwitchLatency, salt())
+					s := newSwitch(f, rackPart, fmt.Sprintf("tor-d%dp%dr%d-%c", dc, pod, rack, 'a'+t), TierToR, cfg.SwitchLatency, salt())
 					f.tors = append(f.tors, s)
 					f.byName[s.name] = s
 					pair[t] = s
@@ -170,10 +188,12 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 					addr := Addr(dc, pod, rack, hi)
 					h := &Host{
 						fab:  f,
+						part: rackPart,
 						addr: addr,
 						name: fmt.Sprintf("host-d%dp%dr%dh%d", dc, pod, rack, hi),
 					}
-					// Dual-homed: one port to each ToR of the pair.
+					// Dual-homed: one port to each ToR of the pair; hosts
+					// share their rack's partition, so these links never cut.
 					for _, tor := range pair {
 						ph, pt := connect(f, h, tor, cfg.HostLinkBps, cfg.PropDelay, buf, ecn)
 						h.ports = append(h.ports, ph)
@@ -186,6 +206,7 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 			}
 		}
 	}
+	f.PublishCutState()
 	return f
 }
 
@@ -239,10 +260,13 @@ func (f *Fabric) Switches() []*Switch {
 	return out
 }
 
-// RebootSwitch hangs sw now and repairs it after d.
+// RebootSwitch hangs sw now and repairs it after d. The repair is
+// scheduled on the switch's owning engine, so failure injection composes
+// with partitioned fabrics (callers already running on that engine, or at
+// setup time before any window starts).
 func (f *Fabric) RebootSwitch(sw *Switch, d time.Duration) {
 	sw.Fail()
-	f.Eng.Schedule(d, func() { sw.Repair() })
+	sw.part.eng.Schedule(d, func() { sw.Repair() })
 }
 
 // FailLink takes both ends of the link attached to p down (link-down
@@ -262,22 +286,25 @@ func (f *Fabric) RepairLink(p *Port) {
 	}
 }
 
-func (f *Fabric) countDrop(reason string) { f.drops[reason]++ }
-
-// Drops returns a copy of the drop counters by reason.
+// Drops returns the drop counters by reason, merged across partitions in
+// partition order.
 func (f *Fabric) Drops() map[string]uint64 {
-	out := make(map[string]uint64, len(f.drops))
-	for k, v := range f.drops {
-		out[k] = v
+	out := make(map[string]uint64)
+	for _, ps := range f.parts {
+		for k, v := range ps.drops {
+			out[k] += v
+		}
 	}
 	return out
 }
 
-// TotalDrops sums all drop counters.
+// TotalDrops sums all drop counters across partitions.
 func (f *Fabric) TotalDrops() uint64 {
 	var n uint64
-	for _, v := range f.drops {
-		n += v
+	for _, ps := range f.parts {
+		for _, v := range ps.drops {
+			n += v
+		}
 	}
 	return n
 }

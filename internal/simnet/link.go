@@ -15,6 +15,8 @@ type Node interface {
 	Alive() bool
 	// nodeName is a diagnostic label.
 	nodeName() string
+	// partRef is the partition owning the node (see partition.go).
+	partRef() *fabricPart
 }
 
 // Port is one end of a link. Each port owns the egress direction: a
@@ -25,6 +27,7 @@ type Port struct {
 	owner Node
 	peer  *Port
 	fab   *Fabric
+	part  *fabricPart // the owner's partition
 
 	id        int // port index on the owner, for diagnostics
 	hopID     uint16
@@ -34,6 +37,19 @@ type Port struct {
 	ecnThresh int
 
 	up bool
+
+	// cut marks a port whose peer lives in another partition. Cut ports
+	// hand frames to the peer partition's mailbox instead of scheduling
+	// delivery locally, and read the published peer-state snapshot below
+	// instead of the live peer (which only the peer's partition may touch
+	// mid-window). Snapshots refresh at every barrier (PublishCutState),
+	// so they lag live state by at most one lookahead — the time any real
+	// link-state signal would need to cross the same wire.
+	cut             bool
+	pubPeerUp       bool
+	pubPeerIsSwitch bool
+	pubPeerAlive    bool
+	pubPeerDownAt   sim.Time
 
 	busyUntil   sim.Time
 	queuedBytes int
@@ -47,8 +63,28 @@ type Port struct {
 	maxQueued int
 }
 
+// peerUp reports whether the link's far end is up, reading the published
+// snapshot on cut ports and live state otherwise.
+//
+//lint:hotpath
+func (p *Port) peerUp() bool {
+	if p.cut {
+		return p.pubPeerUp
+	}
+	return p.peer.up
+}
+
 // Peer returns the port at the other end of the link.
 func (p *Port) Peer() *Port { return p.peer }
+
+// Cut reports whether the port's link crosses a partition boundary.
+func (p *Port) Cut() bool { return p.cut }
+
+// PartIndex returns the index of the partition owning the port's node.
+func (p *Port) PartIndex() int { return p.part.idx }
+
+// PropDelay returns the link's propagation delay.
+func (p *Port) PropDelay() time.Duration { return p.propDelay }
 
 // Owner returns the node the port belongs to.
 func (p *Port) Owner() Node { return p.owner }
@@ -83,15 +119,15 @@ func (p *Port) serialization(n int) time.Duration {
 //
 //lint:hotpath
 func (p *Port) Send(pkt *Packet) bool {
-	eng := p.fab.Eng
-	if !p.up || p.peer == nil || !p.peer.up {
-		p.fab.countDrop("linkdown")
+	eng := p.part.eng
+	if !p.up || p.peer == nil || !p.peerUp() {
+		p.part.countDrop("linkdown")
 		return false
 	}
 	size := pkt.WireSize()
 	if p.queuedBytes+size > p.bufBytes {
 		p.taildrops++
-		p.fab.countDrop("taildrop")
+		p.part.countDrop("taildrop")
 		return false
 	}
 	telemetry := telemetryEnabled.Load()
@@ -126,10 +162,21 @@ func (p *Port) Send(pkt *Packet) bool {
 	end := start.Add(ser)
 	p.busyUntil = end
 	p.sent++
+	if p.cut {
+		// Cross-partition link: local transmit accounting stays here (the
+		// queue and serializer are this port's), but the frame itself is
+		// handed — ownership and all — to the peer partition's mailbox,
+		// stamped with its propagation-determined arrival time.
+		x := p.part.getXfer()
+		x.port, x.pkt, x.size = p, nil, size
+		eng.AtArg(end, linkTxDoneCross, x)
+		p.peer.part.inbox.Handoff(pkt, end.Add(p.propDelay), p.part, p.peer)
+		return true
+	}
 	// One pooled transfer node backs both events; the dequeue event always
 	// fires first (same or earlier time, lower sequence), and delivery
 	// returns the node to the pool.
-	x := p.fab.getXfer()
+	x := p.part.getXfer()
 	x.port, x.pkt, x.size = p, pkt, size
 	eng.AtArg(end, linkTxDone, x)
 	eng.AtArg(end.Add(p.propDelay), linkDeliver, x)
@@ -145,29 +192,63 @@ func linkTxDone(a any) {
 	x.port.txBytes += uint64(x.size)
 }
 
+// linkTxDoneCross is linkTxDone for cut ports, where no delivery event
+// follows to recycle the transfer node.
+//
+//lint:hotpath
+func linkTxDoneCross(a any) {
+	x := a.(*linkXfer)
+	x.port.queuedBytes -= x.size
+	x.port.txBytes += uint64(x.size)
+	x.port.part.putXfer(x)
+}
+
 // linkDeliver hands the frame to the peer's owner after propagation.
 //
 //lint:hotpath
 func linkDeliver(a any) {
 	x := a.(*linkXfer)
 	p, pkt := x.port, x.pkt
-	p.fab.putXfer(x)
+	p.part.putXfer(x)
 	peer := p.peer
 	if peer.up && peer.owner.Alive() {
 		peer.owner.Receive(pkt, peer)
 	} else {
-		p.fab.countDrop("deadpeer")
+		p.part.countDrop("deadpeer")
 		pkt.Release()
 	}
 }
 
-// connect wires two ports as a full-duplex link.
+// crossDeliver is linkDeliver's receiving-partition half: it runs on the
+// ingress port's engine with a receiver-pool packet materialized at the
+// barrier, applying the same liveness rules at the same virtual time as a
+// local delivery would.
+//
+//lint:hotpath
+func crossDeliver(a any) {
+	x := a.(*linkXfer)
+	p, pkt := x.port, x.pkt
+	p.part.putXfer(x)
+	if p.up && p.owner.Alive() {
+		p.owner.Receive(pkt, p)
+	} else {
+		p.part.countDrop("deadpeer")
+		pkt.Release()
+	}
+}
+
+// connect wires two ports as a full-duplex link. Endpoints in different
+// partitions make both ports cut.
 func connect(f *Fabric, a, b Node, rateBps float64, prop time.Duration, buf, ecn int) (*Port, *Port) {
 	f.hopSeq++
-	pa := &Port{owner: a, fab: f, rateBps: rateBps, propDelay: prop, bufBytes: buf, ecnThresh: ecn, up: true, hopID: f.hopSeq}
+	pa := &Port{owner: a, fab: f, part: a.partRef(), rateBps: rateBps, propDelay: prop, bufBytes: buf, ecnThresh: ecn, up: true, hopID: f.hopSeq}
 	f.hopSeq++
-	pb := &Port{owner: b, fab: f, rateBps: rateBps, propDelay: prop, bufBytes: buf, ecnThresh: ecn, up: true, hopID: f.hopSeq}
+	pb := &Port{owner: b, fab: f, part: b.partRef(), rateBps: rateBps, propDelay: prop, bufBytes: buf, ecnThresh: ecn, up: true, hopID: f.hopSeq}
 	pa.peer, pb.peer = pb, pa
+	if pa.part != pb.part {
+		pa.cut, pb.cut = true, true
+		f.cutPorts = append(f.cutPorts, pa, pb)
+	}
 	return pa, pb
 }
 
@@ -176,6 +257,7 @@ func connect(f *Fabric, a, b Node, rateBps float64, prop time.Duration, buf, ecn
 // receive frames.
 type Host struct {
 	fab     *Fabric
+	part    *fabricPart
 	addr    uint32
 	ports   []*Port
 	Handler func(pkt *Packet)
@@ -190,6 +272,15 @@ func (h *Host) Addr() uint32 { return h.addr }
 
 // Name returns the host's diagnostic name.
 func (h *Host) Name() string { return h.name }
+
+// Engine returns the engine owning the host's partition. Stacks and
+// servers attached to this host must schedule on it.
+func (h *Host) Engine() *sim.Engine { return h.part.eng }
+
+// PartIndex returns the index of the partition owning the host.
+func (h *Host) PartIndex() int { return h.part.idx }
+
+func (h *Host) partRef() *fabricPart { return h.part }
 
 // Alive always reports true: the experiments fail the network, not hosts.
 func (h *Host) Alive() bool { return true }
@@ -225,17 +316,17 @@ func (h *Host) Send(pkt *Packet) bool {
 	// per-packet path allocation-free.
 	up := 0
 	for _, p := range h.ports {
-		if p.up && p.peer.up {
+		if p.up && p.peerUp() {
 			up++
 		}
 	}
 	if up == 0 {
-		h.fab.countDrop("hostdark")
+		h.part.countDrop("hostdark")
 		return false
 	}
 	k := int(FlowHash(pkt, 0x9e3779b9) % uint32(up))
 	for _, p := range h.ports {
-		if p.up && p.peer.up {
+		if p.up && p.peerUp() {
 			if k == 0 {
 				return p.Send(pkt)
 			}
@@ -245,9 +336,9 @@ func (h *Host) Send(pkt *Packet) bool {
 	return false
 }
 
-// PacketPool returns the fabric-owned packet pool for stacks attached to
-// this host.
-func (h *Host) PacketPool() *PacketPool { return h.fab.Pool() }
+// PacketPool returns the packet pool of the host's partition; stacks
+// attached to this host draw from and return to it.
+func (h *Host) PacketPool() *PacketPool { return &h.part.pool }
 
 // Ports exposes the host's NIC ports (tests and failure drills use this).
 func (h *Host) Ports() []*Port { return h.ports }

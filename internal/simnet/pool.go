@@ -137,32 +137,32 @@ type swFwd struct {
 	pkt    *Packet
 }
 
-func (f *Fabric) getXfer() *linkXfer {
-	if n := len(f.freeXfer); n > 0 {
-		x := f.freeXfer[n-1]
-		f.freeXfer[n-1] = nil
-		f.freeXfer = f.freeXfer[:n-1]
+func (ps *fabricPart) getXfer() *linkXfer {
+	if n := len(ps.freeXfer); n > 0 {
+		x := ps.freeXfer[n-1]
+		ps.freeXfer[n-1] = nil
+		ps.freeXfer = ps.freeXfer[:n-1]
 		return x
 	}
 	return &linkXfer{}
 }
 
-func (f *Fabric) putXfer(x *linkXfer) {
+func (ps *fabricPart) putXfer(x *linkXfer) {
 	x.port, x.pkt, x.size = nil, nil, 0
-	f.freeXfer = append(f.freeXfer, x)
+	ps.freeXfer = append(ps.freeXfer, x)
 }
 
-func (f *Fabric) getFwd() *swFwd {
-	if n := len(f.freeFwd); n > 0 {
-		x := f.freeFwd[n-1]
-		f.freeFwd[n-1] = nil
-		f.freeFwd = f.freeFwd[:n-1]
+func (ps *fabricPart) getFwd() *swFwd {
+	if n := len(ps.freeFwd); n > 0 {
+		x := ps.freeFwd[n-1]
+		ps.freeFwd[n-1] = nil
+		ps.freeFwd = ps.freeFwd[:n-1]
 		return x
 	}
 	return &swFwd{}
 }
 
-func (f *Fabric) putFwd(x *swFwd) {
+func (ps *fabricPart) putFwd(x *swFwd) {
 	x.sw, x.egress, x.pkt = nil, nil, nil
-	f.freeFwd = append(f.freeFwd, x)
+	ps.freeFwd = append(ps.freeFwd, x)
 }

@@ -107,6 +107,22 @@ func (c *Collector) Record(s *Span) {
 	e2e.Record(s.Total())
 }
 
+// Merge folds another collector's histograms into c. Coupled clusters
+// keep one collector per partition (collectors are engine-owned, like
+// pools) and merge them in partition order when reporting, so aggregates
+// are identical for every worker count.
+func (c *Collector) Merge(o *Collector) {
+	if o == nil {
+		return
+	}
+	for i := range c.read {
+		c.read[i].Merge(o.read[i])
+		c.write[i].Merge(o.write[i])
+	}
+	c.e2eR.Merge(o.e2eR)
+	c.e2eW.Merge(o.e2eW)
+}
+
 // Component returns the histogram for one component of one op ("read" or
 // "write").
 func (c *Collector) Component(op string, comp Component) *stats.Histogram {
