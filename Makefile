@@ -13,7 +13,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff check
+.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff check
 
 build:
 	$(GO) build ./...
@@ -78,13 +78,27 @@ coupled-diff:
 	$(GO) run ./cmd/ebsbench -exp coupled,coupledfail -quick -coupled-workers 4 | grep -v 'perf:\|completed in' > /tmp/lunasolar-coupled-parallel.txt
 	diff /tmp/lunasolar-coupled-serial.txt /tmp/lunasolar-coupled-parallel.txt
 
+# The pluggable congestion-control plane must not change any default
+# output: every stack's default controller (DCTCP for kernel/Luna, HPCC
+# for Solar, the static RC window for the RDMA FN plane) has to produce
+# byte-identical experiment output whether -cc is left alone or passed
+# explicitly, and the seed experiments must not shift at all. Only a
+# non-default -cc (dcqcn, swift) may change RDMA results.
+cc-diff:
+	$(GO) run ./cmd/ebsbench -exp fig6,fig15,rdmacliff -quick -workers 1 | grep -v 'perf:\|completed in' > /tmp/lunasolar-cc-default.txt
+	$(GO) run ./cmd/ebsbench -exp fig6,fig15,rdmacliff -quick -workers 1 -cc static | grep -v 'perf:\|completed in' > /tmp/lunasolar-cc-static.txt
+	diff /tmp/lunasolar-cc-default.txt /tmp/lunasolar-cc-static.txt
+
 # Full write-path comparison: measures the 4 KiB write path with refcounted
 # slabs and with the -copy-path hatch, and writes BENCH_pr3.json (ns/op,
 # allocs/op, copies/op, bytes-copied/op per mode). CI uploads the file.
 # The coupled-scaling report (events/sec at 1/2/4/8 window workers, with a
-# built-in byte-identity gate) lands in BENCH_pr6.json alongside it.
+# built-in byte-identity gate) lands in BENCH_pr6.json alongside it, and
+# the congestion-control incast matrix (static/dcqcn/swift under one seed)
+# in BENCH_pr7.json.
 bench:
 	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
 	$(GO) run ./cmd/ebsbench -quick -coupled-bench-out BENCH_pr6.json
+	$(GO) run ./cmd/ebsbench -quick -cc-bench-out BENCH_pr7.json
 
-check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff
+check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff cc-diff

@@ -21,6 +21,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lunasolar/ebs"
+	"lunasolar/internal/cc"
 	"lunasolar/internal/experiments"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/sim/runtime"
@@ -49,6 +51,10 @@ var registry = map[string]struct {
 
 	"coupled":     {experiments.CoupledStorm, "big-pod write storm on one 4-way partitioned fabric"},
 	"coupledfail": {experiments.CoupledFailover, "partitioned-fabric storm through a spine reboot"},
+
+	"incast":        {experiments.Incast, "incast storm: all block servers answer one compute, per CC variant"},
+	"spine-oversub": {experiments.SpineOversub, "write storm through a spine tier thinned 4→1, per CC variant"},
+	"elephantmice":  {experiments.ElephantMice, "1 MiB elephants vs 4 KiB mice sharing the fabric, per CC variant"},
 }
 
 func main() {
@@ -64,6 +70,8 @@ func main() {
 	coupledBenchOut := flag.String("coupled-bench-out", "", "run the coupled-fabric storm at 1/2/4/8 workers, check byte-identity, and write the scaling report here (e.g. BENCH_pr6.json)")
 	metricsOut := flag.String("metrics-out", "", "enable telemetry and write the merged observability registry of all experiments here (e.g. METRICS.json)")
 	metricsFormat := flag.String("metrics-format", "json", "format for -metrics-out: json or openmetrics")
+	ccFlag := flag.String("cc", "static", "congestion controller for every RDMA stack: static, dcqcn, or swift (the CC-matrix experiments sweep all three regardless)")
+	ccBenchOut := flag.String("cc-bench-out", "", "run the incast CC matrix (static/dcqcn/swift) and write the JSON report here (e.g. BENCH_pr7.json)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -73,6 +81,12 @@ func main() {
 	if *copyPath {
 		simnet.SetZeroCopy(false)
 	}
+	ccKind, ok := cc.ParseKind(*ccFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ebsbench: unknown -cc %q (static, dcqcn, or swift)\n", *ccFlag)
+		os.Exit(1)
+	}
+	ebs.SetDefaultCC(ccKind)
 	if *metricsOut != "" {
 		if *metricsFormat != "json" && *metricsFormat != "openmetrics" {
 			fmt.Fprintf(os.Stderr, "ebsbench: unknown -metrics-format %q (json or openmetrics)\n", *metricsFormat)
@@ -95,6 +109,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ebsbench: coupled bench: %v\n", err)
 			os.Exit(1)
 		}
+		if *exp == "" && !*list && *ccBenchOut == "" {
+			return
+		}
+	}
+	if *ccBenchOut != "" {
+		if err := writeCCBenchReport(*ccBenchOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: cc bench: %v\n", err)
+			os.Exit(1)
+		}
 		if *exp == "" && !*list {
 			return
 		}
@@ -107,9 +130,15 @@ func main() {
 	sort.Strings(ids)
 
 	if *list || *exp == "" {
+		wid := 0
+		for _, id := range ids {
+			if len(id) > wid {
+				wid = len(id)
+			}
+		}
 		fmt.Println("experiments:")
 		for _, id := range ids {
-			fmt.Printf("  %-9s %s\n", id, registry[id].brief)
+			fmt.Printf("  %-*s  %s\n", wid, id, registry[id].brief)
 		}
 		if *exp == "" {
 			os.Exit(0)

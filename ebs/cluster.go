@@ -246,7 +246,9 @@ func (c *Cluster) newStack(kind StackKind, host *simnet.Host, cores *sim.Server,
 	case Luna:
 		return tcpstack.New(eng, host, cores, pcie, LunaStackParams())
 	case RDMA:
-		return rdma.New(eng, host, cores, pcie, RDMAStackParams())
+		p := RDMAStackParams()
+		p.CC = c.cfg.CC
+		return rdma.New(eng, host, cores, pcie, p)
 	case Solar, SolarStar:
 		if card != nil {
 			p := SolarStackParams(kind, c.cfg.Encrypted)

@@ -17,8 +17,10 @@
 package ebs
 
 import (
+	"sync/atomic"
 	"time"
 
+	"lunasolar/internal/cc"
 	"lunasolar/internal/chunkserver"
 	"lunasolar/internal/core"
 	"lunasolar/internal/dpu"
@@ -124,9 +126,29 @@ type Config struct {
 	// unless CoupledParts > 1.
 	CoupledWorkers int
 
+	// CC selects the congestion controller every RDMA stack in the cluster
+	// runs — the frontend stack when FN is RDMA, and the backend stacks of
+	// every era that replicates over RC. The zero value (cc.KindStatic) is
+	// the fixed hardware window, byte-identical to clusters built before
+	// the controller was pluggable. The kernel/Luna stacks keep DCTCP and
+	// Solar keeps per-path HPCC regardless: the paper's comparison is
+	// between those fixed designs and the RDMA plane's controller.
+	CC cc.Kind
+
 	Encrypted bool
 	Seed      int64
 }
+
+// defaultCC is the process-wide default for Config.CC — the ebsbench -cc
+// hatch. Like simnet.SetZeroCopy it is flipped once before experiments
+// fan out, never mid-run.
+var defaultCC atomic.Int32
+
+// SetDefaultCC sets the controller kind DefaultConfig assigns to Config.CC.
+func SetDefaultCC(k cc.Kind) { defaultCC.Store(int32(k)) }
+
+// DefaultCC returns the process-wide default controller kind.
+func DefaultCC() cc.Kind { return cc.Kind(defaultCC.Load()) }
 
 // DefaultConfig returns a cluster sized like the Table 2 testbed scaled
 // down: one compute pod and one storage pod in a single DC.
@@ -145,6 +167,7 @@ func DefaultConfig(fn StackKind) Config {
 		StorageCores:   16,
 		DPU:            dpu.DefaultConfig(),
 		SSD:            chunkserver.DefaultSSD(),
+		CC:             DefaultCC(),
 		Seed:           1,
 	}
 	if fn == KernelTCP {

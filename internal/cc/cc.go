@@ -1,8 +1,13 @@
-// Package cc implements the congestion controllers the stacks use on the
-// frontend network: a DCTCP-style ECN-proportional controller for Luna, the
-// INT-driven HPCC controller Solar runs per path ("we use a per-packet ACK
-// to perform a fine-grained congestion control algorithm (e.g., HPCC)",
-// §4.8), and a static-window controller for the RDMA baseline.
+// Package cc implements the congestion controllers every stack runs on the
+// unified control plane: a DCTCP-style ECN-proportional controller for
+// Luna, the INT-driven HPCC controller Solar runs per path ("we use a
+// per-packet ACK to perform a fine-grained congestion control algorithm
+// (e.g., HPCC)", §4.8), and the RDMA plane's selectable family — the
+// fixed-window RC baseline, rate-based DCQCN driven by CNP frames, and
+// delay-based Swift with hop-scaled targets. Window-based controllers
+// bound bytes in flight through Window(); rate-based ones additionally
+// publish a Rate() that senders enforce with a Pacer riding the coarse
+// timer class.
 package cc
 
 import (
@@ -11,17 +16,30 @@ import (
 	"lunasolar/internal/wire"
 )
 
-// Feedback is what an arriving acknowledgment tells the controller.
+// Feedback is what an arriving acknowledgment (or congestion notification)
+// tells the controller. Fields a stack cannot measure stay zero; each
+// controller reads only the signals its algorithm is defined on.
 type Feedback struct {
 	RTT        time.Duration
 	AckedBytes int
 	ECNMarked  bool
 	INT        []wire.INTHop // per-hop telemetry, HPCC only
+	// Delay is a per-packet delay sample (send to ack arrival, Karn-safe),
+	// for delay-based controllers. Zero when the ack carried no usable
+	// sample; Swift falls back to RTT.
+	Delay time.Duration
+	// CNP marks a standalone congestion-notification frame (DCQCN): no
+	// bytes are acknowledged, the signal is the notification itself.
+	CNP bool
+	// Hops is the fabric hop count the acked packet crossed (echoed by the
+	// receiver), scaling Swift's target delay.
+	Hops int
 }
 
-// Controller adjusts a congestion window in bytes.
+// Controller adjusts a congestion window in bytes and, for rate-based
+// algorithms, a sending rate the stack's pacer enforces.
 type Controller interface {
-	// OnAck processes one acknowledgment.
+	// OnAck processes one acknowledgment or congestion notification.
 	OnAck(fb Feedback)
 	// OnLoss signals a fast-retransmit-grade loss (duplicate ACK / OOO).
 	OnLoss()
@@ -29,6 +47,9 @@ type Controller interface {
 	OnTimeout()
 	// Window returns the current congestion window in bytes.
 	Window() int
+	// Rate returns the current sending rate in bytes/second, or 0 for
+	// window-only controllers (no pacing; the window alone governs).
+	Rate() float64
 }
 
 // DCTCP is the ECN-fraction-proportional controller. Alpha is updated once
@@ -55,10 +76,15 @@ func NewDCTCP(mss, initCwnd, maxCwnd int) *DCTCP {
 // Window returns the congestion window in bytes.
 func (d *DCTCP) Window() int { return d.cwnd }
 
+// Rate returns 0: DCTCP is window-only.
+func (d *DCTCP) Rate() float64 { return 0 }
+
 // Alpha returns the smoothed marked fraction (for tests and telemetry).
 func (d *DCTCP) Alpha() float64 { return d.alpha }
 
 // OnAck processes one acknowledgment.
+//
+//lint:hotpath
 func (d *DCTCP) OnAck(fb Feedback) {
 	d.ackedBytes += fb.AckedBytes
 	if fb.ECNMarked {
@@ -124,11 +150,20 @@ type HPCC struct {
 
 	cwnd int
 	wc   int // reference window, updated once per RTT
-	// per-hop history for rate computation
-	lastTxBytes map[uint16]uint64
-	lastTS      map[uint16]uint64
-	lastUpdate  time.Duration // virtual timestamp of last wc update (ns of first hop ts)
-	sinceWc     int           // bytes acked since wc update
+	// Per-hop history for rate computation, stored positionally: slot i
+	// holds hop i of the flow's current route, validated by HopID and
+	// reset on a reroute. A fixed array (INT stacks carry at most
+	// wire.MaxINTHops entries) keeps OnAck allocation-free.
+	hist    [wire.MaxINTHops]hopHist
+	sinceWc int // bytes acked since wc update
+}
+
+// hopHist is one INT hop's last-seen telemetry counters.
+type hopHist struct {
+	id      uint16
+	valid   bool
+	txBytes uint64
+	ts      uint64
 }
 
 // NewHPCC creates a controller. baseRTT is the uncongested fabric RTT; eta
@@ -138,19 +173,25 @@ func NewHPCC(mss, initCwnd, maxCwnd int, baseRTT time.Duration) *HPCC {
 		mss: mss, maxCwnd: maxCwnd, baseRTT: baseRTT,
 		eta: 0.95, wai: mss / 4,
 		cwnd: initCwnd, wc: initCwnd,
-		lastTxBytes: map[uint16]uint64{},
-		lastTS:      map[uint16]uint64{},
 	}
 }
 
 // Window returns the congestion window in bytes.
 func (h *HPCC) Window() int { return h.cwnd }
 
+// Rate returns 0: HPCC as implemented here is window-only.
+func (h *HPCC) Rate() float64 { return 0 }
+
 // maxUtilization computes max over hops of the normalized inflight estimate
 // U_j = qlen/(B·T) + txRate/B.
+//
+//lint:hotpath
 func (h *HPCC) maxUtilization(hops []wire.INTHop) float64 {
 	maxU := 0.0
-	for _, hop := range hops {
+	for i, hop := range hops {
+		if i >= len(h.hist) {
+			break // INT stacks never exceed MaxINTHops; defensive
+		}
 		bps := float64(hop.RateMbs) * 1e6
 		if bps <= 0 {
 			continue
@@ -158,17 +199,17 @@ func (h *HPCC) maxUtilization(hops []wire.INTHop) float64 {
 		bdp := bps * h.baseRTT.Seconds() / 8 // bytes
 		u := float64(hop.QLenB) / bdp
 
-		// Delivery rate from consecutive telemetry of the same hop.
-		if prevB, ok := h.lastTxBytes[hop.HopID]; ok {
-			prevT := h.lastTS[hop.HopID]
-			if hop.TSNanos > prevT && hop.TxBytes >= prevB {
-				dt := float64(hop.TSNanos-prevT) / 1e9
-				rate := float64(hop.TxBytes-prevB) / dt // bytes/s
-				u += rate * 8 / bps
-			}
+		// Delivery rate from consecutive telemetry of the same hop. A slot
+		// whose stored HopID disagrees (the path was rerouted mid-life)
+		// contributes no rate sample and is reseeded below.
+		sl := &h.hist[i]
+		if sl.valid && sl.id == hop.HopID && hop.TSNanos > sl.ts && hop.TxBytes >= sl.txBytes {
+			dt := float64(hop.TSNanos-sl.ts) / 1e9
+			rate := float64(hop.TxBytes-sl.txBytes) / dt // bytes/s
+			u += rate * 8 / bps
 		}
-		h.lastTxBytes[hop.HopID] = hop.TxBytes
-		h.lastTS[hop.HopID] = hop.TSNanos
+		sl.id, sl.valid = hop.HopID, true
+		sl.txBytes, sl.ts = hop.TxBytes, hop.TSNanos
 
 		if u > maxU {
 			maxU = u
@@ -178,6 +219,8 @@ func (h *HPCC) maxUtilization(hops []wire.INTHop) float64 {
 }
 
 // OnAck processes one acknowledgment carrying INT.
+//
+//lint:hotpath
 func (h *HPCC) OnAck(fb Feedback) {
 	h.sinceWc += fb.AckedBytes
 	u := h.maxUtilization(fb.INT)
@@ -219,8 +262,9 @@ func (h *HPCC) OnTimeout() {
 }
 
 // Static is a fixed-window controller modelling the RDMA RC baseline's
-// hardware flow control (rate throttled by CNP-like feedback is out of
-// scope; the lossless fabric keeps the window full).
+// hardware flow control: the window never moves and no rate is paced.
+// DCQCN (CNP-throttled rate control) and Swift are the reactive
+// alternatives the RDMA plane can swap in.
 type Static struct{ win int }
 
 // NewStatic creates a fixed window of win bytes.
@@ -228,6 +272,9 @@ func NewStatic(win int) *Static { return &Static{win: win} }
 
 // Window returns the fixed window.
 func (s *Static) Window() int { return s.win }
+
+// Rate returns 0: the static baseline never paces.
+func (s *Static) Rate() float64 { return 0 }
 
 // OnAck is a no-op.
 func (s *Static) OnAck(Feedback) {}

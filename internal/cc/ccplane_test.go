@@ -1,0 +1,222 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"lunasolar/internal/sim"
+	"lunasolar/internal/wire"
+)
+
+const lineRate = 25e9 / 8 // 25 Gbit/s in bytes/s
+
+func TestDCQCNCutsOnCNP(t *testing.T) {
+	d := NewDCQCN(mss, 64*mss, lineRate)
+	if d.Rate() != lineRate {
+		t.Fatalf("initial rate = %v, want line", d.Rate())
+	}
+	d.OnAck(Feedback{CNP: true})
+	if d.Rate() >= lineRate {
+		t.Fatalf("rate %v not cut by CNP", d.Rate())
+	}
+	if d.Window() != 64*mss {
+		t.Fatalf("DCQCN window moved: %d", d.Window())
+	}
+}
+
+func TestDCQCNRecoversAfterQuiet(t *testing.T) {
+	d := NewDCQCN(mss, 64*mss, lineRate)
+	for i := 0; i < 8; i++ {
+		d.OnAck(Feedback{CNP: true})
+	}
+	throttled := d.Rate()
+	if throttled >= lineRate/2 {
+		t.Fatalf("rate %v barely moved after CNP burst", throttled)
+	}
+	// A long quiet stretch of clean acks climbs back toward line rate.
+	for i := 0; i < 5000; i++ {
+		d.OnAck(Feedback{AckedBytes: mss})
+	}
+	if d.Rate() <= throttled {
+		t.Fatalf("rate %v did not recover from %v", d.Rate(), throttled)
+	}
+	if d.Rate() > lineRate {
+		t.Fatalf("rate %v above line", d.Rate())
+	}
+}
+
+func TestDCQCNAlphaDecaysOnCleanAcks(t *testing.T) {
+	d := NewDCQCN(mss, 64*mss, lineRate)
+	d.OnAck(Feedback{CNP: true})
+	hot := d.Alpha()
+	for i := 0; i < 64; i++ {
+		d.OnAck(Feedback{AckedBytes: mss})
+	}
+	if d.Alpha() >= hot {
+		t.Fatalf("alpha %v did not cool from %v on clean acks", d.Alpha(), hot)
+	}
+	// A cooled alpha makes the next CNP cut gentler than the first.
+	before := d.Rate()
+	d.OnAck(Feedback{CNP: true})
+	if cut := d.Rate() / before; cut <= 0.5 {
+		t.Fatalf("cooled cut factor %v, want > 0.5 (first cut halves)", cut)
+	}
+}
+
+func TestDCQCNTimeoutFloors(t *testing.T) {
+	d := NewDCQCN(mss, 64*mss, lineRate)
+	d.OnTimeout()
+	if d.Rate() != lineRate/100 {
+		t.Fatalf("timeout rate = %v, want floor %v", d.Rate(), lineRate/100)
+	}
+	d.OnLoss()
+	if d.Rate() < lineRate/100 {
+		t.Fatalf("rate %v fell under the floor", d.Rate())
+	}
+}
+
+func TestSwiftTracksDelayTarget(t *testing.T) {
+	s := NewSwift(mss, 16*mss, 256*mss, 20*time.Microsecond, 2*time.Microsecond)
+	before := s.Window()
+	// Below target: additive growth.
+	s.OnAck(Feedback{AckedBytes: mss, Delay: 5 * time.Microsecond, Hops: 2})
+	if s.Window() <= before {
+		t.Fatalf("window %d did not grow below target", s.Window())
+	}
+	// Far above target: multiplicative cut (after enough acked bytes for
+	// the once-per-window decrease guard).
+	grown := s.Window()
+	for i := 0; i < 300 && s.Window() >= grown; i++ {
+		s.OnAck(Feedback{AckedBytes: mss, Delay: 400 * time.Microsecond, Hops: 2})
+	}
+	if s.Window() >= grown {
+		t.Fatalf("window %d never cut above target", s.Window())
+	}
+	if s.Rate() != 0 {
+		t.Fatalf("Swift paces? Rate = %v", s.Rate())
+	}
+}
+
+func TestSwiftHopScaling(t *testing.T) {
+	// The same delay reads as congestion on a short path but as expected
+	// propagation on a long one: more hops → higher target → less cutting.
+	short := NewSwift(mss, 64*mss, 256*mss, 10*time.Microsecond, 5*time.Microsecond)
+	long := NewSwift(mss, 64*mss, 256*mss, 10*time.Microsecond, 5*time.Microsecond)
+	for i := 0; i < 200; i++ {
+		short.OnAck(Feedback{AckedBytes: mss, Delay: 30 * time.Microsecond, Hops: 1})
+		long.OnAck(Feedback{AckedBytes: mss, Delay: 30 * time.Microsecond, Hops: 6})
+	}
+	if short.Window() >= long.Window() {
+		t.Fatalf("short-path window %d >= long-path window %d", short.Window(), long.Window())
+	}
+}
+
+func TestHPCCEmptyINTAdditiveIncrease(t *testing.T) {
+	// A probe or handshake ack carries no telemetry; HPCC must not stall
+	// or cut — exactly one gentle additive step.
+	h := NewHPCC(mss, 8*mss, 256*mss, 10*time.Microsecond)
+	before := h.Window()
+	h.OnAck(Feedback{AckedBytes: mss})
+	if h.Window() != before+mss/4 {
+		t.Fatalf("window = %d after empty-INT ack, want %d", h.Window(), before+mss/4)
+	}
+}
+
+// randomFeedback builds an arbitrary but deterministic Feedback from the
+// shared random stream, covering every signal the controllers consume.
+func randomFeedback(rng *sim.Rand) Feedback {
+	fb := Feedback{
+		RTT:        time.Duration(rng.Intn(200)) * time.Microsecond,
+		AckedBytes: rng.Intn(16 * mss),
+		ECNMarked:  rng.Bernoulli(0.3),
+		Delay:      time.Duration(rng.Intn(500)) * time.Microsecond,
+		CNP:        rng.Bernoulli(0.1),
+		Hops:       rng.Intn(6),
+	}
+	if rng.Bernoulli(0.5) {
+		n := 1 + rng.Intn(int(wire.MaxINTHops))
+		for i := 0; i < n; i++ {
+			fb.INT = append(fb.INT, wire.INTHop{
+				HopID: uint16(rng.Intn(4)), QLenB: uint32(rng.Intn(500_000)),
+				TxBytes: uint64(rng.Intn(1 << 30)), RateMbs: 25000,
+				TSNanos: uint64(rng.Intn(1 << 30)),
+			})
+		}
+	}
+	return fb
+}
+
+// checkInvariants asserts the bounds every controller must hold no matter
+// what feedback it has seen.
+func checkInvariants(t *testing.T, name string, c Controller, maxCwnd int, maxRate float64) {
+	t.Helper()
+	if w := c.Window(); w < mss || w > maxCwnd {
+		t.Fatalf("%s: window %d out of [%d, %d]", name, w, mss, maxCwnd)
+	}
+	if r := c.Rate(); r < 0 || r > maxRate {
+		t.Fatalf("%s: rate %v out of [0, %v]", name, r, maxRate)
+	}
+}
+
+// TestControllerInvariants drives every controller with arbitrary feedback
+// interleaved with losses and timeouts: windows stay within [MSS, max],
+// rates within [0, line].
+func TestControllerInvariants(t *testing.T) {
+	const maxCwnd = 64 * mss
+	make := map[string]func() Controller{
+		"static": func() Controller { return NewStatic(maxCwnd) },
+		"dctcp":  func() Controller { return NewDCTCP(mss, 8*mss, maxCwnd) },
+		"hpcc":   func() Controller { return NewHPCC(mss, 8*mss, maxCwnd, 10*time.Microsecond) },
+		"dcqcn":  func() Controller { return NewDCQCN(mss, maxCwnd, lineRate) },
+		"swift":  func() Controller { return NewSwift(mss, 8*mss, maxCwnd, 12*time.Microsecond, 3*time.Microsecond) },
+	}
+	for name, mk := range make {
+		rng := sim.NewRand(42)
+		c := mk()
+		for i := 0; i < 20_000; i++ {
+			switch {
+			case rng.Bernoulli(0.01):
+				c.OnLoss()
+			case rng.Bernoulli(0.005):
+				c.OnTimeout()
+			default:
+				c.OnAck(randomFeedback(rng))
+			}
+			checkInvariants(t, name, c, maxCwnd, lineRate)
+		}
+	}
+}
+
+// FuzzFeedback feeds fuzzer-chosen feedback sequences to the reactive
+// controllers and checks the same invariants the property test enforces.
+func FuzzFeedback(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, mix uint8) {
+		const maxCwnd = 64 * mss
+		ctrls := []struct {
+			name string
+			c    Controller
+		}{
+			{"dctcp", NewDCTCP(mss, 8*mss, maxCwnd)},
+			{"hpcc", NewHPCC(mss, 8*mss, maxCwnd, 10*time.Microsecond)},
+			{"dcqcn", NewDCQCN(mss, maxCwnd, lineRate)},
+			{"swift", NewSwift(mss, 8*mss, maxCwnd, 12*time.Microsecond, 3*time.Microsecond)},
+		}
+		rng := sim.NewRand(seed)
+		for i := 0; i < 500; i++ {
+			fb := randomFeedback(rng)
+			for _, ct := range ctrls {
+				switch {
+				case mix&1 != 0 && i%97 == 0:
+					ct.c.OnLoss()
+				case mix&2 != 0 && i%193 == 0:
+					ct.c.OnTimeout()
+				default:
+					ct.c.OnAck(fb)
+				}
+				checkInvariants(t, ct.name, ct.c, maxCwnd, lineRate)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package cc
+
+// DCQCN is the rate-based RoCE controller (Zhu et al., SIGCOMM'15):
+// switches CE-mark ECT packets past a queue threshold, the receiver folds
+// marks into CNP frames, and the sender runs a rate decrease / fast
+// recovery / additive+hyper increase state machine between a current rate
+// rc and a target rate rt. This implementation is ack-clocked and
+// byte-counted rather than wall-timer driven — every transition happens on
+// a Feedback delivery, which keeps it deterministic under the simulator
+// and independent of real time. The paper's two timers become two byte
+// counters: the alpha-update timer decays alpha once per MSS acked (so the
+// congestion estimate cools as soon as traffic flows unmarked again), and
+// the rate-increase timer advances one stage per byteThresh acked. The
+// thresholds and increase steps are scaled to the simulated 25G links (the
+// paper's 10 MB byte counter would never fire inside a microsecond-scale
+// experiment).
+type DCQCN struct {
+	mss     int
+	maxCwnd int
+
+	minRate float64 // bytes/s floor
+	maxRate float64 // bytes/s ceiling (line rate)
+	rc      float64 // current (paced) rate
+	rt      float64 // target rate recovery climbs toward
+
+	alpha       float64 // smoothed congestion estimate
+	g           float64 // alpha gain
+	alphaCtr    int     // bytes acked since the last alpha decay
+	alphaThresh int     // alpha decay clock width in acked bytes
+
+	byteCtr    int     // bytes acked since the last stage transition
+	byteThresh int     // stage width in acked bytes
+	stage      int     // increase stages completed since the last CNP
+	fastStages int     // stages spent in fast recovery before additive increase
+	rai        float64 // additive increase step (bytes/s)
+	rhai       float64 // hyper increase step (bytes/s)
+}
+
+// NewDCQCN creates a controller pacing up to lineRate bytes/second. The
+// window stays pinned at maxCwnd — DCQCN bounds inflight with the same
+// hardware window as the static baseline and does all reaction through
+// the rate.
+func NewDCQCN(mss, maxCwnd int, lineRate float64) *DCQCN {
+	return &DCQCN{
+		mss: mss, maxCwnd: maxCwnd,
+		minRate: lineRate / 100, maxRate: lineRate,
+		rc: lineRate, rt: lineRate,
+		alpha: 1, g: 1.0 / 16,
+		alphaThresh: mss,
+		byteThresh:  10 * mss, fastStages: 5,
+		rai: lineRate / 50, rhai: lineRate / 10,
+	}
+}
+
+// Window returns the fixed inflight bound.
+func (d *DCQCN) Window() int { return d.maxCwnd }
+
+// Rate returns the current sending rate in bytes/second.
+func (d *DCQCN) Rate() float64 { return d.rc }
+
+// Alpha returns the smoothed congestion estimate (for tests).
+func (d *DCQCN) Alpha() float64 { return d.alpha }
+
+// OnAck processes one acknowledgment or CNP.
+//
+//lint:hotpath
+func (d *DCQCN) OnAck(fb Feedback) {
+	if fb.CNP {
+		// Rate decrease: remember where we were, cut by alpha/2.
+		d.alpha = (1-d.g)*d.alpha + d.g
+		d.rt = d.rc
+		d.rc *= 1 - d.alpha/2
+		if d.rc < d.minRate {
+			d.rc = d.minRate
+		}
+		d.stage, d.byteCtr, d.alphaCtr = 0, 0, 0
+		return
+	}
+	if fb.AckedBytes <= 0 {
+		return
+	}
+	// Alpha decay clock: every MSS acked without a CNP cools the estimate,
+	// so a deep cut does not keep halving the next time marks appear.
+	d.alphaCtr += fb.AckedBytes
+	for d.alphaCtr >= d.alphaThresh {
+		d.alphaCtr -= d.alphaThresh
+		d.alpha *= 1 - d.g
+	}
+	d.byteCtr += fb.AckedBytes
+	for d.byteCtr >= d.byteThresh {
+		d.byteCtr -= d.byteThresh
+		d.stage++
+		if d.stage > d.fastStages {
+			// Past fast recovery: push the target up (hyper once the
+			// fabric has stayed quiet for another full round of stages).
+			if d.stage > 3*d.fastStages {
+				d.rt += d.rhai
+			} else {
+				d.rt += d.rai
+			}
+			if d.rt > d.maxRate {
+				d.rt = d.maxRate
+			}
+		}
+		// Both fast recovery and increase converge rc toward rt.
+		d.rc = (d.rc + d.rt) / 2
+		if d.rc > d.maxRate {
+			d.rc = d.maxRate
+		}
+	}
+}
+
+// OnLoss halves the rate (go-back-N rewind: the fabric dropped despite
+// ECN, so react harder than a CNP).
+func (d *DCQCN) OnLoss() {
+	d.rt = d.rc
+	d.rc /= 2
+	if d.rc < d.minRate {
+		d.rc = d.minRate
+	}
+	d.stage, d.byteCtr, d.alphaCtr = 0, 0, 0
+}
+
+// OnTimeout collapses to the minimum rate.
+func (d *DCQCN) OnTimeout() {
+	d.rt = d.rc
+	d.rc = d.minRate
+	d.stage, d.byteCtr, d.alphaCtr = 0, 0, 0
+}

@@ -1,0 +1,48 @@
+package cc
+
+// Kind names a congestion-control algorithm for configuration plumbing
+// (ebs.Config.CC, the ebsbench -cc flag). It selects among the RDMA
+// plane's controllers; the kernel and Luna stacks keep DCTCP and Solar
+// keeps per-path HPCC regardless, since the paper's comparison is between
+// those fixed designs and the RDMA plane.
+type Kind uint8
+
+const (
+	// KindStatic is the fixed-window RC baseline (the zero value, so a
+	// zero Config keeps pre-refactor behavior byte-for-byte).
+	KindStatic Kind = iota
+	// KindDCQCN is the ECN→CNP rate-based RoCE controller.
+	KindDCQCN
+	// KindSwift is the delay-based controller with hop-scaled targets.
+	KindSwift
+)
+
+// String returns the -cc flag spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDCQCN:
+		return "dcqcn"
+	case KindSwift:
+		return "swift"
+	default:
+		return "static"
+	}
+}
+
+// ParseKind maps a -cc flag value onto a Kind. The second result is false
+// for unknown names.
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "static":
+		return KindStatic, true
+	case "dcqcn":
+		return KindDCQCN, true
+	case "swift":
+		return KindSwift, true
+	}
+	return KindStatic, false
+}
+
+// Kinds lists every selectable kind in definition order (for the CC-matrix
+// experiments and flag usage strings).
+func Kinds() []Kind { return []Kind{KindStatic, KindDCQCN, KindSwift} }

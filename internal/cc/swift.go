@@ -1,0 +1,89 @@
+package cc
+
+import "time"
+
+// Swift is the delay-based controller (Kumar et al., SIGCOMM'20): the
+// window grows additively while the measured delay sits below a target and
+// decreases multiplicatively — at most once per window of acked bytes —
+// when it overshoots. The target scales with the acked packet's hop count
+// ("topology-based scaling"), so flows crossing the spine tolerate
+// proportionally more queueing than rack-local ones.
+type Swift struct {
+	mss     int
+	maxCwnd int
+
+	baseTarget time.Duration // fabric base target delay
+	hopScale   time.Duration // extra target per hop crossed
+	beta       float64       // multiplicative-decrease gain
+	maxMD      float64       // per-decision decrease cap
+
+	cwnd     float64
+	sinceDec int // bytes acked since the last decrease
+}
+
+// NewSwift creates a controller with the given window bounds and delay
+// targets.
+func NewSwift(mss, initCwnd, maxCwnd int, baseTarget, hopScale time.Duration) *Swift {
+	return &Swift{
+		mss: mss, maxCwnd: maxCwnd,
+		baseTarget: baseTarget, hopScale: hopScale,
+		beta: 0.8, maxMD: 0.5,
+		cwnd: float64(initCwnd),
+	}
+}
+
+// Window returns the congestion window in bytes.
+func (s *Swift) Window() int { return int(s.cwnd) }
+
+// Rate returns 0: Swift is window-based.
+func (s *Swift) Rate() float64 { return 0 }
+
+// OnAck processes one acknowledgment carrying a delay sample.
+//
+//lint:hotpath
+func (s *Swift) OnAck(fb Feedback) {
+	delay := fb.Delay
+	if delay <= 0 {
+		delay = fb.RTT // no per-packet sample on this ack: fall back
+	}
+	if delay <= 0 || fb.AckedBytes <= 0 {
+		return
+	}
+	s.sinceDec += fb.AckedBytes
+	target := s.baseTarget + time.Duration(fb.Hops)*s.hopScale
+	if delay < target {
+		// Additive increase, scaled per acked byte so per-packet acks sum
+		// to ~one MSS per window.
+		s.cwnd += float64(s.mss) * float64(fb.AckedBytes) / s.cwnd
+	} else if s.sinceDec >= int(s.cwnd) {
+		md := s.beta * float64(delay-target) / float64(delay)
+		if md > s.maxMD {
+			md = s.maxMD
+		}
+		s.cwnd *= 1 - md
+		s.sinceDec = 0
+	}
+	s.clamp()
+}
+
+// OnLoss multiplicatively backs off.
+func (s *Swift) OnLoss() {
+	s.cwnd *= 1 - s.maxMD
+	s.sinceDec = 0
+	s.clamp()
+}
+
+// OnTimeout collapses to one MSS.
+func (s *Swift) OnTimeout() {
+	s.cwnd = float64(s.mss)
+	s.sinceDec = 0
+}
+
+func (s *Swift) clamp() {
+	if s.cwnd < float64(s.mss) {
+		s.cwnd = float64(s.mss)
+	}
+	if s.cwnd > float64(s.maxCwnd) {
+		s.cwnd = float64(s.maxCwnd)
+	}
+}

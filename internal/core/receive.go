@@ -438,6 +438,8 @@ func (s *Stack) runAck(j *ackJob) {
 			AckedBytes: e.size,
 			ECNMarked:  ack.ECNMarked,
 			INT:        j.intStack.Hops,
+			Delay:      rttSample, // per-packet sample (Karn-gated above)
+			Hops:       len(j.intStack.Hops),
 		})
 	} else {
 		p.consecTO = 0

@@ -1,0 +1,52 @@
+package hotalloc
+
+// The congestion-controller shape: a per-ack update that keeps per-hop
+// history. The map version allocates on the first ack after a reset and
+// hashes on every lookup; the fixed-array twin (the shape internal/cc's
+// HPCC actually uses) is allocation-free and stays silent.
+
+type hopSample struct {
+	id      uint16
+	valid   bool
+	txBytes uint64
+	ts      uint64
+}
+
+type mapCC struct {
+	hist map[uint16]hopSample
+}
+
+//lint:hotpath
+func (c *mapCC) onAckBad(id uint16, tx, ts uint64) float64 {
+	if c.hist == nil {
+		c.hist = map[uint16]hopSample{} // want `map literal allocates`
+	}
+	prev := c.hist[id]
+	u := 0.0
+	if prev.valid && ts > prev.ts {
+		u = float64(tx-prev.txBytes) / float64(ts-prev.ts)
+	}
+	c.hist[id] = hopSample{id: id, valid: true, txBytes: tx, ts: ts}
+	return u
+}
+
+const maxHops = 8
+
+type arrayCC struct {
+	hist [maxHops]hopSample
+}
+
+// The fixed-slot rewrite: positional lookup with a stored-ID check, value
+// struct writes, no allocation anywhere.
+//
+//lint:hotpath
+func (c *arrayCC) onAckClean(slot int, id uint16, tx, ts uint64) float64 {
+	s := &c.hist[slot]
+	u := 0.0
+	if s.valid && s.id == id && ts > s.ts {
+		u = float64(tx-s.txBytes) / float64(ts-s.ts)
+	}
+	s.id, s.valid = id, true
+	s.txBytes, s.ts = tx, ts
+	return u
+}

@@ -1,6 +1,9 @@
 package rdma
 
 import (
+	"time"
+
+	"lunasolar/internal/cc"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
@@ -19,10 +22,12 @@ const pktHdrSize = wire.TCPSegSize + wire.RPCSize + wire.EBSSize
 // (re)transmission builds its own frame — BTH + header copy + fragment —
 // so nothing the pool reclaims is ever shared with an in-flight frame.
 type outPkt struct {
-	psn  uint32
-	hdr  []byte       // pooled RPC+EBS header image (wire.HeadersSize)
-	pay  []byte       // chunk bytes; subrange of slab
-	slab *simnet.Slab // reference held until the packet is acknowledged
+	psn    uint32
+	hdr    []byte       // pooled RPC+EBS header image (wire.HeadersSize)
+	pay    []byte       // chunk bytes; subrange of slab
+	slab   *simnet.Slab // reference held until the packet is acknowledged
+	sentAt sim.Time     // NIC fire time of the latest transmission
+	retxed bool         // Karn: retransmitted PSNs give no delay samples
 }
 
 // qp is one reliable-connection queue pair: go-back-N over PSNs.
@@ -42,10 +47,18 @@ type qp struct {
 	sampleAt    sim.Time
 	sampleValid bool
 
+	// Congestion control: the pluggable controller bounds inflight through
+	// Window() and, for rate-based kinds, paces transmissions through the
+	// pacer. The default static kind reproduces the old hardware window.
+	ctrl  cc.Controller
+	pacer cc.Pacer
+
 	// Receiver.
 	expectPSN uint32
 	nakSent   bool // one NAK per gap (RC behaviour), cleared on in-order
 	assembler map[uint64]*inMsg
+	rxHops    uint8 // fabric hops data packets crossed, echoed on acks
+	lastCNP   sim.Time
 
 	lastRewind sim.Time // rate-limits go-back-N to once per RTT
 }
@@ -65,10 +78,15 @@ func newQP(s *Stack, k qpKey) *qp {
 		key:       k,
 		rtt:       transport.NewRTT(s.params.MinRTO, s.params.MaxRTO),
 		assembler: map[uint64]*inMsg{},
+		ctrl:      s.newController(),
 	}
 	q.retx.Init(s.eng, q.rtt, -1, qpRTOExpired, q)
+	q.pacer.Init(s.eng, qpPacerFire, q)
 	return q
 }
+
+// qpPacerFire resumes the transmit loop when the pacing gap elapses.
+func qpPacerFire(a any) { a.(*qp).pump() }
 
 func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
 
@@ -163,12 +181,27 @@ func (q *qp) sendMessage(id uint64, op uint8, req *transport.Message, resp *tran
 
 func (q *qp) inflight() int { return int(q.sndNxt - q.sndUna) }
 
-// pump transmits packets within the static window.
+// pump transmits packets while the controller's window — and, for
+// rate-based controllers, its pacing budget — allows. With the default
+// static controller the window is WindowPkts×MTU and Rate() is 0, which
+// reduces to the old fixed-window loop exactly.
 func (q *qp) pump() {
-	for q.inflight() < q.s.params.WindowPkts {
+	winPkts := q.ctrl.Window() / q.s.params.MTU
+	if winPkts < 1 {
+		winPkts = 1
+	}
+	for q.inflight() < winPkts {
 		idx := int(q.sndNxt - q.sndUna)
 		if idx >= len(q.sndQueue) {
 			break
+		}
+		if rate := q.ctrl.Rate(); rate > 0 {
+			now := q.s.eng.Now()
+			if !q.pacer.Ready(now) {
+				q.pacer.Arm(now)
+				break
+			}
+			q.pacer.Charge(now, pktHdrSize+len(q.sndQueue[idx].pay), rate)
 		}
 		psn := q.sndQueue[idx].psn
 		if !q.sampleValid {
@@ -229,6 +262,12 @@ func (q *qp) transmit(psn uint32) {
 		pkt.DstPort = q.key.remoteQPN
 		pkt.Overhead = simnet.EthOverhead + wire.IPv4Size
 		pkt.SentAt = q.s.eng.Now()
+		if q.s.params.CC == cc.KindDCQCN {
+			// DCQCN data is ECN-capable: switches CE-mark instead of only
+			// tail-dropping, and the receiver answers marks with CNPs.
+			pkt.ECN = wire.ECNECT0
+		}
+		p.sentAt = pkt.SentAt
 		if !q.s.host.Send(pkt) {
 			pkt.Release()
 		}
@@ -261,6 +300,12 @@ func (q *qp) control(nak bool) {
 		Ack:     q.expectPSN,
 		Flags:   flags,
 	}
+	if q.s.ccEnabled() {
+		// Echo the hop count data packets crossed so the sender's
+		// controller can scale its delay target (Swift). The field is
+		// unused (0) under the static baseline, keeping frames identical.
+		bth.Window = uint16(q.rxHops)
+	}
 	pkt := q.s.pool.Get(wire.TCPSegSize)
 	if err := bth.Encode(pkt.Payload); err != nil {
 		panic(err)
@@ -276,6 +321,42 @@ func (q *qp) control(nak bool) {
 	}
 }
 
+// maybeCNP emits one congestion notification toward the data sender,
+// rate-limited per QP so a burst of CE-marked arrivals folds into a single
+// signal (the RNIC's CNP moderation timer).
+func (q *qp) maybeCNP() {
+	now := q.s.eng.Now()
+	if q.lastCNP != 0 && now.Sub(q.lastCNP) < q.s.params.CNPInterval {
+		return
+	}
+	q.lastCNP = now
+	q.s.CNPsSent++
+	bth := wire.TCPSeg{
+		SrcPort: q.key.localQPN,
+		DstPort: q.key.remoteQPN,
+		Seq:     q.nextPSN,
+		Ack:     q.expectPSN,
+		Flags:   wire.TCPFlagACK | wire.TCPFlagECE,
+	}
+	cnp := wire.CNP{QPN: q.key.remoteQPN, PSN: q.expectPSN, TSNanos: uint64(now)}
+	pkt := q.s.pool.Get(wire.TCPSegSize + wire.CNPSize)
+	if err := bth.Encode(pkt.Payload); err != nil {
+		panic(err)
+	}
+	if err := cnp.Encode(pkt.Payload[wire.TCPSegSize:]); err != nil {
+		panic(err)
+	}
+	pkt.Dst = q.key.peer
+	pkt.Proto = Proto
+	pkt.SrcPort = q.key.localQPN
+	pkt.DstPort = q.key.remoteQPN
+	pkt.Overhead = simnet.EthOverhead + wire.IPv4Size
+	pkt.SentAt = now
+	if !q.s.host.Send(pkt) {
+		pkt.Release()
+	}
+}
+
 // qpRTOExpired adapts the shared retransmitter's expiry to the QP's
 // go-back-N policy.
 func qpRTOExpired(a any) { a.(*qp).onRTO() }
@@ -286,6 +367,7 @@ func (q *qp) onRTO() {
 		return
 	}
 	q.retx.RecordTimeout()
+	q.ctrl.OnTimeout()
 	q.goBackN()
 	q.retx.Arm()
 }
@@ -304,6 +386,9 @@ func (q *qp) goBackN() {
 	q.lastRewind = now
 	q.s.Retransmits++
 	q.sampleValid = false // Karn: retransmitted PSNs give no samples
+	for i := 0; i < q.inflight() && i < len(q.sndQueue); i++ {
+		q.sndQueue[i].retxed = true
+	}
 	q.sndNxt = q.sndUna
 	q.pump()
 }
@@ -321,22 +406,49 @@ func (q *qp) releasePkt(p *outPkt) {
 }
 
 // packetArrived processes one inbound frame on this QP. chunk is the data
-// fragment for zero-copy frames (nil for flat or control frames).
-func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte) {
+// fragment for zero-copy frames (nil for flat or control frames). ce
+// reports a CE mark on the frame; hops is the fabric hop count it crossed.
+func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte, ce bool, hops int) {
+	if bth.Flags&wire.TCPFlagECE != 0 {
+		// CNP: a pure congestion signal, carrying no ack or data. Feed the
+		// controller and stop — the payload is the wire.CNP frame.
+		var cnp wire.CNP
+		if cnp.Decode(rest) != nil {
+			return
+		}
+		q.s.CNPsRecv++
+		q.ctrl.OnAck(cc.Feedback{CNP: true})
+		q.pump() // rate changed; the pacer re-evaluates
+		return
+	}
 	// Acknowledgment side (cumulative; NAK flagged with RST).
 	ack := bth.Ack
 	if seqLT(q.sndUna, ack) && !seqLT(q.sndNxt, ack) {
+		now := q.s.eng.Now()
 		n := int(ack - q.sndUna)
+		acked := 0
+		var delay time.Duration
 		for i := 0; i < n; i++ {
-			q.releasePkt(&q.sndQueue[i])
+			p := &q.sndQueue[i]
+			acked += pktHdrSize + len(p.pay)
+			if !p.retxed && p.sentAt != 0 {
+				delay = now.Sub(p.sentAt) // newest retired clean sample wins
+			}
+			q.releasePkt(p)
 		}
 		q.sndQueue = q.sndQueue[n:]
 		q.sndUna = ack
 		q.retx.RecordAck()
 		if q.sampleValid && !seqLT(ack, q.samplePSN) {
-			q.rtt.Observe(q.s.eng.Now().Sub(q.sampleAt))
+			q.rtt.Observe(now.Sub(q.sampleAt))
 			q.sampleValid = false
 		}
+		q.ctrl.OnAck(cc.Feedback{
+			RTT:        q.rtt.SRTT(),
+			AckedBytes: acked,
+			Delay:      delay,
+			Hops:       int(bth.Window), // receiver-echoed (0 under static)
+		})
 		if q.inflight() > 0 || len(q.sndQueue) > 0 {
 			q.retx.Arm()
 			q.pump()
@@ -346,13 +458,21 @@ func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte) {
 	}
 	if bth.Flags&wire.TCPFlagRST != 0 && ack == q.sndUna && q.inflight() > 0 {
 		// NAK: receiver saw a gap. Rewind immediately.
+		q.ctrl.OnLoss()
 		q.goBackN()
 	}
 
 	if len(rest) == 0 {
 		return
 	}
-	// Data side: strict in-order acceptance (go-back-N receiver).
+	// Data side: record congestion state for the feedback the acks carry.
+	if q.s.ccEnabled() {
+		q.rxHops = uint8(hops)
+		if ce && q.s.params.CC == cc.KindDCQCN {
+			q.maybeCNP()
+		}
+	}
+	// Strict in-order acceptance (go-back-N receiver).
 	if bth.Seq != q.expectPSN {
 		if seqLT(q.expectPSN, bth.Seq) {
 			if !q.nakSent {

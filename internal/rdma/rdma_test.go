@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"lunasolar/internal/cc"
 	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
@@ -250,5 +251,78 @@ func TestHotQPPathUnaffectedByColdPeers(t *testing.T) {
 	}
 	if server.CacheMisses > 2 {
 		t.Fatalf("hot QP missed %d times", server.CacheMisses)
+	}
+}
+
+// TestRewindRateLimitedPerRTT is the go-back-N regression test: a burst of
+// duplicate NAKs landing within one RTT must trigger exactly one rewind.
+// In-flight packets beyond a gap each provoke a NAK from the receiver;
+// without the lastRewind clamp every one of them would restart the window
+// from sndUna, turning a single drop into a retransmission storm.
+func TestRewindRateLimitedPerRTT(t *testing.T) {
+	p := newPair(t, DefaultParams())
+	p.server.SetHandler(echo)
+	done := false
+	p.client.Call(p.server.LocalAddr(), &transport.Message{Op: wire.RPCWriteReq, Data: make([]byte, 256<<10)},
+		func(r *transport.Response) { done = true })
+	p.eng.RunFor(5 * time.Microsecond) // mid-transfer: window full, acks pending
+
+	var q *qp
+	for _, cq := range p.client.qps {
+		q = cq
+	}
+	if q == nil || q.inflight() == 0 {
+		t.Fatal("no in-flight QP to NAK")
+	}
+	before := p.client.Retransmits
+	for i := 0; i < 5; i++ { // the NAK burst one gap produces
+		q.packetArrived(wire.TCPSeg{Ack: q.sndUna, Flags: wire.TCPFlagACK | wire.TCPFlagRST}, nil, nil, false, 0)
+	}
+	if got := p.client.Retransmits - before; got != 1 {
+		t.Fatalf("NAK burst within one RTT caused %d rewinds, want exactly 1", got)
+	}
+	p.eng.Run()
+	if !done {
+		t.Fatal("transfer did not complete after the rewind")
+	}
+}
+
+// TestDCQCNReactsToCNP drives a transfer under the DCQCN controller and
+// injects a CNP mid-flight: the sender's rate must drop below line rate
+// and the stack counters must record the notification.
+func TestDCQCNReactsToCNP(t *testing.T) {
+	params := DefaultParams()
+	params.CC = cc.KindDCQCN
+	p := newPair(t, params)
+	p.server.SetHandler(echo)
+	done := false
+	p.client.Call(p.server.LocalAddr(), &transport.Message{Op: wire.RPCWriteReq, Data: make([]byte, 256<<10)},
+		func(r *transport.Response) { done = true })
+	p.eng.RunFor(5 * time.Microsecond)
+
+	var q *qp
+	for _, cq := range p.client.qps {
+		q = cq
+	}
+	if q == nil {
+		t.Fatal("no client QP")
+	}
+	line := q.ctrl.Rate()
+	if line <= 0 {
+		t.Fatalf("DCQCN rate = %v, want line rate before congestion", line)
+	}
+	var frame [wire.CNPSize]byte
+	cnp := wire.CNP{QPN: 1, PSN: uint32(q.sndUna), TSNanos: uint64(p.eng.Now())}
+	cnp.Encode(frame[:])
+	q.packetArrived(wire.TCPSeg{Flags: wire.TCPFlagACK | wire.TCPFlagECE}, frame[:], nil, false, 0)
+	if got := q.ctrl.Rate(); got >= line {
+		t.Fatalf("rate %v after CNP, want < %v", got, line)
+	}
+	if p.client.CNPsRecv != 1 {
+		t.Fatalf("CNPsRecv = %d, want 1", p.client.CNPsRecv)
+	}
+	p.eng.Run()
+	if !done {
+		t.Fatal("transfer did not complete under DCQCN")
 	}
 }

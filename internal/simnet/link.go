@@ -57,8 +57,10 @@ type Port struct {
 	taildrops   uint64
 	sent        uint64
 
-	// Telemetry counters, updated only while TelemetryEnabled (plain field
-	// writes — the hotpath stays allocation-free either way).
+	// Telemetry counters (plain field writes — the hotpath stays
+	// allocation-free either way). ecnMarks counts only while
+	// TelemetryEnabled; maxQueued tracks unconditionally so the CC-matrix
+	// experiments can read queue depth with telemetry off.
 	ecnMarks  uint64
 	maxQueued int
 }
@@ -150,7 +152,10 @@ func (p *Port) Send(pkt *Packet) bool {
 		})
 	}
 	p.queuedBytes += size
-	if telemetry && p.queuedBytes > p.maxQueued {
+	// Queue high-water is tracked unconditionally (unlike the counters
+	// above): the CC-matrix experiments report it with telemetry off, and
+	// the compare-and-store is free on the hot path.
+	if p.queuedBytes > p.maxQueued {
 		p.maxQueued = p.queuedBytes
 	}
 	now := eng.Now()

@@ -52,8 +52,9 @@ func TestForwardingAllocFreeTelemetry(t *testing.T) {
 	}
 }
 
-// Telemetry counters track queue high-water marks when enabled and stay
-// frozen when disabled.
+// Queue high-water marks are tracked regardless of the telemetry hatch
+// (the CC-matrix experiments read them with telemetry off); the gated
+// counters (ECN marks) freeze when disabled.
 func TestPortTelemetryCounters(t *testing.T) {
 	prev := TelemetryEnabled()
 	SetTelemetry(true)
@@ -95,7 +96,8 @@ func TestPortTelemetryCounters(t *testing.T) {
 		t.Fatalf("high-water mark %dB never saw queue buildup from a 32-packet burst", maxq)
 	}
 
-	// Disabled: the marks freeze even under more load.
+	// Disabled: the high-water mark keeps tracking (it is ungated), so a
+	// deeper burst must raise it.
 	SetTelemetry(false)
 	before := maxq
 	burst(64)
@@ -105,8 +107,8 @@ func TestPortTelemetryCounters(t *testing.T) {
 			maxq = p.MaxQueuedBytes()
 		}
 	}
-	if maxq != before {
-		t.Fatalf("high-water mark moved from %d to %d with telemetry disabled", before, maxq)
+	if maxq < before {
+		t.Fatalf("high-water mark shrank from %d to %d with telemetry disabled", before, maxq)
 	}
 }
 

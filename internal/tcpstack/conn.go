@@ -21,7 +21,12 @@ type conn struct {
 	key connKey
 
 	ctrl cc.Controller
-	rtt  *transport.RTT
+	// pacer enforces the controller's Rate() on pump. DCTCP is window-only
+	// (Rate()==0) so the pacer never engages today, but the loop honors the
+	// full Controller contract — a rate-based controller drops in with no
+	// stack change.
+	pacer cc.Pacer
+	rtt   *transport.RTT
 
 	// Sender state.
 	outQ    spanQueue // bytes [sndUna, sndUna+outQ.len())
@@ -63,8 +68,12 @@ func newConn(s *Stack, k connKey) *conn {
 		ooo:  map[uint32][]byte{},
 	}
 	c.retx.Init(s.eng, c.rtt, -1, connRTOExpired, c)
+	c.pacer.Init(s.eng, connPacerFire, c)
 	return c
 }
+
+// connPacerFire resumes the transmit loop when the pacing gap elapses.
+func connPacerFire(a any) { a.(*conn).pump() }
 
 // enqueueRecord appends a framed record span to the send stream and pumps.
 func (c *conn) enqueueRecord(sp span) {
@@ -101,13 +110,21 @@ func (c *conn) gatherStream(dst []byte, seq uint32) {
 	c.outQ.copyOut(dst, rel)
 }
 
-// pump transmits while the congestion window allows.
+// pump transmits while the congestion window (and any pacing rate) allows.
 func (c *conn) pump() {
 	p := c.s.params
 	for c.unsent() > 0 && c.inflight() < c.ctrl.Window() {
 		n := c.unsent()
 		if n > p.MSS {
 			n = p.MSS
+		}
+		if rate := c.ctrl.Rate(); rate > 0 {
+			now := c.s.eng.Now()
+			if !c.pacer.Ready(now) {
+				c.pacer.Arm(now)
+				break
+			}
+			c.pacer.Charge(now, wire.TCPSegSize+n, rate)
 		}
 		seq := c.sndNxt
 		c.sndNxt += uint32(n)

@@ -206,6 +206,44 @@ func (h *TCPSeg) Decode(b []byte) error {
 	return nil
 }
 
+// CNPSize is the congestion-notification payload length.
+const CNPSize = 16
+
+// CNP is the RoCE congestion notification packet the RDMA receiver emits
+// when CE-marked data arrives and DCQCN is the active controller. It rides
+// behind a BTH whose flags carry ACK|ECE (the RDMA stack reuses TCPSeg as
+// its BTH) and tells the sender's rate state machine to decrease. The
+// fields identify the triggering flow for diagnostics; the signal itself
+// is the frame's arrival.
+type CNP struct {
+	QPN     uint16 // sender's queue pair (the one being throttled)
+	PSN     uint32 // receiver's expected PSN when the mark was seen
+	TSNanos uint64 // virtual time the mark was observed
+}
+
+// Encode writes the CNP into b[:CNPSize].
+func (h *CNP) Encode(b []byte) error {
+	if len(b) < CNPSize {
+		return ErrShort
+	}
+	be.PutUint16(b[0:], h.QPN)
+	be.PutUint16(b[2:], 0) // reserved
+	be.PutUint32(b[4:], h.PSN)
+	be.PutUint64(b[8:], h.TSNanos)
+	return nil
+}
+
+// Decode reads the CNP from b.
+func (h *CNP) Decode(b []byte) error {
+	if len(b) < CNPSize {
+		return ErrShort
+	}
+	h.QPN = be.Uint16(b[0:])
+	h.PSN = be.Uint32(b[4:])
+	h.TSNanos = be.Uint64(b[8:])
+	return nil
+}
+
 // RPC message types.
 const (
 	RPCWriteReq  = 1 // carries one data block toward a block server

@@ -244,3 +244,23 @@ func BenchmarkEBSEncodeDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestCNPRoundTrip(t *testing.T) {
+	f := func(qpn uint16, psn uint32, ts uint64) bool {
+		in := CNP{QPN: qpn, PSN: psn, TSNanos: ts}
+		var b [CNPSize]byte
+		in.Encode(b[:])
+		var out CNP
+		if err := out.Decode(b[:]); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	var short CNP
+	if err := short.Decode(make([]byte, CNPSize-1)); err == nil {
+		t.Fatal("short CNP buffer decoded")
+	}
+}
