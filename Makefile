@@ -13,7 +13,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff check
+.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff ff-diff check
 
 build:
 	$(GO) build ./...
@@ -89,16 +89,34 @@ cc-diff:
 	$(GO) run ./cmd/ebsbench -exp fig6,fig15,rdmacliff -quick -workers 1 -cc static | grep -v 'perf:\|completed in' > /tmp/lunasolar-cc-static.txt
 	diff /tmp/lunasolar-cc-default.txt /tmp/lunasolar-cc-static.txt
 
+# Hybrid fidelity must track packet fidelity on the diurnal campaign:
+# -ff-bench-out runs both modes under one seed and enforces the
+# differential gate internally (exact start/completion/drop counts, ≤1%
+# completion-time quantiles and goodput). The quick run here is the CI
+# tripwire; `make bench` runs the full-scale version whose report also
+# enforces the ≥10x wall-clock speedup. On top of that, every experiment
+# that ignores -fidelity must be byte-identical under it (the hatch is a
+# no-op for packet-level clusters).
+ff-diff:
+	$(GO) run ./cmd/ebsbench -quick -ff-bench-out /tmp/lunasolar-BENCH_ff.json
+	grep -q '"schema": "lunasolar.fluid/v1"' /tmp/lunasolar-BENCH_ff.json
+	$(GO) run ./cmd/ebsbench -exp fig6,incast -quick -workers 1 | grep -v 'perf:\|completed in' > /tmp/lunasolar-fid-packet.txt
+	$(GO) run ./cmd/ebsbench -exp fig6,incast -quick -workers 1 -fidelity hybrid | grep -v 'perf:\|completed in' > /tmp/lunasolar-fid-hybrid.txt
+	diff /tmp/lunasolar-fid-packet.txt /tmp/lunasolar-fid-hybrid.txt
+
 # Full write-path comparison: measures the 4 KiB write path with refcounted
 # slabs and with the -copy-path hatch, and writes BENCH_pr3.json (ns/op,
 # allocs/op, copies/op, bytes-copied/op per mode). CI uploads the file.
 # The coupled-scaling report (events/sec at 1/2/4/8 window workers, with a
 # built-in byte-identity gate) lands in BENCH_pr6.json alongside it, and
 # the congestion-control incast matrix (static/dcqcn/swift under one seed)
-# in BENCH_pr7.json.
+# in BENCH_pr7.json. The full-scale diurnal fidelity comparison (packet vs
+# hybrid wall time, with the differential and ≥10x speedup gates built in)
+# lands in BENCH_pr8.json.
 bench:
 	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
 	$(GO) run ./cmd/ebsbench -quick -coupled-bench-out BENCH_pr6.json
 	$(GO) run ./cmd/ebsbench -quick -cc-bench-out BENCH_pr7.json
+	$(GO) run ./cmd/ebsbench -ff-bench-out BENCH_pr8.json
 
-check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff cc-diff
+check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff cc-diff ff-diff

@@ -72,6 +72,17 @@ func BenchmarkTable3Resources(b *testing.B)   { runExperiment(b, "table3", exper
 func BenchmarkAblations(b *testing.B)         { runExperiment(b, "ablate", experiments.Ablations) }
 func BenchmarkRDMACliff(b *testing.B)         { runExperiment(b, "rdmacliff", experiments.RDMACliff) }
 
+// BenchmarkDiurnalPacket/Hybrid run the same campaign at both fidelities;
+// the events/sec and sim-µs/wall-ms ratio between them is the fast-forward
+// payoff BENCH_pr8.json records.
+func BenchmarkDiurnalPacket(b *testing.B) { runExperiment(b, "diurnal", experiments.Diurnal) }
+func BenchmarkDiurnalHybrid(b *testing.B) {
+	runExperiment(b, "diurnal", func(opts experiments.Options) *experiments.Table {
+		opts.Fidelity = ebs.FidelityHybrid
+		return experiments.Diurnal(opts)
+	})
+}
+
 // benchIO measures simulated 4 KiB write performance per stack: b.N I/Os
 // through a full cluster. Reported metrics: simulated microseconds per I/O
 // (median) and the simulator's event throughput.

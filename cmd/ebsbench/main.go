@@ -55,6 +55,8 @@ var registry = map[string]struct {
 	"incast":        {experiments.Incast, "incast storm: all block servers answer one compute, per CC variant"},
 	"spine-oversub": {experiments.SpineOversub, "write storm through a spine tier thinned 4→1, per CC variant"},
 	"elephantmice":  {experiments.ElephantMice, "1 MiB elephants vs 4 KiB mice sharing the fabric, per CC variant"},
+
+	"diurnal": {experiments.Diurnal, "bulk campaign (ramp→plateau→incast→spine reboot→ramp-down), honors -fidelity"},
 }
 
 func main() {
@@ -72,6 +74,9 @@ func main() {
 	metricsFormat := flag.String("metrics-format", "json", "format for -metrics-out: json or openmetrics")
 	ccFlag := flag.String("cc", "static", "congestion controller for every RDMA stack: static, dcqcn, or swift (the CC-matrix experiments sweep all three regardless)")
 	ccBenchOut := flag.String("cc-bench-out", "", "run the incast CC matrix (static/dcqcn/swift) and write the JSON report here (e.g. BENCH_pr7.json)")
+	ffBenchOut := flag.String("ff-bench-out", "", "run the diurnal campaign at packet and hybrid fidelity, enforce the differential + speedup gates, and write the JSON report here (e.g. BENCH_pr8.json)")
+	fidelity := flag.String("fidelity", "packet", "simulation fidelity for experiments that support it: packet (every frame) or hybrid (fluid fast-forward of quiescent bulk flows)")
+	profileDir := flag.String("profile", "", "write cpu.pprof (whole run) and heap.pprof (at exit) into this directory")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -87,6 +92,21 @@ func main() {
 		os.Exit(1)
 	}
 	ebs.SetDefaultCC(ccKind)
+	fid, err := ebs.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ebsbench: %v\n", err)
+		os.Exit(1)
+	}
+	ebs.SetDefaultFidelity(fid)
+	var prof *profiler
+	if *profileDir != "" {
+		prof, err = startProfile(*profileDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer prof.Stop()
+	}
 	if *metricsOut != "" {
 		if *metricsFormat != "json" && *metricsFormat != "openmetrics" {
 			fmt.Fprintf(os.Stderr, "ebsbench: unknown -metrics-format %q (json or openmetrics)\n", *metricsFormat)
@@ -98,6 +118,7 @@ func main() {
 	if *benchOut != "" {
 		if err := writeBenchReport(*benchOut, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ebsbench: bench: %v\n", err)
+			prof.Stop()
 			os.Exit(1)
 		}
 		if *exp == "" && !*list && *coupledBenchOut == "" {
@@ -107,6 +128,7 @@ func main() {
 	if *coupledBenchOut != "" {
 		if err := writeCoupledBenchReport(*coupledBenchOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "ebsbench: coupled bench: %v\n", err)
+			prof.Stop()
 			os.Exit(1)
 		}
 		if *exp == "" && !*list && *ccBenchOut == "" {
@@ -116,6 +138,17 @@ func main() {
 	if *ccBenchOut != "" {
 		if err := writeCCBenchReport(*ccBenchOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "ebsbench: cc bench: %v\n", err)
+			prof.Stop()
+			os.Exit(1)
+		}
+		if *exp == "" && !*list && *ffBenchOut == "" {
+			return
+		}
+	}
+	if *ffBenchOut != "" {
+		if err := writeFFBenchReport(*ffBenchOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: ff bench: %v\n", err)
+			prof.Stop()
 			os.Exit(1)
 		}
 		if *exp == "" && !*list {
@@ -146,7 +179,7 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers,
-		CoupledWorkers: *coupledWorkers, Telemetry: *metricsOut != ""}
+		CoupledWorkers: *coupledWorkers, Telemetry: *metricsOut != "", Fidelity: fid}
 
 	// Every experiment shard asserts that its cluster returned all pooled
 	// packets; any leak fails the whole run (after all output is printed).
@@ -224,11 +257,13 @@ func main() {
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, *metricsFormat, expRegs); err != nil {
 			fmt.Fprintf(os.Stderr, "ebsbench: metrics: %v\n", err)
+			prof.Stop()
 			os.Exit(1)
 		}
 	}
 	if n := leakedTotal.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "ebsbench: %d pooled packets leaked across experiments\n", n)
+		prof.Stop()
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@
 package ebs
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -135,8 +136,50 @@ type Config struct {
 	// between those fixed designs and the RDMA plane's controller.
 	CC cc.Kind
 
+	// Fidelity selects the simulation fidelity. FidelityPacket (the zero
+	// value) simulates every frame; FidelityHybrid arms the fabric's fluid
+	// flow table so eligible bulk flows fast-forward analytically between
+	// disturbances (see internal/simnet/flow.go). RPC traffic is always
+	// packet-level; hybrid only changes how BulkService streams advance.
+	Fidelity Fidelity
+
 	Encrypted bool
 	Seed      int64
+}
+
+// Fidelity is the simulation-fidelity mode of a cluster or experiment.
+type Fidelity int32
+
+// The fidelity modes of the hybrid fast-forward plane.
+const (
+	// FidelityPacket simulates every frame end to end — the bit-exact
+	// baseline every other mode is differenced against.
+	FidelityPacket Fidelity = iota
+	// FidelityHybrid fast-forwards quiescent bulk flows at fluid rates and
+	// demotes back to packets on any disturbance signal.
+	FidelityHybrid
+)
+
+// String names the mode the way ebsbench -fidelity spells it.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityPacket:
+		return "packet"
+	case FidelityHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Fidelity(%d)", int32(f))
+}
+
+// ParseFidelity maps an ebsbench -fidelity value to a mode.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "packet":
+		return FidelityPacket, nil
+	case "hybrid":
+		return FidelityHybrid, nil
+	}
+	return FidelityPacket, fmt.Errorf("unknown fidelity %q (want packet or hybrid)", s)
 }
 
 // defaultCC is the process-wide default for Config.CC — the ebsbench -cc
@@ -149,6 +192,17 @@ func SetDefaultCC(k cc.Kind) { defaultCC.Store(int32(k)) }
 
 // DefaultCC returns the process-wide default controller kind.
 func DefaultCC() cc.Kind { return cc.Kind(defaultCC.Load()) }
+
+// defaultFidelity is the process-wide default for Config.Fidelity — the
+// ebsbench -fidelity hatch, flipped once before experiments fan out.
+var defaultFidelity atomic.Int32
+
+// SetDefaultFidelity sets the mode DefaultConfig assigns to
+// Config.Fidelity.
+func SetDefaultFidelity(f Fidelity) { defaultFidelity.Store(int32(f)) }
+
+// DefaultFidelity returns the process-wide default fidelity mode.
+func DefaultFidelity() Fidelity { return Fidelity(defaultFidelity.Load()) }
 
 // DefaultConfig returns a cluster sized like the Table 2 testbed scaled
 // down: one compute pod and one storage pod in a single DC.
@@ -168,6 +222,7 @@ func DefaultConfig(fn StackKind) Config {
 		DPU:            dpu.DefaultConfig(),
 		SSD:            chunkserver.DefaultSSD(),
 		CC:             DefaultCC(),
+		Fidelity:       DefaultFidelity(),
 		Seed:           1,
 	}
 	if fn == KernelTCP {

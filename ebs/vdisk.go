@@ -64,7 +64,10 @@ func (v *VDisk) Size() uint64 { return v.size }
 // Write issues a write I/O; done runs at completion with the measured
 // latency (excluding QoS policy delay, per the paper's methodology).
 func (v *VDisk) Write(lba uint64, data []byte, done func(IOResult)) {
-	start := v.cluster.Eng.Now()
+	// Latency comes from the span the agent measures on the disk's own
+	// engine; reading this cluster-level clock here would race with other
+	// partitions' windows on a coupled fabric (Write may be issued from a
+	// completion callback running inside another partition's window).
 	v.agent.Write(v.ID, lba, data, func(res sa.Result) {
 		if done != nil {
 			done(IOResult{
@@ -73,7 +76,6 @@ func (v *VDisk) Write(lba uint64, data []byte, done func(IOResult)) {
 				Span:    res.Span,
 			})
 		}
-		_ = start
 	})
 }
 

@@ -76,7 +76,7 @@ func TestDCQCNTimeoutFloors(t *testing.T) {
 }
 
 func TestSwiftTracksDelayTarget(t *testing.T) {
-	s := NewSwift(mss, 16*mss, 256*mss, 20*time.Microsecond, 2*time.Microsecond)
+	s := NewSwift(mss, 16*mss, 256*mss, 20*time.Microsecond, 2*time.Microsecond, lineRate)
 	before := s.Window()
 	// Below target: additive growth.
 	s.OnAck(Feedback{AckedBytes: mss, Delay: 5 * time.Microsecond, Hops: 2})
@@ -92,16 +92,37 @@ func TestSwiftTracksDelayTarget(t *testing.T) {
 	if s.Window() >= grown {
 		t.Fatalf("window %d never cut above target", s.Window())
 	}
-	if s.Rate() != 0 {
-		t.Fatalf("Swift paces? Rate = %v", s.Rate())
+	// Pacing: once acks have established the hop-scaled target, the window
+	// is spread over it rather than launched as one burst.
+	if r := s.Rate(); r <= 0 || r > lineRate {
+		t.Fatalf("paced Rate = %v, want in (0, %v]", r, lineRate)
+	}
+	s.SetPacing(false)
+	if r := s.Rate(); r != 0 {
+		t.Fatalf("Rate with pacing off = %v, want 0", r)
+	}
+	s.SetPacing(true)
+	if r := s.Rate(); r <= 0 {
+		t.Fatalf("Rate after re-enabling pacing = %v, want > 0", r)
+	}
+}
+
+func TestSwiftRateZeroBeforeFirstAck(t *testing.T) {
+	s := NewSwift(mss, 16*mss, 256*mss, 20*time.Microsecond, 2*time.Microsecond, lineRate)
+	if r := s.Rate(); r != 0 {
+		t.Fatalf("Rate before any ack = %v, want 0 (no target yet)", r)
+	}
+	s.OnAck(Feedback{AckedBytes: mss, Delay: 5 * time.Microsecond, Hops: 2})
+	if r := s.Rate(); r <= 0 || r > lineRate {
+		t.Fatalf("Rate after first ack = %v, want in (0, %v]", r, lineRate)
 	}
 }
 
 func TestSwiftHopScaling(t *testing.T) {
 	// The same delay reads as congestion on a short path but as expected
 	// propagation on a long one: more hops → higher target → less cutting.
-	short := NewSwift(mss, 64*mss, 256*mss, 10*time.Microsecond, 5*time.Microsecond)
-	long := NewSwift(mss, 64*mss, 256*mss, 10*time.Microsecond, 5*time.Microsecond)
+	short := NewSwift(mss, 64*mss, 256*mss, 10*time.Microsecond, 5*time.Microsecond, lineRate)
+	long := NewSwift(mss, 64*mss, 256*mss, 10*time.Microsecond, 5*time.Microsecond, lineRate)
 	for i := 0; i < 200; i++ {
 		short.OnAck(Feedback{AckedBytes: mss, Delay: 30 * time.Microsecond, Hops: 1})
 		long.OnAck(Feedback{AckedBytes: mss, Delay: 30 * time.Microsecond, Hops: 6})
@@ -168,7 +189,9 @@ func TestControllerInvariants(t *testing.T) {
 		"dctcp":  func() Controller { return NewDCTCP(mss, 8*mss, maxCwnd) },
 		"hpcc":   func() Controller { return NewHPCC(mss, 8*mss, maxCwnd, 10*time.Microsecond) },
 		"dcqcn":  func() Controller { return NewDCQCN(mss, maxCwnd, lineRate) },
-		"swift":  func() Controller { return NewSwift(mss, 8*mss, maxCwnd, 12*time.Microsecond, 3*time.Microsecond) },
+		"swift": func() Controller {
+			return NewSwift(mss, 8*mss, maxCwnd, 12*time.Microsecond, 3*time.Microsecond, lineRate)
+		},
 	}
 	for name, mk := range make {
 		rng := sim.NewRand(42)
@@ -201,7 +224,7 @@ func FuzzFeedback(f *testing.F) {
 			{"dctcp", NewDCTCP(mss, 8*mss, maxCwnd)},
 			{"hpcc", NewHPCC(mss, 8*mss, maxCwnd, 10*time.Microsecond)},
 			{"dcqcn", NewDCQCN(mss, maxCwnd, lineRate)},
-			{"swift", NewSwift(mss, 8*mss, maxCwnd, 12*time.Microsecond, 3*time.Microsecond)},
+			{"swift", NewSwift(mss, 8*mss, maxCwnd, 12*time.Microsecond, 3*time.Microsecond, lineRate)},
 		}
 		rng := sim.NewRand(seed)
 		for i := 0; i < 500; i++ {

@@ -19,24 +19,47 @@ type Swift struct {
 
 	cwnd     float64
 	sinceDec int // bytes acked since the last decrease
+
+	target   time.Duration // last hop-scaled delay target (0 until the first ack)
+	lineRate float64       // pacing ceiling, bytes/sec (0 = uncapped)
+	noPace   bool          // SetPacing(false): window-only operation
 }
 
 // NewSwift creates a controller with the given window bounds and delay
-// targets.
-func NewSwift(mss, initCwnd, maxCwnd int, baseTarget, hopScale time.Duration) *Swift {
+// targets. lineRate (bytes/sec, 0 for none) caps the pacing rate at the
+// NIC's wire speed.
+func NewSwift(mss, initCwnd, maxCwnd int, baseTarget, hopScale time.Duration, lineRate float64) *Swift {
 	return &Swift{
 		mss: mss, maxCwnd: maxCwnd,
 		baseTarget: baseTarget, hopScale: hopScale,
 		beta: 0.8, maxMD: 0.5,
-		cwnd: float64(initCwnd),
+		cwnd:     float64(initCwnd),
+		lineRate: lineRate,
 	}
 }
 
 // Window returns the congestion window in bytes.
 func (s *Swift) Window() int { return int(s.cwnd) }
 
-// Rate returns 0: Swift is window-based.
-func (s *Swift) Rate() float64 { return 0 }
+// SetPacing disables (or re-enables) the pacing rate, reverting Swift to
+// pure window operation. Pacing is on by default.
+func (s *Swift) SetPacing(on bool) { s.noPace = !on }
+
+// Rate returns the pacing rate in bytes/sec: the window spread over the
+// hop-scaled delay target, so a sender never launches its whole window as
+// one line-rate burst into a queue the delay signal has not seen yet. It
+// is 0 — window-only — until the first ack establishes the flow's target,
+// or when pacing is disabled.
+func (s *Swift) Rate() float64 {
+	if s.noPace || s.target <= 0 {
+		return 0
+	}
+	r := s.cwnd / s.target.Seconds()
+	if s.lineRate > 0 && r > s.lineRate {
+		r = s.lineRate
+	}
+	return r
+}
 
 // OnAck processes one acknowledgment carrying a delay sample.
 //
@@ -51,6 +74,7 @@ func (s *Swift) OnAck(fb Feedback) {
 	}
 	s.sinceDec += fb.AckedBytes
 	target := s.baseTarget + time.Duration(fb.Hops)*s.hopScale
+	s.target = target
 	if delay < target {
 		// Additive increase, scaled per acked byte so per-packet acks sum
 		// to ~one MSS per window.

@@ -50,6 +50,11 @@ type Options struct {
 	// also call simnet.SetTelemetry(true); the formatted table is identical
 	// either way.
 	Telemetry bool
+	// Fidelity selects the simulation fidelity of experiments that support
+	// hybrid fast-forward (currently Diurnal). The zero value is full
+	// packet fidelity; ebs.FidelityHybrid fluid-fast-forwards quiescent
+	// bulk flows (see internal/simnet/flow.go).
+	Fidelity ebs.Fidelity
 }
 
 // DefaultOptions returns the standard configuration.

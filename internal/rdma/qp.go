@@ -39,6 +39,7 @@ type qp struct {
 	sndQueue []outPkt // [acked... inflight... unsent]; index 0 has psn sndUna
 	sndUna   uint32
 	sndNxt   uint32 // next psn to (re)transmit; within queue bounds
+	sndMax   uint32 // one past the highest psn ever transmitted (>= sndNxt)
 	nextPSN  uint32 // psn for the next freshly built packet
 	rtt      *transport.RTT
 	retx     transport.Retransmitter
@@ -211,6 +212,9 @@ func (q *qp) pump() {
 		}
 		q.transmit(psn)
 		q.sndNxt++
+		if seqLT(q.sndMax, q.sndNxt) {
+			q.sndMax = q.sndNxt
+		}
 	}
 	if q.inflight() > 0 && !q.retx.Active() {
 		q.retx.Arm()
@@ -368,6 +372,7 @@ func (q *qp) onRTO() {
 	}
 	q.retx.RecordTimeout()
 	q.ctrl.OnTimeout()
+	q.s.host.FluidDisturb(simnet.TriggerLoss)
 	q.goBackN()
 	q.retx.Arm()
 }
@@ -417,13 +422,18 @@ func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte, ce bool, hops in
 			return
 		}
 		q.s.CNPsRecv++
+		q.s.host.FluidDisturb(simnet.TriggerCNP)
 		q.ctrl.OnAck(cc.Feedback{CNP: true})
 		q.pump() // rate changed; the pacer re-evaluates
 		return
 	}
-	// Acknowledgment side (cumulative; NAK flagged with RST).
+	// Acknowledgment side (cumulative; NAK flagged with RST). Validity is
+	// bounded by the highest PSN ever transmitted, not sndNxt: a go-back-N
+	// rewind pulls sndNxt below packets the receiver already holds, and its
+	// duplicate re-ACKs legitimately acknowledge past the rewound pointer —
+	// dropping them would wedge the QP in a retransmit/re-ACK standoff.
 	ack := bth.Ack
-	if seqLT(q.sndUna, ack) && !seqLT(q.sndNxt, ack) {
+	if seqLT(q.sndUna, ack) && !seqLT(q.sndMax, ack) {
 		now := q.s.eng.Now()
 		n := int(ack - q.sndUna)
 		acked := 0
@@ -438,6 +448,9 @@ func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte, ce bool, hops in
 		}
 		q.sndQueue = q.sndQueue[n:]
 		q.sndUna = ack
+		if seqLT(q.sndNxt, ack) {
+			q.sndNxt = ack // the ack retired PSNs the rewind meant to resend
+		}
 		q.retx.RecordAck()
 		if q.sampleValid && !seqLT(ack, q.samplePSN) {
 			q.rtt.Observe(now.Sub(q.sampleAt))
@@ -458,6 +471,7 @@ func (q *qp) packetArrived(bth wire.TCPSeg, rest, chunk []byte, ce bool, hops in
 	}
 	if bth.Flags&wire.TCPFlagRST != 0 && ack == q.sndUna && q.inflight() > 0 {
 		// NAK: receiver saw a gap. Rewind immediately.
+		q.s.host.FluidDisturb(simnet.TriggerNAK)
 		q.ctrl.OnLoss()
 		q.goBackN()
 	}

@@ -51,6 +51,7 @@ type Params struct {
 	CNPInterval     time.Duration // min gap between CNPs per QP (DCQCN)
 	SwiftBaseTarget time.Duration // Swift base target delay
 	SwiftHopScale   time.Duration // Swift extra target per fabric hop
+	SwiftNoPacing   bool          // revert Swift to window-only (no Rate-driven pacer)
 }
 
 // DefaultParams returns the RC model used in the comparisons.
@@ -152,7 +153,11 @@ func (s *Stack) newController() cc.Controller {
 	case cc.KindDCQCN:
 		return cc.NewDCQCN(s.params.MTU, win, s.lineBytes)
 	case cc.KindSwift:
-		return cc.NewSwift(s.params.MTU, win, win, s.params.SwiftBaseTarget, s.params.SwiftHopScale)
+		sw := cc.NewSwift(s.params.MTU, win, win, s.params.SwiftBaseTarget, s.params.SwiftHopScale, s.lineBytes)
+		if s.params.SwiftNoPacing {
+			sw.SetPacing(false)
+		}
+		return sw
 	default:
 		return cc.NewStatic(win)
 	}

@@ -326,3 +326,53 @@ func TestDCQCNReactsToCNP(t *testing.T) {
 		t.Fatal("transfer did not complete under DCQCN")
 	}
 }
+
+// swiftIncastMaxQueue drives a many-to-one incast (6 compute-pod senders
+// into one storage host) under Swift and returns the fabric's deepest
+// output-queue high-water mark. Each sender first completes one small
+// warm-up RPC so the delay target — and therefore the pacing rate — is
+// established before the bulk writes land together.
+func swiftIncastMaxQueue(t *testing.T, noPacing bool) int {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fab := simnet.New(eng, simnet.DefaultConfig())
+	p := DefaultParams()
+	p.CC = cc.KindSwift
+	p.SwiftBaseTarget = 200 * time.Microsecond
+	p.SwiftNoPacing = noPacing
+	server := New(eng, fab.Host(0, 1, 0, 0), sim.NewServer(eng, "srv", 4), nil, p)
+	server.SetHandler(func(src uint32, req *transport.Message, reply func(*transport.Response)) {
+		reply(&transport.Response{})
+	})
+	const senders = 6
+	done := 0
+	for i := 0; i < senders; i++ {
+		c := New(eng, fab.Host(0, 0, i/4, i%4), sim.NewServer(eng, "cl", 4), nil, p)
+		dst := server.LocalAddr()
+		c.Call(dst, &transport.Message{Op: wire.RPCWriteReq, Data: make([]byte, 4096)},
+			func(*transport.Response) {
+				c.Call(dst, &transport.Message{Op: wire.RPCWriteReq, Data: make([]byte, 1<<20)},
+					func(*transport.Response) { done++ })
+			})
+	}
+	eng.RunFor(5 * time.Second)
+	if done != senders {
+		t.Fatalf("incast completed %d/%d writes (noPacing=%v)", done, senders, noPacing)
+	}
+	return fab.MaxQueuedBytes()
+}
+
+// TestSwiftPacingTamesIncast locks in the Rate-driven pacer: spreading each
+// QP's window over the hop-scaled delay target must cut the incast queue
+// high-water mark well below the window-only burst behaviour.
+func TestSwiftPacingTamesIncast(t *testing.T) {
+	paced := swiftIncastMaxQueue(t, false)
+	burst := swiftIncastMaxQueue(t, true)
+	t.Logf("incast max queued bytes: paced=%d window-only=%d", paced, burst)
+	if paced >= burst {
+		t.Fatalf("paced incast queue %d >= window-only %d", paced, burst)
+	}
+	if paced*2 > burst {
+		t.Fatalf("paced incast queue %d not well under window-only %d", paced, burst)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFastForwardHookBounds pins the hook contract: before each queued
+// event commits the hook sees (now, until=event time); with the heap empty
+// it sees until=timeMax and may materialize events, which the engine then
+// runs instead of stopping.
+func TestFastForwardHookBounds(t *testing.T) {
+	e := NewEngine(1)
+	evAt := Time(10 * time.Microsecond)
+	var fired []Time
+	e.At(evAt, func() {})
+
+	var calls []struct{ now, until Time }
+	analytic := Time(25 * time.Microsecond)
+	armed := false
+	e.SetFastForward(func(now, until Time) {
+		calls = append(calls, struct{ now, until Time }{now, until})
+		if until == timeMax && !armed {
+			armed = true
+			e.At(analytic, func() { fired = append(fired, e.Now()) })
+		}
+	})
+	e.Run()
+
+	if len(calls) < 2 {
+		t.Fatalf("hook called %d times, want >= 2 (bounded + open-horizon)", len(calls))
+	}
+	if calls[0].now != 0 || calls[0].until != evAt {
+		t.Fatalf("first call = %+v, want (0, %v): the next event is the bound", calls[0], evAt)
+	}
+	if !armed {
+		t.Fatal("hook never saw the open horizon (empty heap)")
+	}
+	if len(fired) != 1 || fired[0] != analytic {
+		t.Fatalf("analytic event fired at %v, want exactly once at %v", fired, analytic)
+	}
+	if e.Now() != analytic {
+		t.Fatalf("engine stopped at %v, want %v (the hook-scheduled event)", e.Now(), analytic)
+	}
+}
+
+// TestFastForwardHookRunUntil checks the bounded-horizon path: a quiescent
+// window gives the hook one chance to schedule inside (now, limit], and
+// events it schedules beyond the limit stay queued.
+func TestFastForwardHookRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	inside := Time(5 * time.Microsecond)
+	beyond := Time(50 * time.Microsecond)
+	limit := Time(20 * time.Microsecond)
+	var fired []Time
+	armed := false
+	e.SetFastForward(func(now, until Time) {
+		if !armed {
+			armed = true
+			e.At(inside, func() { fired = append(fired, e.Now()) })
+			e.At(beyond, func() { fired = append(fired, e.Now()) })
+		}
+	})
+	e.RunUntil(limit)
+	if len(fired) != 1 || fired[0] != inside {
+		t.Fatalf("events fired at %v within limit %v, want exactly [%v]", fired, limit, inside)
+	}
+	if e.Now() != limit {
+		t.Fatalf("clock at %v after RunUntil, want %v", e.Now(), limit)
+	}
+	e.Run()
+	if len(fired) != 2 || fired[1] != beyond {
+		t.Fatalf("deferred event fired at %v, want %v", fired, beyond)
+	}
+}

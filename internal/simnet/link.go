@@ -95,8 +95,15 @@ func (p *Port) Owner() Node { return p.owner }
 func (p *Port) Up() bool { return p.up }
 
 // SetUp changes the port's link state (both directions of a link fail
-// independently; FailLink takes both down).
-func (p *Port) SetUp(up bool) { p.up = up }
+// independently; FailLink takes both down). A transition either way is a
+// fluid fidelity trigger: path capacity just changed.
+func (p *Port) SetUp(up bool) {
+	if p.up == up {
+		return
+	}
+	p.up = up
+	p.part.noteFluid(TriggerFailover)
+}
 
 // QueuedBytes returns the current output-queue occupancy.
 func (p *Port) QueuedBytes() int { return p.queuedBytes }
@@ -140,6 +147,7 @@ func (p *Port) Send(pkt *Packet) bool {
 		if telemetry {
 			p.ecnMarks++
 		}
+		p.part.noteFluid(TriggerECN)
 	}
 	// INT: stamp telemetry at enqueue (queue depth seen by this packet).
 	if pkt.INT != nil {
@@ -157,6 +165,12 @@ func (p *Port) Send(pkt *Packet) bool {
 	// the compare-and-store is free on the hot path.
 	if p.queuedBytes > p.maxQueued {
 		p.maxQueued = p.queuedBytes
+	}
+	// Fluid low-water crossing: the queue just grew past the quiescence
+	// threshold, so any analytically-advancing flow must drop back to
+	// packet fidelity (fluidLow is zero in pure packet mode).
+	if lw := p.fab.fluidLow; lw > 0 && p.queuedBytes > lw && p.queuedBytes-size <= lw {
+		p.part.noteFluid(TriggerQueue)
 	}
 	now := eng.Now()
 	start := p.busyUntil
@@ -340,6 +354,13 @@ func (h *Host) Send(pkt *Packet) bool {
 	}
 	return false
 }
+
+// FluidDisturb reports a stack-level fidelity signal (retransmit, NAK,
+// CNP, path failover) against the host's partition. No-op in pure packet
+// mode; in hybrid mode it demotes analytically-advancing flows at the
+// next fold point, so endpoint recovery machinery always runs against
+// packet-level state.
+func (h *Host) FluidDisturb(tr FluidTrigger) { h.part.noteFluid(tr) }
 
 // PacketPool returns the packet pool of the host's partition; stacks
 // attached to this host draw from and return to it.
