@@ -13,7 +13,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet lint staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff ff-diff check
+.PHONY: build vet lint lint-report staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff ff-diff check
 
 build:
 	$(GO) build ./...
@@ -22,12 +22,20 @@ vet:
 	$(GO) vet ./...
 
 # lunavet: the repo's own analyzers (determinism, maporder, slabown,
-# hotalloc — see internal/lint). Zero non-suppressed diagnostics is a hard
-# gate; suppressions need a justified //lint:allow. Also runnable as
-# `go vet -vettool=$$(go env GOPATH)/bin/lunavet ./...` after `go install
-# ./cmd/lunavet`.
+# hotalloc, partown, fluiddet, hatchgate — see internal/lint). Zero
+# non-suppressed diagnostics is a hard gate; suppressions need a justified
+# //lint:allow. Also runnable as `go vet -vettool=$$(go env GOPATH)/bin/lunavet
+# ./...` after `go install ./cmd/lunavet`.
 lint:
 	$(GO) run ./cmd/lunavet ./...
+
+# Machine-readable lint report: the JSON findings (CI's diff annotations
+# read .diagnostics[].file/.line), the SARIF 2.1.0 log for code-scanning
+# upload, and the //lint:allow inventory (file, keys, justification, usage
+# count — a directive at 0 is drift).
+lint-report:
+	$(GO) run ./cmd/lunavet -json -sarif lunavet.sarif ./... > lunavet.json
+	$(GO) run ./cmd/lunavet -suppressions ./...
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -1,9 +1,9 @@
 // Command lunavet runs the internal/lint analysis suite — determinism,
-// maporder, slabown, hotalloc — over the repo's packages and fails on any
-// non-suppressed diagnostic. It is the compile-time half of the
-// invariants the runtime gates (leak gate, differential tests,
-// AllocsPerRun) enforce after the fact; see DESIGN.md "Invariants & how
-// they are enforced".
+// maporder, slabown, hotalloc, partown, fluiddet, hatchgate — over the
+// repo's packages and fails on any non-suppressed diagnostic. It is the
+// compile-time half of the invariants the runtime gates (leak gate,
+// differential tests, AllocsPerRun) enforce after the fact; see DESIGN.md
+// "Invariants & how they are enforced".
 //
 // Two modes:
 //
@@ -11,15 +11,28 @@
 //	go vet -vettool=$(which lunavet) ./...
 //
 // The second form speaks `go vet`'s unit-checker protocol (a .cfg file
-// per package), so lunavet composes with vet's caching and package graph.
+// per package), so lunavet composes with vet's caching and package graph;
+// cross-package facts ride in the .vetx files vet threads through the
+// build graph. The standalone form runs the whole suite pipeline in one
+// process: fact collection over every package (dependencies included),
+// per-package checks, then the suite-level completeness hooks.
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Findings are machine-readable on demand: -json emits the full report
+// (diagnostics, suppressed findings, suppression inventory), -sarif
+// writes a SARIF 2.1.0 log for code-scanning upload, and -suppressions
+// prints the //lint:allow inventory — file, line, keys, justification and
+// how many findings each directive absorbed — so suppression drift is
+// visible in CI step summaries.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure
+// (including analyzer-internal errors — a crashed analyzer never passes).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -50,11 +63,13 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("lunavet", flag.ContinueOnError)
 	var (
-		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
-		summary  = fs.String("summary", "", "write a GitHub-flavored markdown summary to this file")
-		checks   = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
-		listOnly = fs.Bool("list", false, "list analyzers and exit")
-		dir      = fs.String("dir", ".", "directory to resolve package patterns from")
+		jsonOut      = fs.Bool("json", false, "emit the report as JSON")
+		sarifOut     = fs.String("sarif", "", "write a SARIF 2.1.0 log to this file")
+		summary      = fs.String("summary", "", "write a GitHub-flavored markdown summary to this file")
+		suppressions = fs.Bool("suppressions", false, "print the //lint:allow inventory and exit clean")
+		checks       = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+		listOnly     = fs.Bool("list", false, "list analyzers and exit")
+		dir          = fs.String("dir", ".", "directory to resolve package patterns from")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,26 +101,52 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "lunavet:", err)
 		return 2
 	}
+	res, err := lint.RunSuite(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lunavet:", err)
+		return 2
+	}
 
 	kept, suppressed := []posDiag{}, []posDiag{}
-	for _, pkg := range pkgs {
-		k, s, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lunavet:", err)
-			return 2
+	var allows []lint.AllowInfo
+	for _, pr := range res.Pkgs {
+		for _, d := range pr.Kept {
+			kept = append(kept, toPosDiag(pr.Pkg.Fset.Position(d.Pos), d))
 		}
-		for _, d := range k {
-			kept = append(kept, toPosDiag(pkg, d))
+		for _, d := range pr.Suppressed {
+			suppressed = append(suppressed, toPosDiag(pr.Pkg.Fset.Position(d.Pos), d))
 		}
-		for _, d := range s {
-			suppressed = append(suppressed, toPosDiag(pkg, d))
+		allows = append(allows, pr.Allows...)
+	}
+	for _, d := range res.Finish {
+		kept = append(kept, toPosDiag(d.Position, d))
+	}
+
+	if *suppressions {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(allows); err != nil {
+				fmt.Fprintln(os.Stderr, "lunavet:", err)
+				return 2
+			}
+			return 0
 		}
+		if len(allows) == 0 {
+			fmt.Println("no //lint:allow directives")
+			return 0
+		}
+		for _, a := range allows {
+			fmt.Printf("%s:%d: allow %s (used %d) — %s\n",
+				relPath(a.File), a.Line, strings.Join(a.Keys, ","), a.Used, a.Justification)
+		}
+		return 0
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{Diagnostics: kept, Suppressed: suppressed}); err != nil {
+		if err := enc.Encode(report{Diagnostics: kept, Suppressed: suppressed, Allows: allows}); err != nil {
 			fmt.Fprintln(os.Stderr, "lunavet:", err)
 			return 2
 		}
@@ -114,42 +155,52 @@ func run(args []string) int {
 			fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
 		}
 	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, analyzers, kept); err != nil {
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+	}
 	if *summary != "" {
-		if err := writeSummary(*summary, kept, suppressed, len(pkgs)); err != nil {
+		if err := writeSummary(*summary, kept, suppressed, allows, len(res.Pkgs)); err != nil {
 			fmt.Fprintln(os.Stderr, "lunavet:", err)
 			return 2
 		}
 	}
 	if len(kept) > 0 {
 		fmt.Fprintf(os.Stderr, "lunavet: %d diagnostic(s) in %d package(s); %d suppressed by //lint:allow\n",
-			len(kept), len(pkgs), len(suppressed))
+			len(kept), len(res.Pkgs), len(suppressed))
 		return 1
 	}
 	return 0
 }
 
-// posDiag is a diagnostic with its position resolved to a string, ready
-// for printing or JSON.
+// posDiag is a diagnostic with its position resolved, ready for printing,
+// JSON, SARIF, or CI diff annotations (File/Line are what the annotate
+// step feeds to GitHub's ::error command).
 type posDiag struct {
 	Pos      string `json:"pos"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
 	Analyzer string `json:"analyzer"`
 	Category string `json:"category"`
 	Message  string `json:"message"`
 }
 
 type report struct {
-	Diagnostics []posDiag `json:"diagnostics"`
-	Suppressed  []posDiag `json:"suppressed"`
+	Diagnostics []posDiag        `json:"diagnostics"`
+	Suppressed  []posDiag        `json:"suppressed"`
+	Allows      []lint.AllowInfo `json:"allows"`
 }
 
-func toPosDiag(pkg *lint.Package, d lint.Diagnostic) posDiag {
-	pos := pkg.Fset.Position(d.Pos)
-	name := pos.Filename
-	if rel, err := filepath.Rel(mustGetwd(), pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		name = rel
-	}
+func toPosDiag(pos token.Position, d lint.Diagnostic) posDiag {
+	pos.Filename = relPath(pos.Filename)
 	return posDiag{
-		Pos:      fmt.Sprintf("%s:%d:%d", name, pos.Line, pos.Column),
+		Pos:      pos.String(),
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Column:   pos.Column,
 		Analyzer: d.Analyzer,
 		Category: d.Category,
 		Message:  d.Message,
@@ -164,8 +215,16 @@ func mustGetwd() string {
 	return wd
 }
 
+// relPath shortens an absolute path to repo-relative when possible.
+func relPath(name string) string {
+	if rel, err := filepath.Rel(mustGetwd(), name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
 // writeSummary renders a markdown report for CI step summaries.
-func writeSummary(path string, kept, suppressed []posDiag, npkgs int) error {
+func writeSummary(path string, kept, suppressed []posDiag, allows []lint.AllowInfo, npkgs int) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "## lunavet\n\n")
 	if len(kept) == 0 {
@@ -194,6 +253,19 @@ func writeSummary(path string, kept, suppressed []posDiag, npkgs int) error {
 		fmt.Fprintf(&b, "<details><summary>Suppressed findings</summary>\n\n")
 		for _, n := range names {
 			fmt.Fprintf(&b, "- %s: %d\n", n, byAnalyzer[n])
+		}
+		fmt.Fprintf(&b, "\n</details>\n\n")
+	}
+	if len(allows) > 0 {
+		fmt.Fprintf(&b, "<details><summary>Suppression inventory (%d directives)</summary>\n\n", len(allows))
+		fmt.Fprintf(&b, "| Directive | Keys | Used | Justification |\n|---|---|---|---|\n")
+		for _, a := range allows {
+			used := fmt.Sprintf("%d", a.Used)
+			if a.Used == 0 {
+				used = "**0 — drift?**"
+			}
+			fmt.Fprintf(&b, "| `%s:%d` | %s | %s | %s |\n",
+				relPath(a.File), a.Line, strings.Join(a.Keys, ", "), used, escapeMD(a.Justification))
 		}
 		fmt.Fprintf(&b, "\n</details>\n")
 	}

@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"lunasolar/internal/lint"
@@ -17,7 +18,10 @@ import (
 
 // vetConfig mirrors the JSON config `go vet` hands a -vettool per package
 // (the unit-checker protocol from golang.org/x/tools/go/analysis/unitchecker,
-// reimplemented here on the standard library).
+// reimplemented here on the standard library). PackageVetx maps each
+// dependency's import path to the facts file its own lunavet invocation
+// wrote; VetxOutput is where this invocation must leave this package's
+// facts for its importers.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -26,12 +30,23 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runVettool analyzes one package from a `go vet` unit-checker config.
+//
+// Facts ride the .vetx files as JSON []lint.Fact: dependencies' facts are
+// read from PackageVetx before the checks run, and this package's own
+// facts are written to VetxOutput — so a partition-owned type marked in
+// internal/sim is visible when partown analyzes ebs. VetxOnly still
+// parses, type-checks and collects (an upstream package whose facts
+// cannot be extracted must fail the build, not silently export nothing);
+// only the diagnostic pass is skipped. Suite-level Finish hooks (the
+// hatch↔gate pairing) need the whole graph plus _test.go files and run in
+// standalone `lunavet ./...` mode only.
 func runVettool(cfgPath string, analyzers []*lint.Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -43,17 +58,6 @@ func runVettool(cfgPath string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "lunavet: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// vet's driver requires the facts file to exist even though the suite
-	// carries no cross-package facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "lunavet:", err)
-			return 2
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 
 	// Tests legitimately use wall clocks, global rand and unordered maps:
 	// analyze only the non-test files of each package variant.
@@ -64,6 +68,14 @@ func runVettool(cfgPath string, analyzers []*lint.Analyzer) int {
 		}
 	}
 	if len(files) == 0 {
+		// Nothing to collect from, but the driver still requires the facts
+		// file to exist.
+		if cfg.VetxOutput != "" {
+			if err := writeVetx(cfg.VetxOutput, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "lunavet:", err)
+				return 2
+			}
+		}
 		return 0
 	}
 
@@ -117,7 +129,42 @@ func runVettool(cfgPath string, analyzers []*lint.Analyzer) int {
 		Types:      tpkg,
 		TypesInfo:  info,
 	}
-	kept, _, err := lint.Run(pkg, analyzers)
+
+	// Seed the fact set from every dependency's vetx, in sorted order so
+	// the merged set is deterministic, then collect this package's facts.
+	fs := lint.NewFactSet()
+	var deps []string
+	for dep := range cfg.PackageVetx {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		if err := readVetx(cfg.PackageVetx[dep], fs); err != nil {
+			fmt.Fprintf(os.Stderr, "lunavet: facts of %s: %v\n", dep, err)
+			return 2
+		}
+	}
+	if err := lint.CollectPackage(pkg, analyzers, fs); err != nil {
+		fmt.Fprintln(os.Stderr, "lunavet:", err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		var own []lint.Fact
+		for _, f := range fs.All() {
+			if f.Pkg == importPath {
+				own = append(own, f)
+			}
+		}
+		if err := writeVetx(cfg.VetxOutput, own); err != nil {
+			fmt.Fprintln(os.Stderr, "lunavet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	kept, _, err := lint.RunWithFacts(pkg, analyzers, fs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lunavet:", err)
 		return 2
@@ -130,4 +177,38 @@ func runVettool(cfgPath string, analyzers []*lint.Analyzer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeVetx serializes facts as JSON. An empty set writes "[]", never an
+// empty file, so readers can distinguish "no facts" from a crashed writer.
+func writeVetx(path string, facts []lint.Fact) error {
+	if facts == nil {
+		facts = []lint.Fact{}
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// readVetx merges one dependency's facts file into fs. A zero-length file
+// is tolerated (an older lunavet wrote empty placeholders); anything else
+// must be valid fact JSON.
+func readVetx(path string, fs *lint.FactSet) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	var facts []lint.Fact
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, f := range facts {
+		fs.Add(f)
+	}
+	return nil
 }

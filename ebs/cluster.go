@@ -23,7 +23,11 @@ import (
 // traffic crosses the fabric's upper tiers.
 const computePod = 0
 
-// Cluster is a fully wired EBS deployment.
+// Cluster is a fully wired EBS deployment. It spans every partition of
+// a coupled fabric: reaching engines, pools or collectors through it from
+// partitioned code crosses ownership.
+//
+//lint:spanning
 type Cluster struct {
 	Eng    *sim.Engine // partition 0's engine; the only engine when serial
 	Fabric *simnet.Fabric
@@ -62,6 +66,8 @@ type StorageServer struct {
 
 // New builds and wires a cluster. It panics on impossible configurations
 // (construction errors are programming errors in experiment setup).
+//
+//lint:barrier — construction time: partitions exist but no window has run
 func New(cfg Config) *Cluster {
 	if cfg.FN == Solar || cfg.FN == SolarStar {
 		cfg.BareMetal = true
@@ -315,6 +321,8 @@ func (c *Cluster) Blocks() []*StorageServer { return c.blocks }
 // Collector returns the cluster-wide trace collector. Coupled clusters
 // keep one collector per partition; the view returned here merges them in
 // partition order, so aggregates are identical for every worker count.
+//
+//lint:barrier — merged view is read between runs, after the final barrier
 func (c *Cluster) Collector() *trace.Collector {
 	if len(c.collectors) == 1 {
 		return c.collectors[0]
@@ -333,6 +341,8 @@ func (c *Cluster) Engines() []*sim.Engine { return c.engines }
 // Run drains all pending events — through the coupled runner's
 // barrier-synchronized windows when the cluster is partitioned, serially
 // otherwise.
+//
+//lint:barrier — top-level driver: owns the engines until it returns
 func (c *Cluster) Run() {
 	if c.coupled != nil {
 		c.coupled.Run()
@@ -348,6 +358,8 @@ func (c *Cluster) Run() {
 // frames parked in a cross-partition mailbox, so the check only applies
 // once every engine has fully drained and the inboxes are empty; Leaked
 // returns 0 otherwise.
+//
+//lint:barrier — post-drain check only, per the contract above
 func (c *Cluster) Leaked() int {
 	for _, eng := range c.engines {
 		if eng.Pending() != 0 {
@@ -361,6 +373,8 @@ func (c *Cluster) Leaked() int {
 }
 
 // RunFor advances virtual time by d.
+//
+//lint:barrier — top-level driver: owns the engines until it returns
 func (c *Cluster) RunFor(d time.Duration) {
 	if c.coupled != nil {
 		c.coupled.RunUntil(c.Eng.Now().Add(d))
@@ -370,4 +384,6 @@ func (c *Cluster) RunFor(d time.Duration) {
 }
 
 // Now returns the current virtual time.
+//
+//lint:barrier — read by the driving test between runs, not inside a window
 func (c *Cluster) Now() time.Duration { return c.Eng.Now().Duration() }

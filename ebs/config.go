@@ -185,6 +185,8 @@ func ParseFidelity(s string) (Fidelity, error) {
 // defaultCC is the process-wide default for Config.CC — the ebsbench -cc
 // hatch. Like simnet.SetZeroCopy it is flipped once before experiments
 // fan out, never mid-run.
+//
+//lint:hatch cc
 var defaultCC atomic.Int32
 
 // SetDefaultCC sets the controller kind DefaultConfig assigns to Config.CC.
@@ -195,6 +197,8 @@ func DefaultCC() cc.Kind { return cc.Kind(defaultCC.Load()) }
 
 // defaultFidelity is the process-wide default for Config.Fidelity — the
 // ebsbench -fidelity hatch, flipped once before experiments fan out.
+//
+//lint:hatch fidelity
 var defaultFidelity atomic.Int32
 
 // SetDefaultFidelity sets the mode DefaultConfig assigns to

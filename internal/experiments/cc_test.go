@@ -3,7 +3,35 @@ package experiments
 import (
 	"fmt"
 	"testing"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/cc"
 )
+
+// TestCCDefaultHatchIdentity is the -cc hatch's in-process gate, the Go
+// counterpart of `make cc-diff`: naming the default controller explicitly
+// must be byte-identical to leaving the hatch untouched, which pins the
+// hatch default to the static RC baseline. It drives the cliff experiment
+// — the raw-stack path that honors the process-wide default — so a drifted
+// default or broken SetDefaultCC plumbing shows up as output divergence.
+//
+// The test flips the process-wide controller default, so it does not run
+// in parallel with anything else.
+//
+//lint:gate cc
+func TestCCDefaultHatchIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	prev := ebs.DefaultCC()
+	defer ebs.SetDefaultCC(prev)
+	untouched := RDMACliff(Options{Seed: 7, Quick: true, Workers: 1}).Format()
+	ebs.SetDefaultCC(cc.KindStatic)
+	explicit := RDMACliff(Options{Seed: 7, Quick: true, Workers: 1}).Format()
+	if untouched != explicit {
+		t.Fatalf("explicit -cc static diverged from the untouched default\n--- default ---\n%s\n--- static ---\n%s", untouched, explicit)
+	}
+}
 
 // TestCCMatrixDeterminism gates the CC-matrix experiments the same way
 // TestParallelRunDeterminism gates the figures: identical formatted output

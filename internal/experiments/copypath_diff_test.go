@@ -21,6 +21,8 @@ import (
 //
 // The test flips the package-wide data-path default, so it does not run in
 // parallel with anything else.
+//
+//lint:gate copy-path
 func TestCopyPathDifferentialOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

@@ -30,6 +30,8 @@ func withinPct(t *testing.T, name string, got, want, tol float64) {
 // quantiles and goodput — while actually fast-forwarding (analytic
 // completions, fewer events) and actually demoting (the incast wave is
 // engineered to be max-min infeasible in every shard).
+//
+//lint:gate fidelity
 func TestHybridDifferential(t *testing.T) {
 	opts := Options{Seed: 1, Quick: true, Workers: 1}
 	pkt := DiurnalCampaign(opts, ebs.FidelityPacket)

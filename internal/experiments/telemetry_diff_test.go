@@ -20,6 +20,8 @@ import (
 //
 // The test flips the package-wide telemetry default, so it does not run in
 // parallel with anything else.
+//
+//lint:gate telemetry
 func TestTelemetryDifferentialOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

@@ -17,6 +17,8 @@ import (
 //
 // The test flips the package-wide scheduling-class default, so it does not
 // run in parallel with anything else.
+//
+//lint:gate no-wheel
 func TestWheelDifferentialOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

@@ -30,8 +30,33 @@ func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.HotAlloc}, "lintdata/hotalloc")
 }
 
-// The full suite over every fixture package must agree with the union of
-// wants — analyzers do not interfere with each other.
+// TestPartOwn's golden fixture replays the PR 8 VDisk.Write race (a dead
+// cross-partition Eng.Now() read) plus the indexed, tainted-local,
+// range-value, field-write and argument forms — and proves the sanctioned
+// shapes (Mailbox, Handoff, //lint:barrier, accessors, receiver-rooted
+// access) stay silent. The marked types live in the sim/simnet/trace
+// stand-ins, so the cross-package fact path is exercised too.
+func TestPartOwn(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.PartOwn}, "lintdata/ebs/partdata")
+}
+
+func TestFluidDet(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.FluidDet}, "lintdata/internal/simnet/fluiddata")
+}
+
+// TestHatchGate covers the suite-level pairing (ungated hatch, stale
+// gate — diagnostics from the Finish hook, with the gate marker living in
+// a _test.go fixture file) and the local rules (bare marker, unmarked
+// env-var hatch, unmarked doc-word hatch).
+func TestHatchGate(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{lint.HatchGate}, "lintdata/ebs/hatchdata")
+}
+
+// The full suite over the real repo must be clean: every diagnostic the
+// seven analyzers would raise is either fixed or carries a justified
+// //lint:allow. This runs the same RunSuite pipeline as lunavet — facts,
+// per-package checks, suite-level Finish — so an ungated hatch or a
+// cross-partition access anywhere in the tree fails this test.
 func TestSuiteOverRepo(t *testing.T) {
 	pkgs, err := lint.Load("../..", []string{"./..."})
 	if err != nil {
@@ -40,14 +65,56 @@ func TestSuiteOverRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("expected to load the whole repo, got %d packages", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		kept, _, err := lint.Run(pkg, lint.All())
-		if err != nil {
-			t.Fatalf("%s: %v", pkg.ImportPath, err)
+	res, err := lint.RunSuite(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var allows, used int
+	for _, pr := range res.Pkgs {
+		for _, d := range pr.Kept {
+			t.Errorf("%s: [%s] %s", pr.Pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
 		}
-		for _, d := range kept {
-			pos := pkg.Fset.Position(d.Pos)
-			t.Errorf("%s: [%s] %s", pos, d.Analyzer, d.Message)
+		for _, a := range pr.Allows {
+			allows++
+			if a.Used > 0 {
+				used++
+			}
+		}
+	}
+	for _, d := range res.Finish {
+		t.Errorf("%s:%d: [%s] %s", d.Position.Filename, d.Position.Line, d.Analyzer, d.Message)
+	}
+	// The suppression inventory is part of the contract: the audited
+	// wall-time allows (and the fluid edge-detect allows) must be present,
+	// and every directive must actually absorb a diagnostic — an unused
+	// allow is drift the inventory exists to expose.
+	if allows == 0 {
+		t.Fatalf("no //lint:allow directives found; the audited suppressions should appear in the inventory")
+	}
+	if used != allows {
+		for _, pr := range res.Pkgs {
+			for _, a := range pr.Allows {
+				if a.Used == 0 {
+					t.Errorf("%s:%d: unused //lint:allow %v (%s)", a.File, a.Line, a.Keys, a.Justification)
+				}
+			}
+		}
+	}
+	// The five shipped hatches must all be marked and gated: their facts
+	// are how hatchgate sees them, so losing a marker silently would
+	// disable the check.
+	for _, key := range []string{"no-wheel", "copy-path", "telemetry", "cc", "fidelity"} {
+		if !res.Facts.Has("hatchgate", "hatch", key) {
+			t.Errorf("hatch fact %q missing: is the //lint:hatch marker still present?", key)
+		}
+		if !res.Facts.Has("hatchgate", "gate", key) {
+			t.Errorf("gate fact %q missing: is the //lint:gate marker still present?", key)
+		}
+	}
+	// The partition-owned core types must stay marked for the same reason.
+	for _, name := range []string{"sim.Engine", "simnet.PacketPool", "trace.Collector"} {
+		if !res.Facts.Has("partown", "partowned", name) {
+			t.Errorf("partowned fact %q missing: is the //lint:partowned marker still present?", name)
 		}
 	}
 }

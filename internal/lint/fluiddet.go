@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FluidDet enforces determinism in the flow-level (fluid) model. The fast
+// forward layer computes per-flow float64 rates (FlowTable.feasible's
+// water-filling pass) and feeds them into event times and admission
+// decisions; two sources of nondeterminism would silently break the
+// byte-identity gates:
+//
+//   - float equality: comparing computed rates or event times with == / !=
+//     makes admission order depend on rounding, which differs across
+//     summation orders. The repo's own idiom is an epsilon band
+//     (alloc[i] >= pace*(1-eps)) — exact comparison in fluid code is a
+//     bug, not a style choice.
+//   - map-range float accumulation: summing float rates while ranging
+//     over a map picks up Go's randomized iteration order, and float
+//     addition is not associative. Rate folds must iterate slices or
+//     sorted keys (maporder's collect-then-sort idiom).
+//
+// Scope is the fluid model's home package (internal/simnet — FlowTable,
+// BulkService and any future fluid code lands there); maporder's generic
+// float-op-assign rule already covers the rest of the tree.
+var FluidDet = &Analyzer{
+	Name: "fluiddet",
+	Doc: "flag float equality and map-range float accumulation in the " +
+		"flow-level model: fluid rate math must be order-independent",
+	Run: runFluidDet,
+}
+
+// FluidPackages is where the flow-level model lives.
+var FluidPackages = []string{"internal/simnet"}
+
+func runFluidDet(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), FluidPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEq(pass, n)
+			case *ast.RangeStmt:
+				checkFluidRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkFloatEq flags == and != between float operands. Comparisons
+// against an untyped constant are still flagged: `rate == 0` looks safe
+// but admission on it is order-dependent the moment rate is a sum.
+func checkFloatEq(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+		return
+	}
+	pass.Reportf(be.OpPos, "floateq",
+		"float equality (%s) in fluid code: rounding makes it order-dependent; compare against an epsilon band", be.Op)
+}
+
+// checkFluidRange flags float accumulation into an outer variable inside
+// a range over a map: both the op-assign form (sum += r) and the plain
+// rebinding form (sum = sum + r), which maporder's generic rule misses.
+func checkFluidRange(pass *Pass, rs *ast.RangeStmt) {
+	xt := pass.TypesInfo.TypeOf(rs.X)
+	if xt == nil {
+		return
+	}
+	if _, ok := xt.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Variables declared inside the range body are per-iteration and
+	// cannot carry order dependence out of the loop.
+	local := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if as.Tok == token.DEFINE {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						local[obj] = true
+					}
+				}
+			}
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || local[obj] || !isFloat(obj.Type()) {
+				continue
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				pass.Reportf(as.Pos(), "mapfloat",
+					"float accumulation into %s while ranging over a map: iteration order is random and float math is not associative; iterate sorted keys", id.Name)
+			case token.ASSIGN:
+				// sum = sum + r: the RHS must mention the accumulator.
+				if i < len(as.Rhs) && mentionsObj(pass, as.Rhs[i], obj) {
+					pass.Reportf(as.Pos(), "mapfloat",
+						"float accumulation into %s while ranging over a map: iteration order is random and float math is not associative; iterate sorted keys", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

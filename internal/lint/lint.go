@@ -1,14 +1,24 @@
-// Package lint is lunavet's analysis suite: four analyzers that enforce,
+// Package lint is lunavet's analysis suite: seven analyzers that enforce,
 // at analysis time, the invariants the simulator otherwise only catches at
-// run time — bit-identical virtual-time output (determinism, maporder),
-// slab/packet Retain-Release pairing (slabown), and allocation-free hot
-// paths (hotalloc).
+// run time — bit-identical virtual-time output (determinism, maporder,
+// fluiddet), slab/packet Retain-Release pairing (slabown), allocation-free
+// hot paths (hotalloc), partition ownership of engine/pool/collector state
+// (partown), and hatch↔gate pairing for the differential escape hatches
+// (hatchgate).
 //
 // The package deliberately depends only on the standard library. The types
 // here mirror golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic)
 // closely enough that porting onto the real framework is a mechanical
 // change, but the repo builds and lints with nothing beyond the Go
 // toolchain — no module downloads, no vendoring.
+//
+// Facts. An analyzer may declare a Collect hook that runs over every
+// loaded package before any Run, exporting Facts — serializable
+// (kind, name, position) records such as "this type is partition-owned"
+// or "this test gates hatch X". Run sees the whole suite's facts, and a
+// Finish hook runs once after every package for suite-wide completeness
+// checks (a hatch with no gate). In `go vet -vettool` mode the facts ride
+// in the .vetx files vet already threads through the package graph.
 //
 // Suppressions. A diagnostic is suppressed by a comment on the offending
 // line or the line directly above it:
@@ -18,7 +28,8 @@
 // where <key> is the analyzer name or the diagnostic category (e.g.
 // "wallclock"), and the justification is mandatory: an allow directive
 // with no stated reason is itself reported. The driver counts suppressed
-// diagnostics so CI can surface them in the step summary.
+// diagnostics and publishes the full directive inventory (lunavet
+// -suppressions) so CI can surface drift in the step summary.
 package lint
 
 import (
@@ -32,15 +43,24 @@ import (
 
 // An Analyzer describes one analysis: a named check with a Run function
 // that inspects a package and reports diagnostics through the Pass.
+// Collect and Finish are optional fact hooks (see the package comment).
 type Analyzer struct {
 	Name string // short lower-case identifier, e.g. "determinism"
 	Doc  string // one-paragraph description of what it enforces
 	Run  func(*Pass) error
+
+	// Collect runs over every loaded package (fixtures and dependencies
+	// included) before any Run, exporting facts via Pass.ExportFact.
+	Collect func(*Pass) error
+	// Finish runs once per suite after every package's Run, for
+	// completeness checks over the collected facts. Diagnostics it
+	// returns carry resolved Positions (they may point into any package).
+	Finish func(*FactSet) []Diagnostic
 }
 
 // All returns the full lunavet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, SlabOwn, HotAlloc}
+	return []*Analyzer{Determinism, MapOrder, SlabOwn, HotAlloc, PartOwn, FluidDet, HatchGate}
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,slabown").
@@ -66,11 +86,78 @@ func ByName(spec string) ([]*Analyzer, error) {
 
 // A Diagnostic is one finding at a position. Category is the suppression
 // key ("wallclock", "globalrand", ...); it defaults to the analyzer name.
+// Pos is set for diagnostics reported during a package Run; suite-level
+// (Finish) diagnostics carry a resolved Position instead, since their
+// positions may refer to a different package's files.
 type Diagnostic struct {
 	Pos      token.Pos
+	Position token.Position // resolved; authoritative when valid
 	Analyzer string
 	Category string
 	Message  string
+}
+
+// position resolves the diagnostic's location against fset.
+func (d Diagnostic) position(fset *token.FileSet) token.Position {
+	if d.Position.Line > 0 {
+		return d.Position
+	}
+	return fset.Position(d.Pos)
+}
+
+// A Fact is one serializable cross-package record an analyzer's Collect
+// hook exports: a marked type, a declared hatch, a registered gate. Facts
+// carry resolved file/line (not token.Pos) so they survive the trip
+// through a .vetx file between `go vet` invocations.
+type Fact struct {
+	Analyzer string `json:"analyzer"`
+	Kind     string `json:"kind"` // e.g. "partowned", "spanning", "hatch", "gate"
+	Name     string `json:"name"` // qualified name ("sim.Engine") or key ("no-wheel")
+	Detail   string `json:"detail,omitempty"`
+	Pkg      string `json:"pkg"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+}
+
+// position converts the fact's resolved file/line into a token.Position
+// usable on a suite-level Diagnostic.
+func (f Fact) position() token.Position {
+	return token.Position{Filename: f.File, Line: f.Line}
+}
+
+// A FactSet indexes the suite's collected facts.
+type FactSet struct {
+	facts []Fact
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{} }
+
+// Add appends one fact.
+func (fs *FactSet) Add(f Fact) { fs.facts = append(fs.facts, f) }
+
+// All returns every fact in collection order.
+func (fs *FactSet) All() []Fact { return fs.facts }
+
+// Kind returns the facts of one analyzer and kind, in collection order.
+func (fs *FactSet) Kind(analyzer, kind string) []Fact {
+	var out []Fact
+	for _, f := range fs.facts {
+		if f.Analyzer == analyzer && f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Has reports whether any fact matches (analyzer, kind, name).
+func (fs *FactSet) Has(analyzer, kind, name string) bool {
+	for _, f := range fs.facts {
+		if f.Analyzer == analyzer && f.Kind == kind && f.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // A Pass carries one analyzer's view of one type-checked package.
@@ -78,8 +165,10 @@ type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
+	TestFiles []*ast.File // parse-only (no type info); markers and wants
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Facts     *FactSet // the whole suite's facts (read in Run, written in Collect)
 
 	diags []Diagnostic
 }
@@ -98,43 +187,218 @@ func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
 	})
 }
 
+// ExportFact records a fact at pos for the current analyzer, resolving
+// the position immediately so the fact is self-contained.
+func (p *Pass) ExportFact(kind, name, detail string, pos token.Pos) {
+	position := p.Fset.Position(pos)
+	p.Facts.Add(Fact{
+		Analyzer: p.Analyzer.Name,
+		Kind:     kind,
+		Name:     name,
+		Detail:   detail,
+		Pkg:      p.Pkg.Path(),
+		File:     position.Filename,
+		Line:     position.Line,
+	})
+}
+
+// AllowInfo is one //lint:allow directive for the suppression inventory:
+// where it is, what it suppresses, why, and how many diagnostics it
+// actually absorbed in this run (0 = candidate drift).
+type AllowInfo struct {
+	File          string   `json:"file"`
+	Line          int      `json:"line"`
+	Keys          []string `json:"keys"`
+	Justification string   `json:"justification"`
+	Used          int      `json:"used"`
+
+	counter *int // live count, shared with the directive; re-read after Finish
+}
+
+// used returns the directive's final usage count.
+func (a AllowInfo) used() int {
+	if a.counter != nil {
+		return *a.counter
+	}
+	return a.Used
+}
+
+// PkgResult is one package's analysis outcome.
+type PkgResult struct {
+	Pkg        *Package
+	Kept       []Diagnostic
+	Suppressed []Diagnostic
+	Allows     []AllowInfo
+}
+
+// SuiteResult is a whole-suite run: per-package results in input order,
+// plus the suite-level (Finish) diagnostics and the collected facts.
+type SuiteResult struct {
+	Pkgs   []*PkgResult
+	Finish []Diagnostic // suite-level diagnostics surviving suppression
+	Facts  *FactSet
+}
+
+// RunSuite executes the full fact/run/finish pipeline over the loaded
+// packages: every analyzer's Collect over every package, then the
+// analyzers over each non-dependency package with the shared fact set,
+// then each Finish hook. Finish diagnostics honor //lint:allow directives
+// at their positions like any other diagnostic.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) (*SuiteResult, error) {
+	fs := NewFactSet()
+	for _, pkg := range pkgs {
+		if err := CollectPackage(pkg, analyzers, fs); err != nil {
+			return nil, err
+		}
+	}
+	res := &SuiteResult{Facts: fs}
+	allAllows := allowSet{}
+	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
+		pr, allows, err := analyzePackage(pkg, analyzers, fs)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pr)
+		for file, byLine := range allows {
+			if allAllows[file] == nil {
+				allAllows[file] = byLine
+			} else {
+				for line, dirs := range byLine {
+					allAllows[file][line] = append(allAllows[file][line], dirs...)
+				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		for _, d := range a.Finish(fs) {
+			if allAllows.covers(d.Position, d) {
+				continue // counted on the directive; inventory shows it
+			}
+			res.Finish = append(res.Finish, d)
+		}
+	}
+	sort.SliceStable(res.Finish, func(i, j int) bool {
+		pi, pj := res.Finish[i].Position, res.Finish[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	// Inventory usage counts are final only after Finish suppression ran.
+	for _, pr := range res.Pkgs {
+		for i := range pr.Allows {
+			pr.Allows[i].Used = pr.Allows[i].used()
+		}
+	}
+	return res, nil
+}
+
+// CollectPackage runs every analyzer's Collect hook over one package,
+// adding to fs. Analyzer panics come back as errors so a broken Collect
+// cannot silently produce an empty fact set.
+func CollectPackage(pkg *Package, analyzers []*Analyzer, fs *FactSet) error {
+	for _, a := range analyzers {
+		if a.Collect == nil {
+			continue
+		}
+		pass := newPass(a, pkg, fs)
+		if err := protect(a, pkg, func() error { return a.Collect(pass) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run executes the given analyzers over one loaded package and returns the
 // surviving diagnostics plus the ones an allow directive suppressed
-// (reported separately so drivers can count them). Malformed allow
-// directives — no justification after the key list — come back as
-// diagnostics of the pseudo-analyzer "allow".
+// (reported separately so drivers can count them). Facts are collected
+// from this package only — the per-package entry point the vettool path
+// builds on (it seeds the fact set from dependencies' .vetx files via
+// RunWithFacts). Malformed allow directives — no justification after the
+// key list — come back as diagnostics of the pseudo-analyzer "allow".
 func Run(pkg *Package, analyzers []*Analyzer) (kept, suppressed []Diagnostic, err error) {
-	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	fs := NewFactSet()
+	if err := CollectPackage(pkg, analyzers, fs); err != nil {
+		return nil, nil, err
+	}
+	return RunWithFacts(pkg, analyzers, fs)
+}
+
+// RunWithFacts is Run with a caller-provided fact set (which must already
+// include this package's own facts).
+func RunWithFacts(pkg *Package, analyzers []*Analyzer, fs *FactSet) (kept, suppressed []Diagnostic, err error) {
+	pr, _, err := analyzePackage(pkg, analyzers, fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr.Kept, pr.Suppressed, nil
+}
+
+func newPass(a *Analyzer, pkg *Package, fs *FactSet) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		TestFiles: pkg.TestFiles,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Facts:     fs,
+	}
+}
+
+// protect converts an analyzer panic into an error: a crashed analyzer
+// must fail the run (exit 2 in the drivers), never pass it silently.
+func protect(a *Analyzer, pkg *Package, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: %s: analyzer panicked: %v", a.Name, pkg.ImportPath, r)
+		}
+	}()
+	if e := fn(); e != nil {
+		return fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, e)
+	}
+	return nil
+}
+
+// analyzePackage runs the analyzers over one package and applies the
+// suppression directives, returning the result plus the package's
+// directive set (for suite-level Finish suppression).
+func analyzePackage(pkg *Package, analyzers []*Analyzer, fs *FactSet) (*PkgResult, allowSet, error) {
+	files := append([]*ast.File{}, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	allows, bad := collectAllows(pkg.Fset, files)
 	var all []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		pass := newPass(a, pkg, fs)
+		if err := protect(a, pkg, func() error { return a.Run(pass) }); err != nil {
+			return nil, nil, err
 		}
 		all = append(all, pass.diags...)
 	}
+	pr := &PkgResult{Pkg: pkg}
 	for _, d := range all {
-		if allows.covers(pkg.Fset.Position(d.Pos), d) {
-			suppressed = append(suppressed, d)
+		if allows.covers(d.position(pkg.Fset), d) {
+			pr.Suppressed = append(pr.Suppressed, d)
 		} else {
-			kept = append(kept, d)
+			pr.Kept = append(pr.Kept, d)
 		}
 	}
-	kept = append(kept, bad...)
-	sortDiags(pkg.Fset, kept)
-	sortDiags(pkg.Fset, suppressed)
-	return kept, suppressed, nil
+	pr.Kept = append(pr.Kept, bad...)
+	sortDiags(pkg.Fset, pr.Kept)
+	sortDiags(pkg.Fset, pr.Suppressed)
+	pr.Allows = allows.inventory()
+	return pr, allows, nil
 }
 
 func sortDiags(fset *token.FileSet, ds []Diagnostic) {
 	sort.SliceStable(ds, func(i, j int) bool {
-		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		pi, pj := ds[i].position(fset), ds[j].position(fset)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -145,18 +409,22 @@ func sortDiags(fset *token.FileSet, ds []Diagnostic) {
 	})
 }
 
-// allowDirective is one parsed //lint:allow comment.
+// allowDirective is one parsed //lint:allow comment. used counts the
+// diagnostics it suppressed this run (pointer-shared across the indexes).
 type allowDirective struct {
-	keys []string
-	line int // the source line the directive is written on
+	keys          []string
+	justification string
+	file          string
+	line          int
+	used          *int
 }
 
 // allowSet indexes directives by file and line.
-type allowSet map[string]map[int][]allowDirective
+type allowSet map[string]map[int][]*allowDirective
 
 const allowPrefix = "//lint:allow"
 
-// collectAllows scans every comment in the package for allow directives.
+// collectAllows scans every comment in the files for allow directives.
 // Directives missing a justification are returned as diagnostics.
 func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
 	set := allowSet{}
@@ -171,9 +439,9 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue // e.g. //lint:allowfoo — not ours
 				}
-				keys, justified := parseAllow(rest)
+				keys, justification := parseAllow(rest)
 				pos := fset.Position(c.Pos())
-				if len(keys) == 0 || !justified {
+				if len(keys) == 0 || justification == "" {
 					bad = append(bad, Diagnostic{
 						Pos:      c.Pos(),
 						Analyzer: "allow",
@@ -184,10 +452,16 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 				}
 				byLine := set[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]allowDirective{}
+					byLine = map[int][]*allowDirective{}
 					set[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], allowDirective{keys: keys, line: pos.Line})
+				byLine[pos.Line] = append(byLine[pos.Line], &allowDirective{
+					keys:          keys,
+					justification: justification,
+					file:          pos.Filename,
+					line:          pos.Line,
+					used:          new(int),
+				})
 			}
 		}
 	}
@@ -195,28 +469,33 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 }
 
 // parseAllow splits "wallclock, select — measuring wall time" into its
-// keys and reports whether a non-empty justification follows them. Keys
-// are comma-separated; the justification is everything after the last key
-// (an optional "—", "--" or ":" separator is tolerated and stripped).
-func parseAllow(rest string) (keys []string, justified bool) {
+// keys and the justification following them (empty when absent). Keys are
+// comma-separated; the justification is everything after the last key (an
+// optional "—", "--" or ":" separator is tolerated and stripped).
+func parseAllow(rest string) (keys []string, justification string) {
 	fields := strings.Fields(rest)
 	i := 0
 	for ; i < len(fields); i++ {
 		f := fields[i]
-		if trimmed := strings.TrimRight(strings.TrimSuffix(f, ","), ":"); trimmed != "" {
-			keys = append(keys, trimmed)
+		if strings.Trim(f, "—-:") == "" {
+			break // separator with no key before it: justification starts here
+		}
+		for _, part := range strings.Split(f, ",") {
+			if p := strings.TrimRight(part, ":"); p != "" {
+				keys = append(keys, p)
+			}
 		}
 		if !strings.HasSuffix(f, ",") {
 			i++
 			break // a key without a trailing comma is the last one
 		}
 	}
-	just := strings.TrimSpace(strings.TrimLeft(strings.Join(fields[i:], " "), "—-: \t"))
-	return keys, just != ""
+	return keys, strings.TrimSpace(strings.TrimLeft(strings.Join(fields[i:], " "), "—-: \t"))
 }
 
 // covers reports whether a directive on the diagnostic's line or the line
-// directly above names the diagnostic's analyzer or category.
+// directly above names the diagnostic's analyzer or category, bumping the
+// matching directive's usage count.
 func (s allowSet) covers(pos token.Position, d Diagnostic) bool {
 	byLine := s[pos.Filename]
 	if byLine == nil {
@@ -226,6 +505,7 @@ func (s allowSet) covers(pos token.Position, d Diagnostic) bool {
 		for _, dir := range byLine[line] {
 			for _, k := range dir.keys {
 				if k == d.Analyzer || k == d.Category {
+					*dir.used++
 					return true
 				}
 			}
@@ -266,4 +546,35 @@ func inScope(path string, patterns []string) bool {
 		}
 	}
 	return false
+}
+
+// inventory flattens the set into sorted AllowInfo records.
+func (s allowSet) inventory() []AllowInfo {
+	var files []string
+	for f := range s {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []AllowInfo
+	for _, f := range files {
+		byLine := s[f]
+		var lines []int
+		for l := range byLine {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			for _, dir := range byLine[l] {
+				out = append(out, AllowInfo{
+					File:          dir.file,
+					Line:          dir.line,
+					Keys:          dir.keys,
+					Justification: dir.justification,
+					Used:          *dir.used,
+					counter:       dir.used,
+				})
+			}
+		}
+	}
+	return out
 }

@@ -1,25 +1,31 @@
 package lint
 
-import "testing"
+import (
+	"go/token"
+	"testing"
+)
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		in        string
-		keys      []string
-		justified bool
+		in            string
+		keys          []string
+		justification string
 	}{
-		{" wallclock — bench layer measures wall time", []string{"wallclock"}, true},
-		{" wallclock, select — two keys, one reason", []string{"wallclock", "select"}, true},
-		{" slabown: colon separator works too", []string{"slabown"}, true},
-		{" hotalloc plain words count as justification", []string{"hotalloc"}, true},
-		{" wallclock", []string{"wallclock"}, false},
-		{" wallclock —", []string{"wallclock"}, false},
-		{"", nil, false},
+		{" wallclock — bench layer measures wall time", []string{"wallclock"}, "bench layer measures wall time"},
+		{" wallclock, select — two keys, one reason", []string{"wallclock", "select"}, "two keys, one reason"},
+		{" slabown: colon separator works too", []string{"slabown"}, "colon separator works too"},
+		{" hotalloc plain words count as justification", []string{"hotalloc"}, "plain words count as justification"},
+		{" maporder -- double-dash separator", []string{"maporder"}, "double-dash separator"},
+		{" wallclock", []string{"wallclock"}, ""},
+		{" wallclock —", []string{"wallclock"}, ""},
+		{" wallclock,select,fluiddet — no spaces between keys", []string{"wallclock", "select", "fluiddet"}, "no spaces between keys"},
+		{"", nil, ""},
+		{" — justification with no key", nil, "justification with no key"},
 	}
 	for _, c := range cases {
-		keys, justified := parseAllow(c.in)
-		if justified != c.justified {
-			t.Errorf("parseAllow(%q): justified = %v, want %v", c.in, justified, c.justified)
+		keys, justification := parseAllow(c.in)
+		if justification != c.justification {
+			t.Errorf("parseAllow(%q): justification = %q, want %q", c.in, justification, c.justification)
 		}
 		if len(keys) != len(c.keys) {
 			t.Errorf("parseAllow(%q): keys = %v, want %v", c.in, keys, c.keys)
@@ -48,6 +54,10 @@ func TestScopeMatch(t *testing.T) {
 		{"lunasolar/internal/coreutils", "internal/core", false},
 		{"lintdata/internal/sim/determ", "internal/sim*", true},
 		{"lintdata/bench", "internal/sim*", false},
+		{"lintdata/internal/simnet/fluiddata", "internal/simnet", true},
+		{"lintdata/ebs/partdata", "ebs", true},
+		{"lunasolar/ebs", "ebs", true},
+		{"lunasolar/ebsx", "ebs", false},
 	}
 	for _, c := range cases {
 		if got := scopeMatch(c.path, c.pat); got != c.want {
@@ -60,11 +70,58 @@ func TestScopeMatch(t *testing.T) {
 // reported itself. This is unit-tested here because the golden fixtures
 // cannot put a want comment on a line that is itself a line comment.
 func TestAllowRequiresJustification(t *testing.T) {
-	keys, justified := parseAllow(" wallclock")
-	if justified {
-		t.Fatalf("bare key parsed as justified")
+	keys, justification := parseAllow(" wallclock")
+	if justification != "" {
+		t.Fatalf("bare key parsed with justification %q", justification)
 	}
 	if len(keys) != 1 || keys[0] != "wallclock" {
 		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// covers must bump the matching directive's usage count — the inventory's
+// drift signal — and match on analyzer name or category, same line or the
+// line above, but never further away.
+func TestAllowCoverageAndUsage(t *testing.T) {
+	dir := &allowDirective{
+		keys:          []string{"wallclock"},
+		justification: "test",
+		file:          "a.go",
+		line:          10,
+		used:          new(int),
+	}
+	set := allowSet{"a.go": {10: []*allowDirective{dir}}}
+
+	diag := Diagnostic{Analyzer: "determinism", Category: "wallclock"}
+	if !set.covers(token.Position{Filename: "a.go", Line: 10}, diag) {
+		t.Errorf("same-line directive did not cover")
+	}
+	if !set.covers(token.Position{Filename: "a.go", Line: 11}, diag) {
+		t.Errorf("line-above directive did not cover")
+	}
+	if set.covers(token.Position{Filename: "a.go", Line: 12}, diag) {
+		t.Errorf("directive two lines up covered")
+	}
+	if set.covers(token.Position{Filename: "b.go", Line: 10}, diag) {
+		t.Errorf("directive in another file covered")
+	}
+	if set.covers(token.Position{Filename: "a.go", Line: 10}, Diagnostic{Analyzer: "slabown", Category: "slabown"}) {
+		t.Errorf("unrelated key covered")
+	}
+	if *dir.used != 2 {
+		t.Errorf("used = %d, want 2", *dir.used)
+	}
+
+	inv := set.inventory()
+	if len(inv) != 1 {
+		t.Fatalf("inventory size = %d, want 1", len(inv))
+	}
+	if inv[0].used() != 2 {
+		t.Errorf("inventory used() = %d, want 2", inv[0].used())
+	}
+	// The counter is live: later covers show up in used().
+	set.covers(token.Position{Filename: "a.go", Line: 10}, diag)
+	if inv[0].used() != 3 {
+		t.Errorf("inventory used() after extra cover = %d, want 3", inv[0].used())
 	}
 }

@@ -34,7 +34,13 @@ type expectation struct {
 
 // Run loads the packages matching patterns from the module rooted at dir
 // (conventionally "testdata/src") and checks analyzer output against the
-// fixtures' want comments.
+// fixtures' want comments. The whole suite pipeline runs — Collect over
+// every loaded package (dependencies included), per-package checks, then
+// Finish — so cross-package facts and suite-level diagnostics are
+// exercised exactly as lunavet runs them. Want comments in _test.go
+// fixture files count too (suite-level diagnostics may land on a gate
+// marker in a test); packages loaded only as dependencies contribute
+// facts but their want comments are not checked.
 func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) {
 	t.Helper()
 	pkgs, err := lint.Load(dir, patterns)
@@ -44,34 +50,55 @@ func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...strin
 	if len(pkgs) == 0 {
 		t.Fatalf("no fixture packages matched %v under %s", patterns, dir)
 	}
-	for _, pkg := range pkgs {
-		kept, _, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			t.Fatalf("%s: %v", pkg.ImportPath, err)
-		}
-		checkPackage(t, pkg, kept)
+	res, err := lint.RunSuite(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
 	}
-}
-
-func checkPackage(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
-	t.Helper()
-	wants := collectWants(t, pkg.Fset, pkg.Files)
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		exps := wants[key]
-		matched := false
-		for _, e := range exps {
-			if !e.matched && e.rx.MatchString(d.Message) {
-				e.matched = true
-				matched = true
-				break
+	// One want map across every checked (non-dependency) package: all
+	// fixture files share the suite's FileSet, and suite-level (Finish)
+	// diagnostics can land in any of them.
+	var files []*ast.File
+	fset := pkgs[0].Fset
+	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
+		files = append(files, pkg.Files...)
+		files = append(files, pkg.TestFiles...)
+	}
+	wants := collectWants(t, fset, files)
+	for _, pr := range res.Pkgs {
+		for _, d := range pr.Kept {
+			pos := fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if !matchWant(wants[key], d.Message) {
+				t.Errorf("%s: unexpected diagnostic [%s] %s", key, d.Analyzer, d.Message)
 			}
 		}
-		if !matched {
-			t.Errorf("%s: unexpected diagnostic [%s] %s", key, d.Analyzer, d.Message)
+	}
+	for _, d := range res.Finish {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		if !matchWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected suite diagnostic [%s] %s", key, d.Analyzer, d.Message)
 		}
 	}
+	reportUnmatched(t, wants)
+}
+
+// matchWant marks and reports the first unmatched expectation whose regex
+// matches the message.
+func matchWant(exps []*expectation, message string) bool {
+	for _, e := range exps {
+		if !e.matched && e.rx.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func reportUnmatched(t *testing.T, wants map[string][]*expectation) {
+	t.Helper()
 	for key, exps := range wants {
 		for _, e := range exps {
 			if !e.matched {

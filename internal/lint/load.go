@@ -16,24 +16,32 @@ import (
 )
 
 // Package is one loaded, type-checked package ready for analysis.
+// TestFiles are the package's _test.go files, parsed without type
+// information: analyzers never check test code, but fact markers
+// (//lint:gate on a differential test) and suppression directives in
+// tests must still be visible.
 type Package struct {
 	ImportPath string
 	Dir        string
+	DepOnly    bool // loaded only because a target imports it; collect facts, skip checks
 	Fset       *token.FileSet
 	Files      []*ast.File
+	TestFiles  []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	DepOnly    bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+	Error        *struct{ Err string }
 }
 
 // Load type-checks the packages matching patterns (relative to dir) and
@@ -42,13 +50,17 @@ type listPkg struct {
 // data, which the stdlib gc importer then serves to go/types — the same
 // mechanism `go vet` uses, without needing golang.org/x/tools.
 //
-// Only non-test files are loaded: the invariants lunavet enforces are
-// about simulation code, and tests legitimately use wall clocks, global
-// rand and unordered iteration.
+// Non-test files are loaded with full type information; _test.go files
+// are parsed comment-only (no type checking), because the invariants
+// lunavet enforces are about simulation code — tests legitimately use
+// wall clocks, global rand and unordered iteration — but fact markers
+// such as //lint:gate live on test functions. Dependencies of the
+// matched patterns load too, flagged DepOnly: fact collection covers
+// them, diagnostics never target them.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	args := []string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,Error",
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
@@ -73,7 +85,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if p.Standard || p.DepOnly {
+		if p.Standard {
 			continue
 		}
 		if p.Error != nil {
@@ -103,17 +115,28 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, p := range targets {
-		var files []*ast.File
-		for _, gf := range p.GoFiles {
-			name := gf
-			if !filepath.IsAbs(name) {
-				name = filepath.Join(p.Dir, gf)
+		parse := func(list []string) ([]*ast.File, error) {
+			var out []*ast.File
+			for _, gf := range list {
+				name := gf
+				if !filepath.IsAbs(name) {
+					name = filepath.Join(p.Dir, gf)
+				}
+				f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+				if err != nil {
+					return nil, fmt.Errorf("parsing %s: %v", name, err)
+				}
+				out = append(out, f)
 			}
-			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %v", name, err)
-			}
-			files = append(files, f)
+			return out, nil
+		}
+		files, err := parse(p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		testFiles, err := parse(append(append([]string{}, p.TestGoFiles...), p.XTestGoFiles...))
+		if err != nil {
+			return nil, err
 		}
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
@@ -130,8 +153,10 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		pkgs = append(pkgs, &Package{
 			ImportPath: p.ImportPath,
 			Dir:        p.Dir,
+			DepOnly:    p.DepOnly,
 			Fset:       fset,
 			Files:      files,
+			TestFiles:  testFiles,
 			Types:      tpkg,
 			TypesInfo:  info,
 		})

@@ -1,0 +1,125 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lunasolar/internal/lint"
+)
+
+// The loader feeds everything downstream — analyzers, facts, suppression
+// scanning — so its contract is pinned here: test files parse comment-only,
+// dependencies arrive DepOnly, file-less packages are skipped, and load
+// failures surface as errors instead of silently analyzing less code.
+
+func TestLoadFixtureModule(t *testing.T) {
+	pkgs, err := lint.Load("testdata/src", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := map[string]*lint.Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Fset != pkgs[0].Fset {
+			t.Errorf("%s: packages from one Load must share a FileSet", p.ImportPath)
+		}
+	}
+	hd := byPath["lintdata/ebs/hatchdata"]
+	if hd == nil {
+		t.Fatalf("lintdata/ebs/hatchdata not loaded; got %d packages", len(pkgs))
+	}
+	if hd.DepOnly {
+		t.Errorf("hatchdata matched the pattern; must not be DepOnly")
+	}
+	if hd.Types == nil || hd.TypesInfo == nil {
+		t.Errorf("hatchdata loaded without type information")
+	}
+	// The gate markers live in hatchdata_test.go: the loader must parse it
+	// (comments included) even though tests are never type-checked.
+	if len(hd.TestFiles) == 0 {
+		t.Fatalf("hatchdata has a _test.go file; TestFiles is empty")
+	}
+	var sawGate bool
+	for _, f := range hd.TestFiles {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//lint:gate ") {
+					sawGate = true
+				}
+			}
+		}
+	}
+	if !sawGate {
+		t.Errorf("no //lint:gate comment visible in hatchdata's TestFiles; comment parsing regressed")
+	}
+}
+
+func TestLoadDepsAreDepOnly(t *testing.T) {
+	pkgs, err := lint.Load("testdata/src", []string{"lintdata/ebs/partdata"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	depOnly := map[string]bool{}
+	for _, p := range pkgs {
+		depOnly[p.ImportPath] = p.DepOnly
+	}
+	if got, ok := depOnly["lintdata/ebs/partdata"]; !ok || got {
+		t.Errorf("partdata: want loaded with DepOnly=false, got ok=%v DepOnly=%v", ok, got)
+	}
+	// partdata imports the marked stand-ins; they must load as DepOnly so
+	// fact collection sees the //lint:partowned markers without analyzing
+	// (or re-reporting on) dependency code.
+	for _, dep := range []string{"lintdata/sim", "lintdata/simnet", "lintdata/trace"} {
+		if got, ok := depOnly[dep]; !ok || !got {
+			t.Errorf("%s: want loaded with DepOnly=true, got ok=%v DepOnly=%v", dep, ok, got)
+		}
+	}
+}
+
+func TestLoadBadDir(t *testing.T) {
+	if _, err := lint.Load(filepath.Join("testdata", "no-such-dir"), []string{"./..."}); err == nil {
+		t.Fatalf("Load from a missing directory: want error, got nil")
+	}
+}
+
+func TestLoadBrokenSource(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module broken\n\ngo 1.22\n")
+	writeFile(t, dir, "broken.go", "package broken\n\nfunc f() { this is not go\n")
+	if _, err := lint.Load(dir, []string{"./..."}); err == nil {
+		t.Fatalf("Load of a package with a syntax error: want error, got nil")
+	}
+}
+
+func TestLoadSkipsTestOnlyPackages(t *testing.T) {
+	// The repo root holds only benchmarks; a pattern matching such a
+	// package must skip it, not fail the whole load.
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module testonly\n\ngo 1.22\n")
+	writeFile(t, dir, "only_test.go", "package testonly\n\nimport \"testing\"\n\nfunc TestNothing(t *testing.T) {}\n")
+	writeFile(t, filepath.Join(dir, "real"), "real.go", "package real\n\nfunc Real() int { return 1 }\n")
+	pkgs, err := lint.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if p.ImportPath == "testonly" {
+			t.Errorf("test-only root package was loaded; it has no GoFiles to analyze")
+		}
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "testonly/real" {
+		t.Errorf("want exactly the real subpackage, got %d packages", len(pkgs))
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

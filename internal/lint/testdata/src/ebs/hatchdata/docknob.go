@@ -1,0 +1,10 @@
+package hatchdata
+
+// Knobs configures the fixture's runtime switches.
+type Knobs struct {
+	// CopyPath is the deep-copy escape hatch for the data path.
+	CopyPath bool // want `field documents itself as a hatch`
+}
+
+// wordEnabled is the escape hatch for the fixture's doc-word rule.
+var wordEnabled = false // want `declaration documents itself as a hatch`

@@ -1,0 +1,7 @@
+package hatchdata
+
+import "os"
+
+// envEnabled switches behavior straight off the environment with no
+// marker anywhere in this file.
+var envEnabled = os.Getenv("LUNASOLAR_ENV_KNOB") != "" // want `reading "LUNASOLAR_ENV_KNOB" switches a differential hatch`

@@ -1,0 +1,22 @@
+// Package hatchdata exercises hatchgate: every marked hatch must pair
+// with a registered gate, unmarked hatches are caught by the env-var and
+// doc-word rules, and bare markers are malformed.
+package hatchdata
+
+import "os"
+
+// goodEnabled is the fixture's gated escape switch; its gate lives in
+// hatchdata_test.go.
+//
+//lint:hatch good-knob
+var goodEnabled = os.Getenv("LUNASOLAR_GOOD_KNOB") != ""
+
+// orphanEnabled's marker pairs with no gate anywhere in the suite.
+//
+//lint:hatch orphan-knob // want `hatch orphan-knob has no registered differential gate`
+var orphanEnabled = false
+
+// brokenEnabled carries a marker with no key.
+//
+//lint:hatch // want `bare //lint:hatch marker`
+var brokenEnabled = false

@@ -1,0 +1,18 @@
+package hatchdata
+
+import "testing"
+
+// TestGoodKnobDifferential is good-knob's registered gate: on and off
+// must produce byte-identical output.
+//
+//lint:gate good-knob
+func TestGoodKnobDifferential(t *testing.T) {
+	if goodEnabled {
+		t.Skip("fixture")
+	}
+}
+
+// TestGhostKnobDifferential gates a knob that no longer exists.
+//
+//lint:gate ghost-knob // want `gate ghost-knob pairs with no //lint:hatch`
+func TestGhostKnobDifferential(t *testing.T) {}

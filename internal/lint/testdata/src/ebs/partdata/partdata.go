@@ -1,0 +1,127 @@
+// Package partdata replays the coupled-fabric ownership races the
+// partown analyzer closes, headlined by the PR 8 VDisk.Write shape:
+// reading a dead cross-partition engine clock from partitioned code.
+package partdata
+
+import (
+	"lintdata/sim"
+	"lintdata/simnet"
+	"lintdata/trace"
+)
+
+// PartState is one partition's mutable link-and-trigger state.
+//
+//lint:partowned
+type PartState struct {
+	PeerUp bool
+	Trig   [4]int
+	eng    *sim.Engine
+}
+
+// Cluster spans every partition: reaching engines, pools, collectors or
+// partition state through it crosses ownership.
+//
+//lint:spanning
+type Cluster struct {
+	Eng        *sim.Engine
+	engines    []*sim.Engine
+	parts      []*PartState
+	pools      []*simnet.PacketPool
+	collectors []*trace.Collector
+	rand       *sim.Rand
+	mail       *sim.Mailbox
+	inbox      *simnet.Inbox
+}
+
+// VDisk is a partitioned write path: it runs inside one partition's
+// window but holds a reference to the whole cluster.
+type VDisk struct {
+	cluster *Cluster
+	seq     uint64
+}
+
+// Write replays the PR 8 race verbatim: stamping a write with the
+// cluster-level clock reads another partition's engine mid-window.
+func (v *VDisk) Write(n int) int64 {
+	v.seq++
+	return v.cluster.Eng.Now() // want `call to sim\.Engine\.Now on another partition's state`
+}
+
+// indexedClock reads a specific partition's clock through the spanning
+// container — same race, indexed form.
+func (v *VDisk) indexedClock(i int) int64 {
+	return v.cluster.engines[i].Now() // want `call to sim\.Engine\.Now on another partition's state`
+}
+
+// viaLocal shows the taint pass: binding the foreign engine to a local
+// does not launder it.
+func (v *VDisk) viaLocal() int64 {
+	eng := v.cluster.Eng
+	return eng.Now() // want `call to sim\.Engine\.Now on another partition's state`
+}
+
+// rangeClocks shows range-value taint over a foreign container.
+func (c *Cluster) rangeClocks() int64 {
+	var sum int64
+	for _, eng := range c.engines {
+		sum += eng.Now() // want `call to sim\.Engine\.Now on another partition's state`
+	}
+	return sum
+}
+
+// publish writes link state into every partition from outside any
+// window — the unprotected form of a cut-state publish.
+func (c *Cluster) publish() {
+	for _, ps := range c.parts {
+		ps.PeerUp = true // want `write to partdata\.PartState\.PeerUp of another partition's state`
+	}
+	c.parts[0].Trig[1]++ // want `write to partdata\.PartState\.Trig of another partition's state`
+}
+
+// gather hands another partition's collector to a merge — the argument
+// form of the crossing.
+func (c *Cluster) gather(dst *trace.Collector) {
+	for _, col := range c.collectors {
+		dst.Merge(col) // want `another partition's trace\.Collector passed as an argument`
+	}
+}
+
+// salt draws from a partition's random stream through the spanning
+// struct, perturbing that partition's deterministic sequence.
+func (c *Cluster) salt() uint32 {
+	return c.rand.Uint32() // want `call to sim\.Rand\.Uint32 on another partition's state`
+}
+
+// BarrierPublish is the sanctioned form of publish: barrier-marked code
+// runs only while no window is active, so cross-partition access is safe.
+//
+//lint:barrier
+func (c *Cluster) BarrierPublish() {
+	for _, ps := range c.parts {
+		ps.PeerUp = true
+	}
+	_ = c.Eng.Now()
+}
+
+// PartEngine is an accessor: partown never taints method results, so
+// callers of accessors stay silent (the accessor vouches for the value).
+func (c *Cluster) PartEngine(i int) *sim.Engine { return c.engines[i] }
+
+// accessorUse is silent: the engine came out of a method call.
+func (c *Cluster) accessorUse() int64 {
+	return c.PartEngine(0).Now()
+}
+
+// post crosses through the mailbox — the sanctioned crossing type — and
+// through a Handoff call, both silent by design.
+func (c *Cluster) post(p *simnet.Packet) {
+	c.mail.Post(c.parts[0])
+	c.inbox.Handoff(p, 0)
+}
+
+// bump is receiver-rooted own-partition access: a partition's own method
+// touching its own state is the normal case and stays silent.
+func (ps *PartState) bump() {
+	ps.Trig[1]++
+	_ = ps.eng.Now()
+}

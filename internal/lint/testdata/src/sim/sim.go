@@ -1,10 +1,31 @@
 // Package sim is a fixture stand-in for the real event engine: the
-// maporder analyzer keys sinks on (package name, method name), so these
-// shapes are what it matches against.
+// maporder analyzer keys sinks on (package name, method name), and the
+// partown analyzer keys ownership on package-qualified type names, so
+// these shapes drive both exactly like the real package.
 package sim
 
+// Engine is one partition's event loop and clock.
+//
+//lint:partowned
 type Engine struct{ seq uint64 }
 
 func (e *Engine) Schedule(after int64, fn func()) { e.seq++ }
 
 func (e *Engine) ScheduleAt(at int64, fn func()) { e.seq++ }
+
+func (e *Engine) Now() int64 { return int64(e.seq) }
+
+// Rand is one partition's deterministic random stream.
+//
+//lint:partowned
+type Rand struct{ state uint64 }
+
+func (r *Rand) Uint32() uint32 { r.state++; return uint32(r.state) }
+
+// Mailbox is the sanctioned cross-partition crossing: Post is safe from
+// any partition's window.
+//
+//lint:crossing
+type Mailbox struct{ pending int }
+
+func (m *Mailbox) Post(v any) { m.pending++ }

@@ -1,13 +1,28 @@
 // Package simnet is a fixture stand-in for the real packet pool: the
 // slabown analyzer matches the ownership protocol by receiver type name
-// (PacketPool, Slab), so these shapes drive it exactly like the real one.
+// (PacketPool, Slab), and the partown analyzer keys ownership on
+// package-qualified type names, so these shapes drive both exactly like
+// the real package.
 package simnet
 
+// PacketPool is one partition's packet allocator.
+//
+//lint:partowned
 type PacketPool struct{ outstanding int }
 
 type Packet struct{ Payload []byte }
 
 type Slab struct{ buf []byte }
+
+// Port is one partition's link endpoint state.
+//
+//lint:partowned
+type Port struct {
+	Up    bool
+	Depth int
+}
+
+func (pt *Port) Enqueue(p *Packet) { pt.Depth++ }
 
 func (pp *PacketPool) Get(n int) *Packet { pp.outstanding++; return &Packet{Payload: make([]byte, n)} }
 
@@ -33,3 +48,11 @@ func (p *Packet) Release() {}
 type Inbox struct{ pending int }
 
 func (ib *Inbox) Handoff(p *Packet, at int64) { ib.pending++ }
+
+// FlowTable models the fluid fast-forward layer's demotion flush: Flush
+// rematerializes an analytic flow's packet back into pool ownership, so
+// the caller's reference is spent — the same contract as Release and
+// Handoff, matched by method name.
+type FlowTable struct{ flushed int }
+
+func (t *FlowTable) Flush(p *Packet) { t.flushed++ }

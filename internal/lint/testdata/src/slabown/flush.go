@@ -1,0 +1,45 @@
+// The fluid fast-forward layer's demotion flush: FlowTable.Flush
+// rematerializes an analytic flow's packet back into pool ownership, so
+// it spends the caller's reference exactly like Release and Handoff do.
+package slabown
+
+import "lintdata/simnet"
+
+// A flush on every path is lint-clean: the packet re-entered pool
+// ownership and nothing touches it afterwards.
+func okDemotionFlush(pp *simnet.PacketPool, ft *simnet.FlowTable, demote bool) {
+	p := pp.Get(64)
+	if demote {
+		ft.Flush(p)
+		return
+	}
+	p.Release()
+}
+
+// Touching the packet after its flush races the pool's next Get.
+func badUseAfterFlush(pp *simnet.PacketPool, ft *simnet.FlowTable) {
+	p := pp.Get(64)
+	ft.Flush(p)
+	p.Payload[0] = 1 // want `use of p after its Flush on line 22`
+}
+
+// Flushing twice re-pools one reference two times.
+func badDoubleFlush(pp *simnet.PacketPool, ft *simnet.FlowTable) {
+	p := pp.Get(64)
+	ft.Flush(p)
+	ft.Flush(p) // want `p released twice \(first Flush on line 29\)`
+}
+
+// A flush after the handoff flushes a packet another partition now owns.
+func badFlushAfterHandoff(pp *simnet.PacketPool, ft *simnet.FlowTable, ib *simnet.Inbox) {
+	p := pp.Get(64)
+	ib.Handoff(p, 10)
+	ft.Flush(p) // want `p released twice \(first Handoff on line 36\)`
+}
+
+// A release after the flush is the symmetric double-spend.
+func badReleaseAfterFlush(pp *simnet.PacketPool, ft *simnet.FlowTable) {
+	p := pp.Get(64)
+	ft.Flush(p)
+	p.Release() // want `p released twice \(first Flush on line 43\)`
+}

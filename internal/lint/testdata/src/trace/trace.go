@@ -1,0 +1,13 @@
+// Package trace is a fixture stand-in for the real trace collectors:
+// each Collector belongs to one partition, so handing one across
+// partitions is an ownership violation the partown analyzer flags.
+package trace
+
+// Collector accumulates one partition's samples.
+//
+//lint:partowned
+type Collector struct{ n int }
+
+func (c *Collector) Record(v int64) { c.n++ }
+
+func (c *Collector) Merge(o *Collector) { c.n += o.n }

@@ -26,6 +26,8 @@ type Inbound struct {
 // The mailbox deliberately does not schedule anything itself: it holds
 // opaque payloads until the coordinator owns the receiving engine, keeping
 // the share-nothing rule ("one driver per engine") intact within windows.
+//
+//lint:crossing
 type Mailbox struct {
 	mu      sync.Mutex
 	pending []Inbound

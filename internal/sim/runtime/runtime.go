@@ -212,11 +212,9 @@ type Fleet struct {
 func Run[T any](f *Fleet, n int, job func(shard int) (T, *sim.Engine)) []T {
 	out := make([]T, n)
 	f.Runner.Each(n, func(i int) {
-		//lint:allow wallclock — bench layer: measures wall time for the sim-µs/wall-ms metric; never feeds virtual time
-		t0 := time.Now()
+		t0 := wallNow()
 		v, eng := job(i)
-		//lint:allow wallclock — same wall-time measurement, paired with the read above
-		f.Perf.Observe(eng, time.Since(t0))
+		f.Perf.Observe(eng, wallSince(t0))
 		out[i] = v
 	})
 	return out

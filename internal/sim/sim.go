@@ -130,6 +130,8 @@ func (t Timer) Cancel() {
 // Engine is a single-threaded discrete-event scheduler. All model code runs
 // inside event callbacks on the owning goroutine; see the package comment
 // for the ownership rules.
+//
+//lint:partowned
 type Engine struct {
 	now    Time
 	seq    uint64
@@ -471,7 +473,10 @@ func (e *Engine) siftDown(i int) bool {
 	return moved
 }
 
-// Rand wraps math/rand with the distributions the models need.
+// Rand wraps math/rand with the distributions the models need. Each
+// stream belongs to the partition that draws from it.
+//
+//lint:partowned
 type Rand struct {
 	*rand.Rand
 }

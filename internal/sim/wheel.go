@@ -43,6 +43,8 @@ const (
 // two modes must produce bit-identical experiment output. Engines capture
 // the flag at construction, so flipping it mid-run affects only engines
 // created afterwards.
+//
+//lint:hatch no-wheel
 var coarseEnabled atomic.Bool
 
 func init() {

@@ -61,6 +61,8 @@ func DefaultConfig() Config {
 // failure-injection surface. A fabric spans one or more partitions (see
 // partition.go); serial fabrics are simply the one-partition case, so the
 // two construction paths share every invariant.
+//
+//lint:spanning
 type Fabric struct {
 	Eng *sim.Engine // partition 0's engine; the only engine of serial fabrics
 	cfg Config
@@ -95,6 +97,10 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	return build([]*sim.Engine{eng}, cfg, PlanPartitions(cfg, 1))
 }
 
+// build wires engines, partitions, ports and pools before any window has
+// run — every partition is still quiescent, so it may touch them all.
+//
+//lint:barrier — construction time: no window has started yet
 func build(engs []*sim.Engine, cfg Config, plan *PartPlan) *Fabric {
 	if cfg.DCs < 1 || cfg.PodsPerDC < 1 || cfg.RacksPerPod < 1 || cfg.HostsPerRack < 1 {
 		panic("simnet: topology dimensions must be >= 1")

@@ -186,6 +186,8 @@ type FlowTable struct {
 // quiescent. On a serial fabric the table installs itself as the engine's
 // fast-forward hook; a coupled fabric must additionally wire
 // FlowTable.BarrierAdvance as the coupled runner's FastForward callback.
+//
+//lint:barrier — setup before any window runs; installs the hook, never races one
 func (f *Fabric) EnableFluid(cfg FluidConfig) *FlowTable {
 	t := &FlowTable{fab: f, cfg: cfg, seenMaxQ: f.MaxQueuedBytes()}
 	f.fluid = t
@@ -247,6 +249,8 @@ func (t *FlowTable) engineHook(now, until sim.Time) {
 // fold merges the per-partition trigger notes into the table: bump the
 // hold-off past the latest note and flush every fluid flow at that time.
 // Runs single-threaded (engine hook or barrier) by construction.
+//
+//lint:barrier — engine fast-forward hook or barrier coordinator; never inside a window
 func (t *FlowTable) fold() {
 	noted := false
 	var at sim.Time
@@ -278,6 +282,8 @@ func (t *FlowTable) fold() {
 // all sent keeps its completion event (its fin is analytically in
 // flight). Runs at single-threaded points; at a barrier every engine's
 // clock agrees, so partition 0's now is the flush time.
+//
+//lint:barrier — single-threaded flush point; every engine clock agrees here
 func (t *FlowTable) flushAll() {
 	now := t.fab.parts[0].eng.Now()
 	t.stats.Demotions++
@@ -531,6 +537,8 @@ func (t *FlowTable) feasible(cand *fluidFlow) bool {
 // refusal the caller paces f's packets for real. An infeasible admission
 // with fluid flows active is incast onset: every fluid flow is flushed
 // too, so the contention is simulated at packet fidelity.
+//
+//lint:barrier — reached only from Admit (serial fabric) or BarrierAdvance (coordinator)
 func (t *FlowTable) admit(f *fluidFlow, now sim.Time) bool {
 	if !t.eligible(now) {
 		t.stats.Rejected++
@@ -562,6 +570,8 @@ func (t *FlowTable) admit(f *fluidFlow, now sim.Time) bool {
 // the transfer's start event: fold pending notes, then admit and — if
 // promoted — schedule the analytic completion eagerly, so the engine can
 // jump straight to it.
+//
+//lint:barrier — serial fabric only: one engine, no concurrent window
 func (t *FlowTable) Admit(f *fluidFlow) bool {
 	t.fold()
 	now := t.fab.parts[0].eng.Now()
@@ -580,6 +590,8 @@ func (t *FlowTable) Admit(f *fluidFlow) bool {
 // worker count), and materializes completions due within the upcoming
 // window (all of them when no packet event remains). Returns true if any
 // event was scheduled, so the runner recomputes its horizon.
+//
+//lint:barrier — the coupled runner's barrier callback itself
 func (t *FlowTable) BarrierAdvance(next sim.Time, ok bool) bool {
 	t.scheduled = false
 	t.fold()

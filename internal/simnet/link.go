@@ -23,6 +23,8 @@ type Node interface {
 // store-and-forward output queue drained by a serializer at the link rate,
 // with tail drop at the buffer limit, ECN marking above the threshold, and
 // INT stamping at enqueue.
+//
+//lint:partowned
 type Port struct {
 	owner Node
 	peer  *Port

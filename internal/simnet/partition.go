@@ -130,6 +130,8 @@ func (pl *PartPlan) Lookahead() time.Duration {
 // window; the only cross-partition mutation is Mailbox.Post, which is
 // thread-safe, and the barrier-time work below, which runs single-threaded
 // on the coordinator.
+//
+//lint:partowned
 type fabricPart struct {
 	idx  int
 	fab  *Fabric
@@ -189,6 +191,8 @@ func (ps *fabricPart) putMsg(m *crossMsg) {
 
 // crossInbox is a partition's inbound face: the cut-link transmit path
 // hands frames to the peer partition through it.
+//
+//lint:crossing
 type crossInbox struct {
 	part *fabricPart
 }
@@ -304,6 +308,8 @@ func (f *Fabric) Lookahead() time.Duration {
 // bounds the staleness by one lookahead — physically, the time a real
 // link-state or routing update would take to cross the same wire — and
 // keeps the refresh points identical for every worker count.
+//
+//lint:barrier — coordinator-only refresh between windows (see staleness argument above)
 func (f *Fabric) PublishCutState() {
 	for _, p := range f.cutPorts {
 		peer := p.peer
@@ -324,6 +330,8 @@ func (f *Fabric) PublishCutState() {
 // (time, source partition, sequence) order — the deterministic merge the
 // coupled runner's determinism argument rests on. Must only be called
 // from the barrier coordinator while no window is running.
+//
+//lint:barrier — barrier coordinator only, per the contract above
 func (f *Fabric) DrainInboxes() {
 	for _, ps := range f.parts {
 		part := ps
@@ -348,6 +356,8 @@ func (f *Fabric) InboxPending() int {
 // partition order. The per-partition leak gate: with every engine drained
 // and every inbox empty, each partition's pool must individually balance,
 // and this sum is zero.
+//
+//lint:barrier — leak gate: runs after a full drain, no window active
 func (f *Fabric) OutstandingAll() uint64 {
 	var n uint64
 	for _, ps := range f.parts {
@@ -357,4 +367,6 @@ func (f *Fabric) OutstandingAll() uint64 {
 }
 
 // PartOutstanding returns partition i's outstanding pool references.
+//
+//lint:barrier — leak gate companion to OutstandingAll; post-drain only
 func (f *Fabric) PartOutstanding(i int) uint64 { return f.parts[i].pool.Outstanding() }

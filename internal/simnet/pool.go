@@ -23,6 +23,8 @@ const (
 // the sender when Send reports a local drop. Release on a packet that did
 // not come from a pool is a no-op, so tests and cold paths can keep
 // building packets with struct literals.
+//
+//lint:partowned
 type PacketPool struct {
 	pkts  []*Packet
 	small [][]byte

@@ -13,6 +13,8 @@ import (
 // seed code did. The switch changes only where bytes live — packet sizes,
 // event counts and all experiment output are byte-identical either way,
 // which the copy-path differential test enforces.
+//
+//lint:hatch copy-path
 var zeroCopyEnabled atomic.Bool
 
 func init() {

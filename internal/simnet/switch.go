@@ -133,6 +133,7 @@ func (s *Switch) Fail() {
 // fluid fidelity trigger (and re-arms the hold-off), so flows observe the
 // restored topology at packet fidelity first.
 func (s *Switch) Repair() {
+	//lint:allow floateq — edge-detect against the exact zero these fields are assigned; never derived from arithmetic
 	if !s.alive || s.dropRate != 0 || s.blackholeFrac != 0 {
 		s.part.noteFluid(TriggerFailover)
 	}
@@ -143,6 +144,7 @@ func (s *Switch) Repair() {
 
 // SetDropRate makes the switch drop transiting packets with probability p.
 func (s *Switch) SetDropRate(p float64) {
+	//lint:allow floateq — edge-detect against the exact zero dropRate is assigned; never derived from arithmetic
 	if p > 0 && s.dropRate == 0 {
 		s.part.noteFluid(TriggerLoss)
 	}
@@ -152,6 +154,7 @@ func (s *Switch) SetDropRate(p float64) {
 // SetBlackhole silently drops the given fraction of flows (selected by
 // hash), modelling a corrupted forwarding entry or failing linecard.
 func (s *Switch) SetBlackhole(frac float64, salt uint32) {
+	//lint:allow floateq — edge-detect against the exact zero blackholeFrac is assigned; never derived from arithmetic
 	if frac > 0 && s.blackholeFrac == 0 {
 		s.part.noteFluid(TriggerLoss)
 	}

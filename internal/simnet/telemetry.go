@@ -16,6 +16,8 @@ import (
 // the same way the wheel and copy-path hatches are enforced. On, the
 // updates are plain field increments: zero allocations on the
 // //lint:hotpath functions (AllocsPerRun-gated).
+//
+//lint:hatch telemetry
 var telemetryEnabled atomic.Bool
 
 func init() {

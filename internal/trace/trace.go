@@ -75,7 +75,10 @@ func (s *Span) Total() time.Duration {
 }
 
 // Collector aggregates spans into per-component and end-to-end histograms,
-// separately for reads and writes.
+// separately for reads and writes. Each collector belongs to the
+// partition whose agents record into it.
+//
+//lint:partowned
 type Collector struct {
 	read  [numComponents]*stats.Histogram
 	write [numComponents]*stats.Histogram
