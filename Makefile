@@ -13,7 +13,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet lint lint-report staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff ff-diff check
+.PHONY: build vet lint lint-report staticcheck govulncheck test race bench bench-smoke telemetry-diff coupled-diff cc-diff ff-diff ctrl-diff check
 
 build:
 	$(GO) build ./...
@@ -112,6 +112,19 @@ ff-diff:
 	$(GO) run ./cmd/ebsbench -exp fig6,incast -quick -workers 1 -fidelity hybrid | grep -v 'perf:\|completed in' > /tmp/lunasolar-fid-hybrid.txt
 	diff /tmp/lunasolar-fid-packet.txt /tmp/lunasolar-fid-hybrid.txt
 
+# The control plane is serial management logic riding on the shared
+# worker pool: the provisioning storm, the planned drain and the
+# noisy-neighbor matrix must produce byte-identical tables whether their
+# cells run serially or on four workers. This is the control-plane
+# worker-determinism gate; the quick report run also enforces the
+# zero-failed-I/O drain gate and the 2x noisy-neighbor isolation gate.
+ctrl-diff:
+	$(GO) run ./cmd/ebsbench -exp provision-storm,drain,noisyneighbor -quick -workers 1 | grep -v 'perf:\|completed in' > /tmp/lunasolar-ctrl-serial.txt
+	$(GO) run ./cmd/ebsbench -exp provision-storm,drain,noisyneighbor -quick -workers 4 | grep -v 'perf:\|completed in' > /tmp/lunasolar-ctrl-parallel.txt
+	diff /tmp/lunasolar-ctrl-serial.txt /tmp/lunasolar-ctrl-parallel.txt
+	$(GO) run ./cmd/ebsbench -quick -ctrl-bench-out /tmp/lunasolar-BENCH_ctrl.json
+	grep -q '"schema": "lunasolar.ctrl/v1"' /tmp/lunasolar-BENCH_ctrl.json
+
 # Full write-path comparison: measures the 4 KiB write path with refcounted
 # slabs and with the -copy-path hatch, and writes BENCH_pr3.json (ns/op,
 # allocs/op, copies/op, bytes-copied/op per mode). CI uploads the file.
@@ -120,11 +133,14 @@ ff-diff:
 # the congestion-control incast matrix (static/dcqcn/swift under one seed)
 # in BENCH_pr7.json. The full-scale diurnal fidelity comparison (packet vs
 # hybrid wall time, with the differential and ≥10x speedup gates built in)
-# lands in BENCH_pr8.json.
+# lands in BENCH_pr8.json, and the control-plane report (drain cutover
+# latency and noisy-neighbor isolation ratio, with the zero-failed-I/O and
+# 2x-isolation gates built in) in BENCH_pr10.json.
 bench:
 	$(GO) run ./cmd/ebsbench -bench-out BENCH_pr3.json
 	$(GO) run ./cmd/ebsbench -quick -coupled-bench-out BENCH_pr6.json
 	$(GO) run ./cmd/ebsbench -quick -cc-bench-out BENCH_pr7.json
 	$(GO) run ./cmd/ebsbench -ff-bench-out BENCH_pr8.json
+	$(GO) run ./cmd/ebsbench -ctrl-bench-out BENCH_pr10.json
 
-check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff cc-diff ff-diff
+check: build vet lint staticcheck govulncheck race bench-smoke telemetry-diff coupled-diff cc-diff ff-diff ctrl-diff

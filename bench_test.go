@@ -93,7 +93,7 @@ func benchIO(b *testing.B, fn ebs.StackKind, write bool) {
 	cfg.BlockServers = 3
 	cfg.ChunkServers = 5
 	c := ebs.New(cfg)
-	vd := c.Provision(0, 256<<20, ebs.DefaultQoS())
+	vd := c.MustProvision(0, 256<<20, ebs.DefaultQoS())
 	if !write {
 		for off := uint64(0); off < 16<<20; off += 512 << 10 {
 			vd.Write(off, make([]byte, 512<<10), nil)
@@ -214,7 +214,7 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 	c := ebs.New(cfg)
 	var vds []*ebs.VDisk
 	for i := 0; i < 4; i++ {
-		vd := c.Provision(i, 128<<20, ebs.DefaultQoS())
+		vd := c.MustProvision(i, 128<<20, ebs.DefaultQoS())
 		vds = append(vds, vd)
 		for s := 0; s < 8; s++ {
 			var issue func()

@@ -57,6 +57,10 @@ var registry = map[string]struct {
 	"elephantmice":  {experiments.ElephantMice, "1 MiB elephants vs 4 KiB mice sharing the fabric, per CC variant"},
 
 	"diurnal": {experiments.Diurnal, "bulk campaign (ramp→plateau→incast→spine reboot→ramp-down), honors -fidelity"},
+
+	"provision-storm": {experiments.ProvisionStorm, "volume-lifecycle storm with duplicated request IDs, per stack"},
+	"drain":           {experiments.Drain, "planned chunk-server drain (copy-then-cutover) under a write storm"},
+	"noisyneighbor":   {experiments.NoisyNeighbor, "aggressor tenant vs victim on one hypervisor, with/without tenant QoS cap"},
 }
 
 func main() {
@@ -75,6 +79,7 @@ func main() {
 	ccFlag := flag.String("cc", "static", "congestion controller for every RDMA stack: static, dcqcn, or swift (the CC-matrix experiments sweep all three regardless)")
 	ccBenchOut := flag.String("cc-bench-out", "", "run the incast CC matrix (static/dcqcn/swift) and write the JSON report here (e.g. BENCH_pr7.json)")
 	ffBenchOut := flag.String("ff-bench-out", "", "run the diurnal campaign at packet and hybrid fidelity, enforce the differential + speedup gates, and write the JSON report here (e.g. BENCH_pr8.json)")
+	ctrlBenchOut := flag.String("ctrl-bench-out", "", "run the drain and noisy-neighbor control-plane scenarios, enforce the zero-failed-I/O and 2x-isolation gates, and write the JSON report here (e.g. BENCH_pr10.json)")
 	fidelity := flag.String("fidelity", "packet", "simulation fidelity for experiments that support it: packet (every frame) or hybrid (fluid fast-forward of quiescent bulk flows)")
 	profileDir := flag.String("profile", "", "write cpu.pprof (whole run) and heap.pprof (at exit) into this directory")
 	list := flag.Bool("list", false, "list experiments")
@@ -148,6 +153,16 @@ func main() {
 	if *ffBenchOut != "" {
 		if err := writeFFBenchReport(*ffBenchOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "ebsbench: ff bench: %v\n", err)
+			prof.Stop()
+			os.Exit(1)
+		}
+		if *exp == "" && !*list && *ctrlBenchOut == "" {
+			return
+		}
+	}
+	if *ctrlBenchOut != "" {
+		if err := writeCtrlBenchReport(*ctrlBenchOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ebsbench: ctrl bench: %v\n", err)
 			prof.Stop()
 			os.Exit(1)
 		}

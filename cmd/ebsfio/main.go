@@ -67,7 +67,7 @@ func main() {
 		cfg.StackCores = *cores
 	}
 	c := ebs.New(cfg)
-	vd := c.Provision(0, 512<<20, ebs.DefaultQoS())
+	vd := c.MustProvision(0, 512<<20, ebs.DefaultQoS())
 
 	// Prepopulate the span touched by reads.
 	span := uint64(16 << 20)

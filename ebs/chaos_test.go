@@ -30,7 +30,7 @@ func runChaos(t *testing.T, fn StackKind, seed int64) {
 	cfg.Seed = seed
 	c := New(cfg)
 	r := sim.NewRand(seed * 977)
-	vd := c.Provision(0, 64<<20, DefaultQoS())
+	vd := c.MustProvision(0, 64<<20, DefaultQoS())
 
 	// Ground truth: what each block address should contain. Each in-flight
 	// slot owns a disjoint LBA range and runs sequentially, so no two

@@ -38,7 +38,7 @@ func TestWriteReadAllStacks(t *testing.T) {
 		fn := fn
 		t.Run(fn.String(), func(t *testing.T) {
 			c := testCluster(t, fn)
-			vd := c.Provision(0, 64<<20, DefaultQoS())
+			vd := c.MustProvision(0, 64<<20, DefaultQoS())
 			data := fill(16<<10, byte(fn))
 			var wres, rres IOResult
 			vd.Write(0x8000, data, func(res IOResult) {
@@ -66,7 +66,7 @@ func TestWriteReadAllStacks(t *testing.T) {
 
 func TestReadBeforeWriteReturnsZeros(t *testing.T) {
 	c := testCluster(t, Solar)
-	vd := c.Provision(0, 16<<20, DefaultQoS())
+	vd := c.MustProvision(0, 16<<20, DefaultQoS())
 	var got []byte
 	vd.Read(0, 8192, func(res IOResult) { got = res.Data })
 	c.Run()
@@ -82,7 +82,7 @@ func TestReadBeforeWriteReturnsZeros(t *testing.T) {
 
 func TestUnprovisionedRangeErrors(t *testing.T) {
 	c := testCluster(t, Luna)
-	vd := c.Provision(0, 4<<20, DefaultQoS())
+	vd := c.MustProvision(0, 4<<20, DefaultQoS())
 	var res IOResult
 	res.Err = nil
 	done := false
@@ -95,7 +95,7 @@ func TestUnprovisionedRangeErrors(t *testing.T) {
 
 func TestCrossSegmentWriteSplits(t *testing.T) {
 	c := testCluster(t, Solar)
-	vd := c.Provision(0, 64<<20, DefaultQoS())
+	vd := c.MustProvision(0, 64<<20, DefaultQoS())
 	// Straddle the 2 MiB segment boundary.
 	lba := uint64(2<<20) - 8192
 	data := fill(16<<10, 77)
@@ -118,7 +118,7 @@ func TestStackLatencyOrdering(t *testing.T) {
 	medians := map[StackKind]time.Duration{}
 	for _, fn := range []StackKind{KernelTCP, Luna, Solar} {
 		c := testCluster(t, fn)
-		vd := c.Provision(0, 64<<20, DefaultQoS())
+		vd := c.MustProvision(0, 64<<20, DefaultQoS())
 		n := 0
 		var issue func()
 		issue = func() {
@@ -151,7 +151,7 @@ func TestSolarReducesSAComponent(t *testing.T) {
 	sa := map[StackKind]time.Duration{}
 	for _, fn := range []StackKind{Luna, Solar} {
 		c := testCluster(t, fn)
-		vd := c.Provision(0, 64<<20, DefaultQoS())
+		vd := c.MustProvision(0, 64<<20, DefaultQoS())
 		for i := 0; i < 100; i++ {
 			vd.Write(uint64(i)<<12, fill(4096, byte(i)), nil)
 			c.RunFor(time.Millisecond)
@@ -167,9 +167,9 @@ func TestSolarReducesSAComponent(t *testing.T) {
 
 func TestQoSThrottling(t *testing.T) {
 	c := testCluster(t, Solar)
-	vd := c.Provision(0, 64<<20, DefaultQoS())
+	vd := c.MustProvision(0, 64<<20, DefaultQoS())
 	// A second disk with a tight service level.
-	slow := c.Provision(1, 64<<20, QoS(1000, 10e6))
+	slow := c.MustProvision(1, 64<<20, QoS(1000, 10e6))
 	_ = vd
 	done := 0
 	for i := 0; i < 100; i++ {
@@ -189,8 +189,8 @@ func TestMultiTenantIsolation(t *testing.T) {
 	// Two disks on different compute servers: a heavily-throttled tenant
 	// must not stall the other.
 	c := testCluster(t, Solar)
-	fast := c.Provision(0, 64<<20, DefaultQoS())
-	slow := c.Provision(1, 64<<20, QoS(500, 5e6))
+	fast := c.MustProvision(0, 64<<20, DefaultQoS())
+	slow := c.MustProvision(1, 64<<20, QoS(500, 5e6))
 	for i := 0; i < 50; i++ {
 		slow.Write(uint64(i)<<12, fill(4096, 2), nil)
 	}

@@ -11,7 +11,7 @@
 //
 //	cfg := ebs.DefaultConfig(ebs.Solar)
 //	cluster := ebs.New(cfg)
-//	vd := cluster.Provision(0, 8<<30, ebs.DefaultQoS())
+//	vd := cluster.MustProvision(0, 8<<30, ebs.DefaultQoS())
 //	vd.Write(0, data, func(res ebs.IOResult) { ... })
 //	cluster.Run()
 package ebs

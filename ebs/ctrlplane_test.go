@@ -1,0 +1,302 @@
+package ebs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lunasolar/internal/ctrl"
+	"lunasolar/internal/sa"
+)
+
+func TestControlPlaneLifecycle(t *testing.T) {
+	c := testCluster(t, Solar)
+	cp := c.ControlPlane()
+
+	vd, err := cp.CreateVolume("create-1", 0, "acme", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay returns the same volume without re-provisioning.
+	vd2, err := cp.CreateVolume("create-1", 0, "acme", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vd2 != vd {
+		t.Fatal("replayed create returned a different vdisk")
+	}
+
+	data := fill(8<<10, 3)
+	var wres IOResult
+	vd.Write(0, data, func(r IOResult) { wres = r })
+	c.Run()
+	if wres.Err != nil {
+		t.Fatal(wres.Err)
+	}
+
+	// Resize grows the mapping; the new range becomes writable.
+	if err := cp.ResizeVolume("resize-1", vd.ID, 16<<20); err != nil {
+		t.Fatal(err)
+	}
+	if vd.Size() != 16<<20 {
+		t.Fatalf("size after resize = %d", vd.Size())
+	}
+	var wres2 IOResult
+	vd.Write(12<<20, data, func(r IOResult) { wres2 = r })
+	c.Run()
+	if wres2.Err != nil {
+		t.Fatal(wres2.Err)
+	}
+
+	// Snapshot + clone: the clone is a distinct, writable volume of the
+	// snapshot's size.
+	snap, err := cp.SnapshotVolume("snap-1", vd.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := cp.CloneVolume("clone-1", snap, 1, "acme", DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.ID == vd.ID || clone.Size() != 16<<20 {
+		t.Fatalf("clone: id=%d size=%d", clone.ID, clone.Size())
+	}
+	var wres3 IOResult
+	clone.Write(0, data, func(r IOResult) { wres3 = r })
+	c.Run()
+	if wres3.Err != nil {
+		t.Fatal(wres3.Err)
+	}
+
+	// Delete: later I/O fails with a provisioning error, and the record
+	// becomes a tombstone.
+	if err := cp.DeleteVolume("del-1", vd.ID); err != nil {
+		t.Fatal(err)
+	}
+	var rres IOResult
+	vd.Read(0, 4096, func(r IOResult) { rres = r })
+	c.Run()
+	if rres.Err == nil {
+		t.Fatal("read from deleted volume succeeded")
+	}
+	vol, ok := cp.Service().Volume(vd.ID)
+	if !ok || vol.State != ctrl.StateDeleted {
+		t.Fatalf("deleted record: %+v ok=%v", vol, ok)
+	}
+	// Replayed delete still reports success.
+	if err := cp.DeleteVolume("del-1", vd.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlPlanePlacementSpreadsRacks(t *testing.T) {
+	cfg := smallConfig(Solar)
+	cfg.Fabric.HostsPerRack = 2 // 2 block servers land in 2 racks
+	cfg.Fabric.RacksPerPod = 3  // room for 2 block + 4 chunk servers
+	c := New(cfg)
+	cp := c.ControlPlane()
+	vd, err := cp.CreateVolume("c", 0, "", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := c.segs.Refs(vd.ID)
+	if len(refs) != 4 {
+		t.Fatalf("segments = %d", len(refs))
+	}
+	// With one block server per rack, consecutive segments must alternate
+	// failure domains.
+	if refs[0].Server == refs[1].Server || refs[2].Server == refs[3].Server {
+		t.Fatalf("placement did not spread: %+v", refs)
+	}
+}
+
+// driveWrites issues count sequential 4 KiB writes on vd spaced interval
+// apart, collecting errors and completions.
+func driveWrites(c *Cluster, vd *VDisk, count int, interval time.Duration, errs *int, done *int) {
+	var issue func(i int)
+	issue = func(i int) {
+		if i == count {
+			return
+		}
+		lba := (uint64(i) * 4096) % vd.Size()
+		vd.Write(lba, fill(4096, byte(i)), func(r IOResult) {
+			if r.Err != nil {
+				*errs++
+			}
+			*done++
+		})
+		c.Eng.Schedule(interval, func() { issue(i + 1) })
+	}
+	issue(0)
+}
+
+func TestMigrateSegmentUnderLoad(t *testing.T) {
+	c := testCluster(t, Solar)
+	cp := c.ControlPlane()
+	vd, err := cp.CreateVolume("c", 0, "", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := c.segs.Refs(vd.ID)
+	from := refs[0].Server
+	var to uint32
+	for _, a := range c.BlockServerAddrs() {
+		if a != from {
+			to = a
+			break
+		}
+	}
+	errs, done := 0, 0
+	driveWrites(c, vd, 200, 10*time.Microsecond, &errs, &done)
+	// Cut segment 0 over mid-storm.
+	c.Eng.Schedule(500*time.Microsecond, func() {
+		if err := cp.MigrateSegment(vd.ID, 0, to); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if done != 200 || errs != 0 {
+		t.Fatalf("done=%d errs=%d", done, errs)
+	}
+	if got := c.segs.Refs(vd.ID)[0].Server; got != to {
+		t.Fatalf("segment still at %d", got)
+	}
+	if c.segs.Generation(vd.ID) == 0 {
+		t.Fatal("generation not bumped")
+	}
+	// Data written before and after the cutover reads back intact.
+	var rres IOResult
+	vd.Read(0, 4096, func(r IOResult) { rres = r })
+	c.Run()
+	if rres.Err != nil {
+		t.Fatal(rres.Err)
+	}
+}
+
+func TestDrainChunkServerUnderLoad(t *testing.T) {
+	c := testCluster(t, Solar)
+	cp := c.ControlPlane()
+	vd, err := cp.CreateVolume("c", 0, "", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed every segment so the drained replicas have blocks to copy.
+	seed := fill(16<<10, 9)
+	var werr error
+	for off := uint64(0); off < vd.Size(); off += sa.SegmentBytes {
+		vd.Write(off, seed, func(r IOResult) {
+			if r.Err != nil {
+				werr = r.Err
+			}
+		})
+	}
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+
+	errs, done := 0, 0
+	driveWrites(c, vd, 300, 20*time.Microsecond, &errs, &done)
+	var report DrainReport
+	drained := false
+	c.Eng.Schedule(time.Millisecond, func() {
+		if err := cp.DrainChunkServer(0, func(r DrainReport) { report = r; drained = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if done != 300 || errs != 0 {
+		t.Fatalf("done=%d errs=%d", done, errs)
+	}
+	if !drained {
+		t.Fatal("drain never completed")
+	}
+	if report.Segments == 0 || report.BlocksCopied == 0 || report.CopyErrors != 0 {
+		t.Fatalf("report: %+v", report)
+	}
+	if len(report.Cutovers) != report.Segments {
+		t.Fatalf("cutovers %d != segments %d", len(report.Cutovers), report.Segments)
+	}
+	// The drained server holds no replica of this volume's segments now.
+	drainAddr := c.chunks[0].Host.Addr()
+	for _, ref := range c.segs.Refs(vd.ID) {
+		for _, a := range cp.blockByAddr[ref.Server].ReplicaSet(ref.SegmentID) {
+			if a == drainAddr {
+				t.Fatalf("segment %d still replicated on drained server", ref.SegmentID)
+			}
+		}
+	}
+	// Seeded data survives the drain. LBA 4 MiB sits in a drained segment
+	// and outside the write storm's range, so the bytes must be the seed's.
+	var rres IOResult
+	vd.Read(4<<20, len(seed), func(r IOResult) { rres = r })
+	c.Run()
+	if rres.Err != nil {
+		t.Fatal(rres.Err)
+	}
+	if !bytes.Equal(rres.Data[:4096], seed[:4096]) {
+		t.Fatal("post-drain read-back mismatch")
+	}
+}
+
+func TestEvacuateBlockServer(t *testing.T) {
+	c := testCluster(t, Solar)
+	cp := c.ControlPlane()
+	vd, err := cp.CreateVolume("c", 0, "", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, done := 0, 0
+	driveWrites(c, vd, 100, 10*time.Microsecond, &errs, &done)
+	c.Eng.Schedule(300*time.Microsecond, func() {
+		if err := cp.EvacuateBlockServer(0); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if done != 100 || errs != 0 {
+		t.Fatalf("done=%d errs=%d", done, errs)
+	}
+	evacAddr := c.blocks[0].Host.Addr()
+	for _, ref := range c.segs.Refs(vd.ID) {
+		if ref.Server == evacAddr {
+			t.Fatalf("segment %d still on evacuated server", ref.SegmentID)
+		}
+	}
+	// New placements avoid the evacuated server.
+	vd2, err := cp.CreateVolume("c2", 0, "", 8<<20, DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range c.segs.Refs(vd2.ID) {
+		if ref.Server == evacAddr {
+			t.Fatal("placement used evacuated server")
+		}
+	}
+}
+
+func TestTenantQoSIsolation(t *testing.T) {
+	c := testCluster(t, Solar)
+	cp := c.ControlPlane()
+	cp.SetTenantQoS("noisy", sa.QoSSpec{IOPS: 2000, BurstWindow: time.Millisecond})
+	agg, err := cp.CreateVolume("agg", 0, "noisy", 16<<20, QoS(1e6, 100e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggDone := 0
+	for i := 0; i < 100; i++ {
+		agg.Write(uint64(i)<<12, fill(4096, 1), func(IOResult) { aggDone++ })
+	}
+	c.Run()
+	if aggDone != 100 {
+		t.Fatalf("aggressor done %d/100", aggDone)
+	}
+	// 100 I/Os against a 2000 IOPS tenant cap → at least ~45ms of pacing,
+	// even though the per-disk spec allowed 1M IOPS.
+	if c.Now() < 40*time.Millisecond {
+		t.Fatalf("tenant cap absent: finished at %v", c.Now())
+	}
+	if c.computes[0].Agent.TenantDelay == 0 {
+		t.Fatal("no tenant delay recorded")
+	}
+}

@@ -12,7 +12,7 @@ func TestEdgeModeRoundTrip(t *testing.T) {
 	cfg := smallConfig(Solar)
 	cfg.Edge = true
 	c := New(cfg)
-	vd := c.Provision(0, 64<<20, DefaultQoS())
+	vd := c.MustProvision(0, 64<<20, DefaultQoS())
 	data := fill(16<<10, 5)
 	var rres IOResult
 	vd.Write(0x8000, data, func(w IOResult) {
@@ -34,7 +34,7 @@ func TestEdgeModeCutsFrontendHop(t *testing.T) {
 		cfg := smallConfig(Solar)
 		cfg.Edge = edge
 		c := New(cfg)
-		vd := c.Provision(0, 64<<20, DefaultQoS())
+		vd := c.MustProvision(0, 64<<20, DefaultQoS())
 		n := 0
 		var issue func()
 		issue = func() {
@@ -68,8 +68,8 @@ func TestEdgeModeDisksAreLocal(t *testing.T) {
 	cfg := smallConfig(Solar)
 	cfg.Edge = true
 	c := New(cfg)
-	vd0 := c.Provision(0, 16<<20, DefaultQoS())
-	vd1 := c.Provision(1, 16<<20, DefaultQoS())
+	vd0 := c.MustProvision(0, 16<<20, DefaultQoS())
+	vd1 := c.MustProvision(1, 16<<20, DefaultQoS())
 	done := 0
 	vd0.Write(0, fill(4096, 1), func(r IOResult) {
 		if r.Err == nil {

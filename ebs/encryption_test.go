@@ -18,7 +18,7 @@ func TestEncryptedRoundTrip(t *testing.T) {
 			cfg := smallConfig(fn)
 			cfg.Encrypted = true
 			c := New(cfg)
-			vd := c.Provision(0, 64<<20, DefaultQoS())
+			vd := c.MustProvision(0, 64<<20, DefaultQoS())
 
 			plaintext := bytes.Repeat([]byte("secret block data"), 1024)[:16384]
 
@@ -62,8 +62,8 @@ func TestEncryptedBlocksIndependent(t *testing.T) {
 	cfg := smallConfig(Solar)
 	cfg.Encrypted = true
 	c := New(cfg)
-	vd1 := c.Provision(0, 16<<20, DefaultQoS())
-	vd2 := c.Provision(1, 16<<20, DefaultQoS())
+	vd1 := c.MustProvision(0, 16<<20, DefaultQoS())
+	vd2 := c.MustProvision(1, 16<<20, DefaultQoS())
 	data := bytes.Repeat([]byte{0xAB}, 4096)
 	vd1.Write(0, data, nil)
 	vd2.Write(0, data, nil)
@@ -87,7 +87,7 @@ func TestEncryptedSurvivesRetransmission(t *testing.T) {
 	c := New(cfg)
 	c.Fabric.Spine(0, 0, 0).SetDropRate(0.3)
 	c.Fabric.Spine(0, 0, 1).SetDropRate(0.3)
-	vd := c.Provision(0, 16<<20, DefaultQoS())
+	vd := c.MustProvision(0, 16<<20, DefaultQoS())
 	data := fill(32<<10, 99)
 	var got []byte
 	vd.Write(0, data, func(IOResult) {

@@ -77,5 +77,11 @@ func (c *Cluster) DumpFlightRecorders(w io.Writer) int {
 			total += rec.Len()
 		}
 	}
+	if c.ctrlPlane != nil {
+		if rec := c.ctrlPlane.rec; rec.Len() > 0 {
+			rec.Dump(w, "ctrl")
+			total += rec.Len()
+		}
+	}
 	return total
 }

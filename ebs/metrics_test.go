@@ -17,7 +17,7 @@ func TestClusterExportMetrics(t *testing.T) {
 	defer simnet.SetTelemetry(prev)
 
 	c := testCluster(t, Solar)
-	vd := c.Provision(0, 64<<20, DefaultQoS())
+	vd := c.MustProvision(0, 64<<20, DefaultQoS())
 	data := fill(32<<10, 0x5a)
 	vd.Write(0, data, func(res IOResult) {
 		vd.Read(0, len(data), func(IOResult) {})
@@ -76,7 +76,7 @@ func TestClusterFlightRecorder(t *testing.T) {
 	cfg := smallConfig(Solar)
 	cfg.FlightRecorderDepth = 128
 	c := New(cfg)
-	vd := c.Provision(0, 64<<20, DefaultQoS())
+	vd := c.MustProvision(0, 64<<20, DefaultQoS())
 
 	// Inject loss so Solar retransmits, then let the run drain.
 	for _, sw := range c.Fabric.Switches() {

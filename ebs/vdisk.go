@@ -1,6 +1,7 @@
 package ebs
 
 import (
+	"fmt"
 	"time"
 
 	"lunasolar/internal/core"
@@ -27,18 +28,39 @@ type IOResult struct {
 
 // Provision creates a virtual disk of sizeBytes on compute server idx,
 // striping its segments across every block server, and installs its QoS
-// service level.
-func (c *Cluster) Provision(computeIdx int, sizeBytes uint64, qos sa.QoSSpec) *VDisk {
-	c.nextVD++
-	id := c.nextVD
+// service level. Failed provisions leave no trace: the segment table is
+// rolled back, so a caller can retry.
+func (c *Cluster) Provision(computeIdx int, sizeBytes uint64, qos sa.QoSSpec) (*VDisk, error) {
+	if computeIdx < 0 || computeIdx >= len(c.computes) {
+		return nil, fmt.Errorf("ebs: provision on compute %d of %d", computeIdx, len(c.computes))
+	}
 	servers := c.BlockServerAddrs()
 	if c.cfg.Edge {
 		// Integrated mode: this disk's segments live behind the compute's
 		// own block server.
 		servers = []uint32{c.computes[computeIdx].Host.Addr()}
 	}
+	return c.provisionOn(computeIdx, sizeBytes, qos, servers)
+}
+
+// provisionOn creates a disk with an explicit segment placement: servers
+// is either the stripe set (legacy round-robin) or, from the control
+// plane, one address per segment chosen by the failure-domain placer.
+func (c *Cluster) provisionOn(computeIdx int, sizeBytes uint64, qos sa.QoSSpec, servers []uint32) (*VDisk, error) {
+	c.nextVD++
+	vd, err := c.provisionWithID(c.nextVD, computeIdx, sizeBytes, qos, servers)
+	if err != nil {
+		c.nextVD--
+	}
+	return vd, err
+}
+
+// provisionWithID creates a disk under a caller-allocated ID (the control
+// plane's ctrl.Service owns the ID space for managed volumes; provisionOn
+// allocates from the cluster counter for direct Provision calls).
+func (c *Cluster) provisionWithID(id uint32, computeIdx int, sizeBytes uint64, qos sa.QoSSpec, servers []uint32) (*VDisk, error) {
 	if err := c.segs.Provision(id, sizeBytes, servers); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("ebs: provision vdisk on compute %d: %w", computeIdx, err)
 	}
 	agent := c.computes[computeIdx].Agent
 	agent.SetQoS(id, qos)
@@ -48,14 +70,28 @@ func (c *Cluster) Provision(computeIdx int, sizeBytes uint64, qos sa.QoSSpec) *V
 		key := seccrypto.DeriveKey([]byte("cluster-provisioning-secret"), id)
 		cipher, err := seccrypto.New(key)
 		if err != nil {
-			panic(err)
+			// Roll back the mapping so the ID is not half-provisioned.
+			_ = c.segs.Delete(id)
+			agent.ClearQoS(id)
+			return nil, fmt.Errorf("ebs: provision vdisk %d cipher: %w", id, err)
 		}
 		agent.SetCipher(id, cipher)
 		if st, ok := c.computes[computeIdx].Stack.(*core.Stack); ok {
 			st.SetCipher(id, cipher)
 		}
 	}
-	return &VDisk{ID: id, cluster: c, agent: agent, size: sizeBytes}
+	return &VDisk{ID: id, cluster: c, agent: agent, size: sizeBytes}, nil
+}
+
+// MustProvision is Provision for experiment and test setup code, where a
+// provisioning failure is a programming error: it panics instead of
+// returning it.
+func (c *Cluster) MustProvision(computeIdx int, sizeBytes uint64, qos sa.QoSSpec) *VDisk {
+	vd, err := c.Provision(computeIdx, sizeBytes, qos)
+	if err != nil {
+		panic(err)
+	}
+	return vd
 }
 
 // Size returns the disk's provisioned size in bytes.

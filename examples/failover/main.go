@@ -22,7 +22,7 @@ func run(fn ebs.StackKind) {
 
 	var vds []*ebs.VDisk
 	for i := 0; i < c.Computes(); i++ {
-		vds = append(vds, c.Provision(i, 256<<20, ebs.DefaultQoS()))
+		vds = append(vds, c.MustProvision(i, 256<<20, ebs.DefaultQoS()))
 	}
 
 	// Closed-loop writers, one per compute server; track in-flight start

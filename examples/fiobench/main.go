@@ -21,7 +21,7 @@ func measure(fn ebs.StackKind, cores int, blockSize int) float64 {
 	cfg.BlockServers = 3
 	cfg.ChunkServers = 5
 	c := ebs.New(cfg)
-	vd := c.Provision(0, 512<<20, ebs.DefaultQoS())
+	vd := c.MustProvision(0, 512<<20, ebs.DefaultQoS())
 
 	span := uint64(16 << 20)
 	for off := uint64(0); off < span; off += 512 << 10 {

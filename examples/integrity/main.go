@@ -24,7 +24,7 @@ func main() {
 	cfg.DPU.Faults.CRCBitFlip = 0.33
 
 	c := ebs.New(cfg)
-	vd := c.Provision(0, 256<<20, ebs.DefaultQoS())
+	vd := c.MustProvision(0, 256<<20, ebs.DefaultQoS())
 
 	const ios = 200
 	payloads := make([][]byte, ios)

@@ -20,7 +20,7 @@ func main() {
 
 	// Provision an 8 GiB virtual disk on compute server 0 with an
 	// ESSD-class service level.
-	vd := cluster.Provision(0, 8<<30, ebs.DefaultQoS())
+	vd := cluster.MustProvision(0, 8<<30, ebs.DefaultQoS())
 	fmt.Printf("provisioned vdisk %d: %d GiB on %s stack\n",
 		vd.ID, vd.Size()>>30, cfg.FN)
 

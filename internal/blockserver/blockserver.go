@@ -42,7 +42,21 @@ type Server struct {
 	replicas []uint32 // chunk-server addresses, len >= Replicas
 	params   Params
 
+	// released maps segments this server has handed to another owner
+	// (live migration cutover) to the new owner's address. Requests for a
+	// released segment are rejected with transport.ErrNotOwner so the
+	// storage agent re-resolves and retries. Segments absent from the map
+	// are served normally — block servers are permissive by default, so
+	// clusters that never migrate behave exactly as before.
+	released map[uint64]uint32
+
+	// replicaOverride pins a segment's chunk replica set, replacing the
+	// deterministic segmentID-derived set — installed by the control
+	// plane when a chunk-server drain rebuilds a replica elsewhere.
+	replicaOverride map[uint64][]uint32
+
 	writes, reads     uint64
+	rejects           uint64 // not-owner rejections after a cutover
 	crcFoldMismatches uint64
 }
 
@@ -74,15 +88,67 @@ func (s *Server) Stats() (writes, reads uint64) { return s.writes, s.reads }
 // that disagreed with the request's one-touch metadata.
 func (s *Server) CRCFoldMismatches() uint64 { return s.crcFoldMismatches }
 
+// Rejects returns how many requests were turned away with ErrNotOwner
+// after a segment cutover (each one is a client retry).
+func (s *Server) Rejects() uint64 { return s.rejects }
+
 // replicaSet returns the chunk servers for a segment (deterministic by
-// segment ID so all writers agree).
+// segment ID so all writers agree), unless the control plane pinned an
+// override during a drain.
 func (s *Server) replicaSet(segmentID uint64) []uint32 {
+	if set, ok := s.replicaOverride[segmentID]; ok {
+		return set
+	}
 	base := int(segmentID) % len(s.replicas)
 	out := make([]uint32, Replicas)
 	for i := 0; i < Replicas; i++ {
 		out[i] = s.replicas[(base+i)%len(s.replicas)]
 	}
 	return out
+}
+
+// ReplicaSet exposes the current chunk replica set of a segment to the
+// control plane (drain planning).
+func (s *Server) ReplicaSet(segmentID uint64) []uint32 {
+	return append([]uint32(nil), s.replicaSet(segmentID)...)
+}
+
+// SetReplicaSet pins a segment's chunk replica set. The control plane
+// calls it at a drain cutover, after the replacement replica has been
+// rebuilt; set[0] must be a survivor holding the full segment, since
+// reads are served from the primary.
+func (s *Server) SetReplicaSet(segmentID uint64, set []uint32) error {
+	if len(set) < Replicas {
+		return fmt.Errorf("blockserver %s: replica set for segment %d needs >= %d members, got %d",
+			s.name, segmentID, Replicas, len(set))
+	}
+	if s.replicaOverride == nil {
+		s.replicaOverride = map[uint64][]uint32{}
+	}
+	s.replicaOverride[segmentID] = append([]uint32(nil), set...)
+	return nil
+}
+
+// ReleaseSegment marks a segment as handed to newOwner: every later
+// request for it is rejected with transport.ErrNotOwner so in-flight
+// clients re-resolve the (generation-bumped) segment table and retry.
+func (s *Server) ReleaseSegment(segmentID uint64, newOwner uint32) {
+	if s.released == nil {
+		s.released = map[uint64]uint32{}
+	}
+	s.released[segmentID] = newOwner
+	delete(s.replicaOverride, segmentID)
+}
+
+// AdoptSegment installs a migrated-in segment: clears any stale release
+// record (a segment may migrate back) and pins the replica set it arrives
+// with, when overridden at the source.
+func (s *Server) AdoptSegment(segmentID uint64, set []uint32) error {
+	delete(s.released, segmentID)
+	if set != nil {
+		return s.SetReplicaSet(segmentID, set)
+	}
+	return nil
 }
 
 // Handle is the FN request handler (exported for tests and for wiring
@@ -95,6 +161,13 @@ func (s *Server) Handle(src uint32, req *transport.Message, reply func(*transpor
 	}
 	cost := s.params.PerRPCCPU + time.Duration(blocks)*s.params.PerBlockCPU
 	s.cores.Submit(cost, func() {
+		if newOwner, gone := s.released[req.SegmentID]; gone {
+			s.rejects++
+			reply(&transport.Response{Err: fmt.Errorf(
+				"blockserver %s: segment %d released to %d: %w",
+				s.name, req.SegmentID, newOwner, transport.ErrNotOwner)})
+			return
+		}
 		switch req.Op {
 		case wire.RPCWriteReq:
 			s.writes++

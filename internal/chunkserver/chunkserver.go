@@ -10,6 +10,7 @@ package chunkserver
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"lunasolar/internal/crc"
@@ -168,6 +169,64 @@ func (s *Server) ReadBlock(segment, lba uint64, done func(data []byte, rawCRC ui
 			done(rec.data, rec.crc, nil)
 		})
 	})
+}
+
+// SegmentLBAs returns the sorted LBAs of every block stored for a segment
+// — the manifest a replica rebuild copies. Sorting makes the copy order
+// (and therefore the whole migration) independent of map iteration order.
+func (s *Server) SegmentLBAs(segment uint64) []uint64 {
+	seg := s.blocks[segment]
+	if len(seg) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(seg))
+	for lba := range seg {
+		out = append(out, lba)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SegmentBytes returns how many bytes a segment's stored blocks occupy on
+// this server (drain sizing). Walks the sorted manifest so the result is
+// assembled in a deterministic order.
+func (s *Server) SegmentBytes(segment uint64) uint64 {
+	var n uint64
+	seg := s.blocks[segment]
+	for _, lba := range s.SegmentLBAs(segment) {
+		n += uint64(len(seg[lba].data))
+	}
+	return n
+}
+
+// MigrateRead fetches one block with its stored CRC and generation for a
+// replica rebuild. It pays the same admission and media costs as a client
+// read — migration traffic contends with foreground I/O on the source —
+// but returns the stored generation so the destination commit preserves
+// write-idempotency ordering.
+func (s *Server) MigrateRead(segment, lba uint64, done func(data []byte, rawCRC uint32, gen uint32, err error)) {
+	admission := s.admissionDelay()
+	s.eng.Schedule(admission, func() {
+		service := s.rand.LogNormal(s.cfg.NANDReadMedian, s.cfg.ReadSigma)
+		s.disk.Submit(service, func() {
+			s.reads++
+			rec, ok := s.blocks[segment][lba]
+			if !ok {
+				s.misses++
+				done(nil, 0, 0, fmt.Errorf("chunkserver %s: migrate read miss seg=%d lba=%#x", s.name, segment, lba))
+				return
+			}
+			done(rec.data, rec.crc, rec.gen, nil)
+		})
+	})
+}
+
+// DropSegment discards a segment's blocks (the final step of draining
+// this replica) and returns how many blocks were freed.
+func (s *Server) DropSegment(segment uint64) int {
+	n := len(s.blocks[segment])
+	delete(s.blocks, segment)
+	return n
 }
 
 // Utilization returns the SSD's busy-unit average (diagnostics).

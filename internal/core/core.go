@@ -65,6 +65,12 @@ func (m Mode) String() string {
 const (
 	AckFlagDurable = 1 << 0 // write block persisted (Fig. 12's WRITE response)
 	AckFlagError   = 1 << 1 // receiver-side CRC mismatch: sender must rebuild
+	// AckFlagReject: the serving handler refused the request because it no
+	// longer owns the segment (migration cutover raced the I/O). Terminal
+	// for the RPC — retransmitting would loop forever against a server
+	// that will never accept; the client surfaces transport.ErrNotOwner so
+	// the SA can re-resolve the segment and retry against the new owner.
+	AckFlagReject = 1 << 2
 )
 
 // Params is the Solar cost and protocol model.

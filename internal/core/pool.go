@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"lunasolar/internal/sim"
 	"lunasolar/internal/simnet"
 	"lunasolar/internal/transport"
@@ -156,6 +158,9 @@ func (j *writeJob) reply(resp *transport.Response) {
 	flags := uint8(AckFlagDurable)
 	if resp.Err != nil {
 		flags = AckFlagError
+		if errors.Is(resp.Err, transport.ErrNotOwner) {
+			flags = AckFlagReject // terminal: ownership moved, don't retransmit
+		}
 	}
 	wall := resp.ServerWall
 	if wall == 0 {

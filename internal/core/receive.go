@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"lunasolar/internal/cc"
@@ -193,9 +194,28 @@ func (s *Stack) serveReadBlocks(key serveKey, req *transport.Message, resp *tran
 	if sv == nil {
 		return
 	}
+	pe := s.peerFor(key.peer)
+	if resp.Err != nil && errors.Is(resp.Err, transport.ErrNotOwner) {
+		// Ownership moved mid-flight: a data-less reject packet tells the
+		// client to fail the read now rather than wait forever. It rides
+		// the reliable-delivery machinery like any response block.
+		e := s.newOutPkt()
+		e.key = pktKey{rpcID: key.rpcID, pktID: 0}
+		e.msgType = wire.RPCReadResp
+		e.ebs = wire.EBS{
+			Version: wire.EBSVersion, Op: wire.OpRead,
+			Flags: wire.EBSFlagReject | wire.EBSFlagLastBlock,
+			VDisk: req.VDisk, SegmentID: req.SegmentID,
+			LBA: req.LBA, Gen: req.Gen,
+		}
+		e.size = wire.RPCSize + wire.EBSSize
+		sv.pkts = append(sv.pkts, e)
+		sv.unacked++
+		s.sendPkt(pe, e)
+		return
+	}
 	data := resp.Data
 	n := splitBlocks(len(data))
-	pe := s.peerFor(key.peer)
 	// One-touch CRC: the chunk store reports each block's stored CRC with
 	// the read; when the list covers every outgoing block, the server
 	// forwards those values instead of re-walking the payload.
@@ -274,6 +294,20 @@ func (s *Stack) handleReadBlock(pkt *simnet.Packet, rpc wire.RPC, rest []byte) {
 	}
 	if int(ebs.BlockLen) <= len(payload) {
 		payload = payload[:ebs.BlockLen]
+	}
+	if ebs.Flags&wire.EBSFlagReject != 0 {
+		// Server-side ownership rejection: ack the reject (so it stops
+		// retransmitting) and fail the whole read. Duplicate rejects find
+		// the read already gone and just ack.
+		s.sendAck(pkt, rpc.RPCID, rpc.PktID, 0)
+		if r := s.reads[rpc.RPCID]; r != nil {
+			delete(s.reads, r.id)
+			s.releaseAddr(r.total - r.got)
+			s.cores.Submit(s.params.PerRPCDoneCPU, func() {
+				r.done(&transport.Response{Err: transport.ErrNotOwner})
+			})
+		}
+		return
 	}
 	r := s.reads[rpc.RPCID]
 	if r == nil || int(rpc.PktID) >= r.total || r.received[rpc.PktID] {
@@ -411,6 +445,10 @@ func (s *Stack) runAck(j *ackJob) {
 	if e == nil || e.acked {
 		return
 	}
+	if j.rpcFlags&AckFlagReject != 0 {
+		s.rejectPacket(j.src, e)
+		return
+	}
 	if j.rpcFlags&AckFlagError != 0 {
 		s.repairAndResend(j.src, e)
 		return
@@ -479,6 +517,42 @@ func (s *Stack) runAck(j *ackJob) {
 			}
 		}
 	}
+	s.freeOutPkt(e)
+}
+
+// rejectPacket handles a terminal server rejection (AckFlagReject): the
+// segment's ownership moved, so retransmitting can never succeed. The
+// packet record is retired like a normal ack (window credit returned, no
+// retransmission), and the first reject observed for a WRITE completes the
+// RPC with transport.ErrNotOwner; sibling packets of the same RPC clean up
+// as their own rejects arrive.
+func (s *Stack) rejectPacket(peerAddr uint32, e *outPkt) {
+	e.acked = true
+	e.retx.Disarm()
+	delete(s.out, outKey{peer: peerAddr, k: e.key})
+	pe := s.peerFor(peerAddr)
+	p := e.path
+	p.lastAckAt = s.eng.Now()
+	p.inflightBytes -= e.size
+	if p.inflightBytes < 0 {
+		p.inflightBytes = 0
+	}
+	if e.pathSeq > p.maxAckedSeq {
+		p.maxAckedSeq = e.pathSeq
+	}
+	if e.msgType == wire.RPCWriteReq {
+		if w := s.writes[e.key.rpcID]; w != nil {
+			delete(s.writes, w.id)
+			for _, sl := range w.slabs {
+				sl.Release()
+			}
+			w.slabs = nil
+			s.cores.Submit(s.params.PerRPCDoneCPU, func() {
+				w.done(&transport.Response{Err: transport.ErrNotOwner})
+			})
+		}
+	}
+	s.drainBacklog(pe)
 	s.freeOutPkt(e)
 }
 

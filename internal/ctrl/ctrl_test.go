@@ -1,0 +1,265 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lunasolar/internal/sa"
+)
+
+// fakeBackend records calls and fails on demand.
+type fakeBackend struct {
+	provisions, grows, releases int
+	nextID                      uint32
+	failProvision               error
+	failGrow                    error
+}
+
+func (f *fakeBackend) Provision(tenant string, sizeBytes uint64) (uint32, error) {
+	f.provisions++
+	if f.failProvision != nil {
+		return 0, f.failProvision
+	}
+	f.nextID++
+	return f.nextID, nil
+}
+func (f *fakeBackend) Grow(id uint32, newSizeBytes uint64) error {
+	f.grows++
+	return f.failGrow
+}
+func (f *fakeBackend) Release(id uint32) error {
+	f.releases++
+	return nil
+}
+
+func TestCreateIdempotent(t *testing.T) {
+	b := &fakeBackend{}
+	s := NewService(b)
+	id1, err := s.Create("req-1", "acme", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Create("req-1", "acme", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("replayed create returned %d, want %d", id2, id1)
+	}
+	if b.provisions != 1 {
+		t.Fatalf("backend provisioned %d times, want 1", b.provisions)
+	}
+	// A distinct request ID makes a distinct volume.
+	id3, err := s.Create("req-2", "acme", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatal("distinct request reused volume ID")
+	}
+}
+
+func TestCreateErrorReplayed(t *testing.T) {
+	sentinel := errors.New("placement full")
+	b := &fakeBackend{failProvision: sentinel}
+	s := NewService(b)
+	if _, err := s.Create("req-1", "acme", 1<<20); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Create("req-1", "acme", 1<<20); !errors.Is(err, sentinel) {
+		t.Fatalf("replayed err = %v", err)
+	}
+	if b.provisions != 1 {
+		t.Fatalf("failed create re-executed: %d provisions", b.provisions)
+	}
+	if len(s.Volumes()) != 0 {
+		t.Fatal("failed create left a volume record")
+	}
+}
+
+func TestResizeLifecycle(t *testing.T) {
+	b := &fakeBackend{}
+	s := NewService(b)
+	id, err := s.Create("c", "t", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resize("r1", id, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Volume(id)
+	if v.SizeBytes != 8<<20 || v.State != StateAvailable {
+		t.Fatalf("after resize: %+v", v)
+	}
+	if err := s.Resize("r2", id, 1<<20); err == nil {
+		t.Fatal("shrink allowed")
+	}
+	// Replay of the successful resize is a no-op.
+	if err := s.Resize("r1", id, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	if b.grows != 1 {
+		t.Fatalf("grows = %d, want 1", b.grows)
+	}
+}
+
+func TestBusyVolumeRefusesOps(t *testing.T) {
+	s := NewService(&fakeBackend{})
+	id, err := s.Create("c", "t", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginMigration(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resize("r", id, 8<<20); err == nil {
+		t.Fatal("resize of migrating volume allowed")
+	}
+	if err := s.Delete("d", id); err == nil {
+		t.Fatal("delete of migrating volume allowed")
+	}
+	if err := s.BeginMigration(id); err == nil {
+		t.Fatal("double migration begin allowed")
+	}
+	if err := s.EndMigration(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndMigration(id); err == nil {
+		t.Fatal("double migration end allowed")
+	}
+}
+
+func TestSnapshotCloneDelete(t *testing.T) {
+	b := &fakeBackend{}
+	s := NewService(b)
+	id, err := s.Create("c", "t", 6<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot("s1", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := s.Clone("cl1", snap, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, _ := s.Volume(clone)
+	if cv.SizeBytes != 6<<20 || cv.Tenant != "other" {
+		t.Fatalf("clone record: %+v", cv)
+	}
+	if _, err := s.Clone("cl2", 999, "other"); err == nil {
+		t.Fatal("clone from unknown snapshot allowed")
+	}
+	if err := s.Delete("d1", id); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Volume(id)
+	if v.State != StateDeleted {
+		t.Fatalf("state after delete = %s", v.State)
+	}
+	if err := s.Delete("d2", id); err == nil {
+		t.Fatal("double delete allowed")
+	}
+	// Replay of the original delete still reports success.
+	if err := s.Delete("d1", id); err != nil {
+		t.Fatalf("replayed delete: %v", err)
+	}
+	if b.releases != 1 {
+		t.Fatalf("releases = %d, want 1", b.releases)
+	}
+}
+
+func TestTenantRegistry(t *testing.T) {
+	s := NewService(&fakeBackend{})
+	s.SetTenantQoS("beta", sa.QoSSpec{IOPS: 100})
+	s.SetTenantQoS("acme", sa.QoSSpec{IOPS: 200})
+	s.SetTenantQoS("beta", sa.QoSSpec{IOPS: 300}) // update, not re-register
+	if got := s.Tenants(); len(got) != 2 || got[0] != "beta" || got[1] != "acme" {
+		t.Fatalf("tenants = %v", got)
+	}
+	spec, ok := s.TenantQoS("beta")
+	if !ok || spec.IOPS != 300 {
+		t.Fatalf("beta spec = %+v ok=%v", spec, ok)
+	}
+	if _, ok := s.TenantQoS("ghost"); ok {
+		t.Fatal("unknown tenant found")
+	}
+}
+
+func TestPlacerSpreadsDomains(t *testing.T) {
+	nodes := []Node{
+		{Addr: 11, Domain: "rack0"}, {Addr: 12, Domain: "rack0"},
+		{Addr: 21, Domain: "rack1"}, {Addr: 22, Domain: "rack1"},
+		{Addr: 31, Domain: "rack2"}, {Addr: 32, Domain: "rack2"},
+	}
+	p, err := NewPlacer(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Place(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six segments over six nodes in three domains: every node used once,
+	// and each consecutive triple covers all three domains.
+	used := map[uint32]int{}
+	for _, a := range got {
+		used[a]++
+	}
+	for _, n := range nodes {
+		if used[n.Addr] != 1 {
+			t.Fatalf("node %d used %d times: %v", n.Addr, used[n.Addr], got)
+		}
+	}
+	doms := map[string]bool{"rack0": false, "rack1": false, "rack2": false}
+	domOf := map[uint32]string{11: "rack0", 12: "rack0", 21: "rack1", 22: "rack1", 31: "rack2", 32: "rack2"}
+	for i, a := range got[:3] {
+		if doms[domOf[a]] {
+			t.Fatalf("first three picks repeat a domain at %d: %v", i, got)
+		}
+		doms[domOf[a]] = true
+	}
+}
+
+func TestPlacerDrainAndDeterminism(t *testing.T) {
+	mk := func() *Placer {
+		p, err := NewPlacer([]Node{
+			{Addr: 1, Domain: "a"}, {Addr: 2, Domain: "a"}, {Addr: 3, Domain: "b"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := mk(), mk()
+	p1.SetDown(3, true)
+	p2.SetDown(3, true)
+	g1, err1 := p1.Place(4)
+	g2, err2 := p2.Place(4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if fmt.Sprint(g1) != fmt.Sprint(g2) {
+		t.Fatalf("placement not deterministic: %v vs %v", g1, g2)
+	}
+	for _, a := range g1 {
+		if a == 3 {
+			t.Fatalf("placed on a down node: %v", g1)
+		}
+	}
+	p1.SetDown(1, true)
+	p1.SetDown(2, true)
+	if _, err := p1.Place(1); err == nil {
+		t.Fatal("placement with all nodes down succeeded")
+	}
+	// Release returns load.
+	if p1.Load(1) == 0 {
+		t.Fatal("no load recorded")
+	}
+	p1.Release(g1)
+	if p1.Load(1) != 0 || p1.Load(2) != 0 {
+		t.Fatalf("release did not zero load: %d %d", p1.Load(1), p1.Load(2))
+	}
+}

@@ -1,0 +1,251 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"lunasolar/internal/sa"
+)
+
+// Backend executes the data-plane side of control operations: mapping
+// segments, growing maps, releasing resources. The ebs package implements
+// it against a live cluster; tests use fakes. Backend calls are made at
+// most once per distinct request ID — replays are answered from the cache.
+type Backend interface {
+	// Provision maps a new volume's segments and returns the volume ID it
+	// allocated — the backend owns the ID space, so control-plane volumes
+	// and any the data plane provisions directly never collide. sizeBytes
+	// 0 is legal (segmentless volume).
+	Provision(tenant string, sizeBytes uint64) (uint32, error)
+	// Grow extends a volume's mapping to newSizeBytes.
+	Grow(id uint32, newSizeBytes uint64) error
+	// Release unmaps a volume and frees its resources.
+	Release(id uint32) error
+}
+
+// Result is a cached request outcome: the volume (or snapshot) ID the
+// request produced and its error.
+type Result struct {
+	ID  uint32
+	Err error
+}
+
+// Service is the management core: every mutating call takes a caller-
+// chosen request ID and is idempotent in it — a replay (same reqID)
+// returns the original outcome, success or error, without re-executing
+// the backend. An empty reqID opts out of caching.
+type Service struct {
+	backend Backend
+
+	vols  map[uint32]*Volume
+	order []uint32 // creation order, for deterministic listings
+	snaps map[uint32]*Snapshot
+	cache map[string]Result
+
+	tenantSpec  map[string]sa.QoSSpec
+	tenantOrder []string
+
+	nextSnap uint32
+}
+
+// NewService creates a service over the given backend.
+func NewService(backend Backend) *Service {
+	return &Service{
+		backend:    backend,
+		vols:       map[uint32]*Volume{},
+		snaps:      map[uint32]*Snapshot{},
+		cache:      map[string]Result{},
+		tenantSpec: map[string]sa.QoSSpec{},
+	}
+}
+
+// remember caches and returns a request outcome.
+func (s *Service) remember(reqID string, r Result) Result {
+	if reqID != "" {
+		s.cache[reqID] = r
+	}
+	return r
+}
+
+// replay returns the cached outcome of a previously seen request ID.
+func (s *Service) replay(reqID string) (Result, bool) {
+	if reqID == "" {
+		return Result{}, false
+	}
+	r, ok := s.cache[reqID]
+	return r, ok
+}
+
+// Create provisions a new volume for tenant and returns its ID.
+func (s *Service) Create(reqID, tenant string, sizeBytes uint64) (uint32, error) {
+	if r, ok := s.replay(reqID); ok {
+		return r.ID, r.Err
+	}
+	id, err := s.backend.Provision(tenant, sizeBytes)
+	if err != nil {
+		r := s.remember(reqID, Result{Err: fmt.Errorf("ctrl: create volume: %w", err)})
+		return 0, r.Err
+	}
+	s.vols[id] = &Volume{ID: id, Tenant: tenant, SizeBytes: sizeBytes, State: StateAvailable}
+	s.order = append(s.order, id)
+	r := s.remember(reqID, Result{ID: id})
+	return r.ID, nil
+}
+
+// available fetches a volume that must exist and be idle.
+func (s *Service) available(id uint32) (*Volume, error) {
+	v, ok := s.vols[id]
+	if !ok {
+		return nil, fmt.Errorf("ctrl: unknown volume %d", id)
+	}
+	if v.State != StateAvailable {
+		return nil, fmt.Errorf("ctrl: volume %d is %s", id, v.State)
+	}
+	return v, nil
+}
+
+// Resize grows a volume to newSizeBytes. Shrinking is refused (segments
+// under live I/O cannot be unmapped safely).
+func (s *Service) Resize(reqID string, id uint32, newSizeBytes uint64) error {
+	if r, ok := s.replay(reqID); ok {
+		return r.Err
+	}
+	v, err := s.available(id)
+	if err != nil {
+		return s.remember(reqID, Result{Err: err}).Err
+	}
+	if newSizeBytes < v.SizeBytes {
+		err := fmt.Errorf("ctrl: volume %d shrink %d -> %d refused", id, v.SizeBytes, newSizeBytes)
+		return s.remember(reqID, Result{Err: err}).Err
+	}
+	v.State = StateResizing
+	if err := s.backend.Grow(id, newSizeBytes); err != nil {
+		v.State = StateAvailable
+		return s.remember(reqID, Result{Err: fmt.Errorf("ctrl: resize volume %d: %w", id, err)}).Err
+	}
+	v.SizeBytes = newSizeBytes
+	v.State = StateAvailable
+	s.remember(reqID, Result{ID: id})
+	return nil
+}
+
+// Snapshot captures a volume's metadata and returns the snapshot ID.
+func (s *Service) Snapshot(reqID string, id uint32) (uint32, error) {
+	if r, ok := s.replay(reqID); ok {
+		return r.ID, r.Err
+	}
+	v, err := s.available(id)
+	if err != nil {
+		return 0, s.remember(reqID, Result{Err: err}).Err
+	}
+	v.State = StateSnapshotting
+	s.nextSnap++
+	snapID := s.nextSnap
+	s.snaps[snapID] = &Snapshot{ID: snapID, Source: id, SizeBytes: v.SizeBytes}
+	v.State = StateAvailable
+	s.remember(reqID, Result{ID: snapID})
+	return snapID, nil
+}
+
+// Clone provisions a new volume from a snapshot (copy-on-write in
+// production; metadata-sized here) and returns the new volume's ID.
+func (s *Service) Clone(reqID string, snapID uint32, tenant string) (uint32, error) {
+	if r, ok := s.replay(reqID); ok {
+		return r.ID, r.Err
+	}
+	snap, ok := s.snaps[snapID]
+	if !ok {
+		err := fmt.Errorf("ctrl: unknown snapshot %d", snapID)
+		return 0, s.remember(reqID, Result{Err: err}).Err
+	}
+	id, err := s.backend.Provision(tenant, snap.SizeBytes)
+	if err != nil {
+		r := s.remember(reqID, Result{Err: fmt.Errorf("ctrl: clone snapshot %d: %w", snapID, err)})
+		return 0, r.Err
+	}
+	s.vols[id] = &Volume{ID: id, Tenant: tenant, SizeBytes: snap.SizeBytes, State: StateAvailable}
+	s.order = append(s.order, id)
+	s.remember(reqID, Result{ID: id})
+	return id, nil
+}
+
+// Delete releases a volume. The record stays as a Deleted tombstone so
+// replayed or racing requests get a coherent answer.
+func (s *Service) Delete(reqID string, id uint32) error {
+	if r, ok := s.replay(reqID); ok {
+		return r.Err
+	}
+	v, err := s.available(id)
+	if err != nil {
+		return s.remember(reqID, Result{Err: err}).Err
+	}
+	v.State = StateDeleting
+	if err := s.backend.Release(id); err != nil {
+		v.State = StateAvailable
+		return s.remember(reqID, Result{Err: fmt.Errorf("ctrl: delete volume %d: %w", id, err)}).Err
+	}
+	v.State = StateDeleted
+	s.remember(reqID, Result{ID: id})
+	return nil
+}
+
+// BeginMigration moves an Available volume to Migrating, reserving it for
+// one live-migration campaign (unplanned degradation or a planned drain).
+func (s *Service) BeginMigration(id uint32) error {
+	v, err := s.available(id)
+	if err != nil {
+		return err
+	}
+	v.State = StateMigrating
+	return nil
+}
+
+// EndMigration returns a Migrating volume to Available.
+func (s *Service) EndMigration(id uint32) error {
+	v, ok := s.vols[id]
+	if !ok {
+		return fmt.Errorf("ctrl: unknown volume %d", id)
+	}
+	if v.State != StateMigrating {
+		return fmt.Errorf("ctrl: volume %d is %s, not migrating", id, v.State)
+	}
+	v.State = StateAvailable
+	return nil
+}
+
+// Volume returns a copy of a volume's record.
+func (s *Service) Volume(id uint32) (Volume, bool) {
+	v, ok := s.vols[id]
+	if !ok {
+		return Volume{}, false
+	}
+	return *v, true
+}
+
+// Volumes lists all volume records (tombstones included) in creation
+// order.
+func (s *Service) Volumes() []Volume {
+	out := make([]Volume, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.vols[id])
+	}
+	return out
+}
+
+// SetTenantQoS registers (or updates) a tenant's aggregate service level.
+func (s *Service) SetTenantQoS(tenant string, spec sa.QoSSpec) {
+	if _, ok := s.tenantSpec[tenant]; !ok {
+		s.tenantOrder = append(s.tenantOrder, tenant)
+	}
+	s.tenantSpec[tenant] = spec
+}
+
+// TenantQoS returns a tenant's registered service level.
+func (s *Service) TenantQoS(tenant string) (sa.QoSSpec, bool) {
+	spec, ok := s.tenantSpec[tenant]
+	return spec, ok
+}
+
+// Tenants lists registered tenants in registration order.
+func (s *Service) Tenants() []string {
+	return append([]string(nil), s.tenantOrder...)
+}

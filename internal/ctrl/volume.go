@@ -1,0 +1,61 @@
+// Package ctrl implements the volume control plane's bookkeeping core: the
+// volume lifecycle state machine, the idempotent request cache, failure-
+// domain-aware segment placement, and the tenant QoS registry. It is pure
+// deterministic metadata — no engine, no randomness, no map iteration — so
+// a management workload replays identically at any worker count; the ebs
+// package wires it to a live cluster (segment tables, agents, migration).
+package ctrl
+
+import "fmt"
+
+// State is one volume's lifecycle state. Volumes are Available between
+// operations; mutating operations move them through a transient busy state
+// and exactly one op may hold a volume busy at a time — the property the
+// machine enforces. Deleted volumes stay as tombstones so replayed
+// requests resolve instead of dangling.
+type State uint8
+
+const (
+	StateAvailable State = iota
+	StateResizing
+	StateSnapshotting
+	StateMigrating
+	StateDeleting
+	StateDeleted
+)
+
+// String returns the state's wire name.
+func (s State) String() string {
+	switch s {
+	case StateAvailable:
+		return "available"
+	case StateResizing:
+		return "resizing"
+	case StateSnapshotting:
+		return "snapshotting"
+	case StateMigrating:
+		return "migrating"
+	case StateDeleting:
+		return "deleting"
+	case StateDeleted:
+		return "deleted"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Volume is one virtual disk's control-plane record.
+type Volume struct {
+	ID        uint32
+	Tenant    string
+	SizeBytes uint64
+	State     State
+}
+
+// Snapshot is a point-in-time metadata capture of a volume: enough to
+// clone from. Block data is shared copy-on-write in production; the model
+// keeps snapshots metadata-only.
+type Snapshot struct {
+	ID        uint32
+	Source    uint32
+	SizeBytes uint64
+}

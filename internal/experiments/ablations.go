@@ -111,7 +111,7 @@ func ablatePaths(opts Options, paths int, failover bool) (slow int, p99 time.Dur
 	c := ebs.New(cfg)
 	var vds []*ebs.VDisk
 	for i := 0; i < 4; i++ {
-		vds = append(vds, c.Provision(i, 64<<20, ebs.DefaultQoS()))
+		vds = append(vds, c.MustProvision(i, 64<<20, ebs.DefaultQoS()))
 	}
 	h := stats.NewHistogram()
 	r := sim.NewRand(opts.Seed + 17)
@@ -180,7 +180,7 @@ func ablateCRC(opts Options, fullCRC bool) (float64, *ebs.Cluster) {
 	}
 	cfg.SolarOverride = &p
 	c := ebs.New(cfg)
-	vd := c.Provision(0, 128<<20, ebs.DefaultQoS())
+	vd := c.MustProvision(0, 128<<20, ebs.DefaultQoS())
 	done := 0
 	for s := 0; s < 32; s++ {
 		lba := uint64(s) << 14
@@ -207,7 +207,7 @@ func ablateAddr(opts Options, entries int) (time.Duration, *ebs.Cluster) {
 	cfg.ComputeServers = 1
 	cfg.DPU.MaxAddrEntries = entries
 	c := ebs.New(cfg)
-	vd := c.Provision(0, 128<<20, ebs.DefaultQoS())
+	vd := c.MustProvision(0, 128<<20, ebs.DefaultQoS())
 	for off := uint64(0); off < 8<<20; off += 512 << 10 {
 		vd.Write(off, make([]byte, 512<<10), nil)
 	}

@@ -69,7 +69,7 @@ func ccIncastCell(opts Options, kind cc.Kind) (CCCell, *ebs.Cluster) {
 	// One segment per block server (Provision stripes round-robin), so
 	// stream i's reads are answered by block server i.
 	nseg := cfg.BlockServers
-	vd := c.Provision(0, uint64(nseg)*sa.SegmentBytes, ebs.DefaultQoS())
+	vd := c.MustProvision(0, uint64(nseg)*sa.SegmentBytes, ebs.DefaultQoS())
 	const rdSize = 128 << 10
 	perStream := opts.scale(40, 10)
 	h := stats.NewHistogram()
@@ -175,7 +175,7 @@ func ccSpineCell(opts Options, kind cc.Kind, spines int) (CCCell, *ebs.Cluster) 
 
 	vds := make([]*ebs.VDisk, cfg.ComputeServers)
 	for i := range vds {
-		vds[i] = c.Provision(i, 8*sa.SegmentBytes, ebs.DefaultQoS())
+		vds[i] = c.MustProvision(i, 8*sa.SegmentBytes, ebs.DefaultQoS())
 	}
 	h := stats.NewHistogram()
 	total := ccWriteStorm(c, vds, opts.Seed, 256<<10, 2, opts.scale(24, 6), h)
@@ -219,12 +219,12 @@ func ccElephantMiceCell(opts Options, kind cc.Kind) (CCCell, *ebs.Cluster) {
 	c := ebs.New(cfg)
 
 	elephants := []*ebs.VDisk{
-		c.Provision(0, 8*sa.SegmentBytes, ebs.DefaultQoS()),
-		c.Provision(1, 8*sa.SegmentBytes, ebs.DefaultQoS()),
+		c.MustProvision(0, 8*sa.SegmentBytes, ebs.DefaultQoS()),
+		c.MustProvision(1, 8*sa.SegmentBytes, ebs.DefaultQoS()),
 	}
 	mice := []*ebs.VDisk{
-		c.Provision(2, 8*sa.SegmentBytes, ebs.DefaultQoS()),
-		c.Provision(3, 8*sa.SegmentBytes, ebs.DefaultQoS()),
+		c.MustProvision(2, 8*sa.SegmentBytes, ebs.DefaultQoS()),
+		c.MustProvision(3, 8*sa.SegmentBytes, ebs.DefaultQoS()),
 	}
 	hEl := stats.NewHistogram() // elephants contribute bytes, not the tail
 	hMice := stats.NewHistogram()

@@ -96,7 +96,7 @@ func CoupledStorm(opts Options) *Table {
 	c := ebs.New(cfg)
 	var vds []*ebs.VDisk
 	for ci := 0; ci < c.Computes(); ci++ {
-		vds = append(vds, c.Provision(ci, 256<<20, ebs.DefaultQoS()))
+		vds = append(vds, c.MustProvision(ci, 256<<20, ebs.DefaultQoS()))
 	}
 	driveStorm(opts, vds, perDisk, depth, size)
 	fleet.Perf.ObserveCoupledRun(c.Engines(), func() { c.Run() })
@@ -137,7 +137,7 @@ func CoupledFailover(opts Options) *Table {
 	c := ebs.New(cfg)
 	var vds []*ebs.VDisk
 	for ci := 0; ci < c.Computes(); ci++ {
-		vds = append(vds, c.Provision(ci, 256<<20, ebs.DefaultQoS()))
+		vds = append(vds, c.MustProvision(ci, 256<<20, ebs.DefaultQoS()))
 	}
 	driveStorm(opts, vds, perDisk, depth, size)
 

@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lunasolar/ebs"
+	"lunasolar/internal/sa"
+	"lunasolar/internal/stats"
+)
+
+// The control-plane scenarios exercise the volume management service the
+// way production exercises it: a provisioning storm (create / resize /
+// snapshot / clone / delete with duplicated request IDs), a planned
+// chunk-server drain riding under a foreground write storm, and a noisy
+// tenant held off a victim by the per-tenant token buckets. The control
+// plane is serial-only, so every cell owns its cluster and cells shard
+// across workers — output is byte-identical for every -workers value.
+
+// ctrlStacks is the stack column of the control-plane scenarios: the two
+// storage-network generations the paper's evolution spans.
+var ctrlStacks = []ebs.StackKind{ebs.Luna, ebs.Solar}
+
+// ProvisionStormCell is one stack's provisioning-storm measurement.
+type ProvisionStormCell struct {
+	Stack     string `json:"stack"`
+	Creates   int    `json:"creates"`
+	Replays   int    `json:"replays"`
+	Resizes   int    `json:"resizes"`
+	Snapshots int    `json:"snapshots"`
+	Clones    int    `json:"clones"`
+	Deletes   int    `json:"deletes"`
+	Errors    int    `json:"errors"`
+	IOErrors  int    `json:"io_errors"`
+	// SpreadMax/SpreadMin are the heaviest and lightest block server's
+	// live segment counts after the storm — the placement-balance witness.
+	SpreadMax int `json:"spread_max"`
+	SpreadMin int `json:"spread_min"`
+}
+
+// provisionStormCell runs the storm on one stack: tenants t0..t3 create
+// volumes round-robin over the compute servers, every fourth create is
+// replayed with its original request ID, a third are resized, a quarter
+// snapshotted and cloned, a fifth deleted — then every surviving volume
+// takes one 4 KiB write to prove the data path works.
+func provisionStormCell(opts Options, fn ebs.StackKind) (ProvisionStormCell, *ebs.Cluster) {
+	c := ebs.New(clusterConfig(fn, opts.Seed))
+	cp := c.ControlPlane()
+	cell := ProvisionStormCell{Stack: fn.String()}
+
+	nVols := opts.scale(24, 8)
+	type liveVol struct {
+		vd     *ebs.VDisk
+		reqID  string
+		tenant string
+	}
+	var live []liveVol
+	for i := 0; i < nVols; i++ {
+		tenant := fmt.Sprintf("t%d", i%4)
+		reqID := fmt.Sprintf("create-%d", i)
+		vd, err := cp.CreateVolume(reqID, i%c.Computes(), tenant, 8<<20, ebs.DefaultQoS())
+		if err != nil {
+			cell.Errors++
+			continue
+		}
+		cell.Creates++
+		live = append(live, liveVol{vd: vd, reqID: reqID, tenant: tenant})
+		if i%4 == 0 {
+			// Duplicate delivery: the replay must return the same volume
+			// without provisioning a second one.
+			again, err := cp.CreateVolume(reqID, i%c.Computes(), tenant, 8<<20, ebs.DefaultQoS())
+			if err != nil || again != vd {
+				cell.Errors++
+			} else {
+				cell.Replays++
+			}
+		}
+	}
+	for i, lv := range live {
+		switch {
+		case i%5 == 4:
+			if err := cp.DeleteVolume(fmt.Sprintf("del-%d", i), lv.vd.ID); err != nil {
+				cell.Errors++
+			} else {
+				cell.Deletes++
+			}
+		case i%3 == 0:
+			if err := cp.ResizeVolume(fmt.Sprintf("resize-%d", i), lv.vd.ID, 16<<20); err != nil {
+				cell.Errors++
+			} else {
+				cell.Resizes++
+			}
+		case i%4 == 1:
+			snap, err := cp.SnapshotVolume(fmt.Sprintf("snap-%d", i), lv.vd.ID)
+			if err != nil {
+				cell.Errors++
+				continue
+			}
+			cell.Snapshots++
+			if _, err := cp.CloneVolume(fmt.Sprintf("clone-%d", i), snap, i%c.Computes(), lv.tenant, ebs.DefaultQoS()); err != nil {
+				cell.Errors++
+			} else {
+				cell.Clones++
+			}
+		}
+	}
+
+	// Every surviving volume serves one write — provisioning that cannot
+	// carry I/O is not provisioning.
+	perServer := map[uint32]int{}
+	for i, lv := range live {
+		if i%5 == 4 {
+			continue // deleted above
+		}
+		vd := lv.vd
+		vd.Write(0, make([]byte, 4096), func(r ebs.IOResult) {
+			if r.Err != nil {
+				cell.IOErrors++
+			}
+		})
+		for _, ref := range c.SegmentRefs(vd.ID) {
+			perServer[ref.Server]++
+		}
+	}
+	c.Run()
+	for _, addr := range c.BlockServerAddrs() {
+		n := perServer[addr]
+		if cell.SpreadMax == 0 && cell.SpreadMin == 0 {
+			cell.SpreadMax, cell.SpreadMin = n, n
+			continue
+		}
+		if n > cell.SpreadMax {
+			cell.SpreadMax = n
+		}
+		if n < cell.SpreadMin {
+			cell.SpreadMin = n
+		}
+	}
+	return cell, c
+}
+
+// ProvisionStorm regenerates the provisioning-storm table: a burst of
+// lifecycle operations with duplicated request IDs, per stack.
+func ProvisionStorm(opts Options) *Table {
+	fleet := opts.fleet()
+	cells := runCells(fleet, len(ctrlStacks), func(shard int) (ProvisionStormCell, *ebs.Cluster) {
+		return provisionStormCell(opts, ctrlStacks[shard])
+	})
+	t := &Table{
+		Title:   "Provisioning storm: volume lifecycle under duplicated deliveries",
+		Columns: []string{"stack", "creates", "replays", "resizes", "snaps", "clones", "deletes", "errors", "io errors", "spread max/min"},
+		Notes: []string{
+			"every fourth create is redelivered with its original request ID; replays must return the original volume",
+			"spread = live segments on the heaviest vs lightest block server (failure-domain-aware placement)",
+		},
+		Perf: &fleet.Perf,
+	}
+	for _, cell := range cells {
+		t.Rows = append(t.Rows, []string{
+			cell.Stack, fmt.Sprintf("%d", cell.Creates), fmt.Sprintf("%d", cell.Replays),
+			fmt.Sprintf("%d", cell.Resizes), fmt.Sprintf("%d", cell.Snapshots),
+			fmt.Sprintf("%d", cell.Clones), fmt.Sprintf("%d", cell.Deletes),
+			fmt.Sprintf("%d", cell.Errors), fmt.Sprintf("%d", cell.IOErrors),
+			fmt.Sprintf("%d/%d", cell.SpreadMax, cell.SpreadMin),
+		})
+	}
+	return t
+}
+
+// DrainCell is one stack's planned-drain measurement: a chunk server is
+// drained mid-storm; the gate is zero failed foreground I/Os.
+type DrainCell struct {
+	Stack        string  `json:"stack"`
+	IOs          int     `json:"ios"`
+	FailedIOs    int     `json:"failed_ios"`
+	Segments     int     `json:"segments"`
+	BlocksCopied int     `json:"blocks_copied"`
+	MBCopied     float64 `json:"mb_copied"`
+	CopyErrors   int     `json:"copy_errors"`
+	CutoverP50us float64 `json:"cutover_p50_us"`
+	CutoverP99us float64 `json:"cutover_p99_us"`
+	DrainMs      float64 `json:"drain_ms"`
+}
+
+// drainCell seeds every segment of two volumes, opens a 4 KiB write storm
+// across both, and drains chunk server 0 one millisecond in.
+func drainCell(opts Options, fn ebs.StackKind) (DrainCell, *ebs.Cluster) {
+	c := ebs.New(clusterConfig(fn, opts.Seed))
+	cp := c.ControlPlane()
+	cell := DrainCell{Stack: fn.String()}
+
+	var vds []*ebs.VDisk
+	for i := 0; i < 2; i++ {
+		vd, err := cp.CreateVolume(fmt.Sprintf("drain-vol-%d", i), i%c.Computes(), "t0", 8<<20, ebs.DefaultQoS())
+		if err != nil {
+			panic(err)
+		}
+		vds = append(vds, vd)
+	}
+	// Seed one block in every segment so each drained replica has bytes to
+	// rebuild.
+	seed := make([]byte, 4096)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	for _, vd := range vds {
+		for off := uint64(0); off < vd.Size(); off += sa.SegmentBytes {
+			vd.Write(off, seed, func(r ebs.IOResult) {
+				if r.Err != nil {
+					cell.FailedIOs++
+				}
+			})
+		}
+	}
+	c.Run()
+
+	// Open-loop storm: sequential 4 KiB writes on both volumes while the
+	// drain copies and cuts over underneath them.
+	nPerDisk := opts.scale(400, 150)
+	for _, vd := range vds {
+		vd := vd
+		var issue func(i int)
+		issue = func(i int) {
+			if i == nPerDisk {
+				return
+			}
+			cell.IOs++
+			lba := (uint64(i) * 4096) % vd.Size()
+			vd.Write(lba, make([]byte, 4096), func(r ebs.IOResult) {
+				if r.Err != nil {
+					cell.FailedIOs++
+				}
+			})
+			c.Eng.Schedule(10*time.Microsecond, func() { issue(i + 1) })
+		}
+		issue(0)
+	}
+	var report ebs.DrainReport
+	c.Eng.Schedule(time.Millisecond, func() {
+		if err := cp.DrainChunkServer(0, func(r ebs.DrainReport) { report = r }); err != nil {
+			panic(err)
+		}
+	})
+	c.Run()
+
+	cell.Segments = report.Segments
+	cell.BlocksCopied = report.BlocksCopied
+	cell.MBCopied = float64(report.BytesCopied) / 1e6
+	cell.CopyErrors = report.CopyErrors
+	cell.DrainMs = float64(report.Duration.Nanoseconds()) / 1e6
+	h := stats.NewHistogram()
+	for _, d := range report.Cutovers {
+		h.Record(d)
+	}
+	cell.CutoverP50us = float64(h.Median().Nanoseconds()) / 1e3
+	cell.CutoverP99us = float64(h.P99().Nanoseconds()) / 1e3
+	return cell, c
+}
+
+// DrainCells runs the planned drain on both stacks and returns the cells
+// (shared with the -ctrl-bench-out report).
+func DrainCells(opts Options) ([]DrainCell, *Table) {
+	fleet := opts.fleet()
+	cells := runCells(fleet, len(ctrlStacks), func(shard int) (DrainCell, *ebs.Cluster) {
+		return drainCell(opts, ctrlStacks[shard])
+	})
+	t := &Table{
+		Title:   "Planned chunk-server drain under a write storm",
+		Columns: []string{"stack", "IOs", "failed", "segments", "blocks", "MB", "copy errs", "cutover p50 (µs)", "cutover p99 (µs)", "drain (ms)"},
+		Notes: []string{
+			"drain = copy each replica block off the server, then cut the owner's replica set over (survivor stays primary)",
+			"gate: zero failed foreground I/Os — in-flight writes retry against the post-cutover owner",
+		},
+		Perf: &fleet.Perf,
+	}
+	for _, cell := range cells {
+		t.Rows = append(t.Rows, []string{
+			cell.Stack, fmt.Sprintf("%d", cell.IOs), fmt.Sprintf("%d", cell.FailedIOs),
+			fmt.Sprintf("%d", cell.Segments), fmt.Sprintf("%d", cell.BlocksCopied),
+			f1(cell.MBCopied), fmt.Sprintf("%d", cell.CopyErrors),
+			f1(cell.CutoverP50us), f1(cell.CutoverP99us), f1(cell.DrainMs),
+		})
+	}
+	return cells, t
+}
+
+// Drain is the ebsbench entry point for the planned-drain table.
+func Drain(opts Options) *Table {
+	_, t := DrainCells(opts)
+	return t
+}
+
+// NoisyCell is one noisy-neighbor measurement: the victim's latency with
+// the aggressor absent, capped by tenant QoS, or uncapped.
+type NoisyCell struct {
+	Mode         string  `json:"mode"` // baseline | capped | uncapped
+	VictimOps    int     `json:"victim_ops"`
+	VictimP50us  float64 `json:"victim_p50_us"`
+	VictimP99us  float64 `json:"victim_p99_us"`
+	AggressorOps int     `json:"aggressor_ops"`
+}
+
+// noisyCell runs the victim's open-loop 4 KiB writes, optionally alongside
+// a closed-loop 64 KiB aggressor on the same compute server. mode selects
+// the aggressor's presence and whether its tenant is rate-capped.
+func noisyCell(opts Options, mode string) (NoisyCell, *ebs.Cluster) {
+	c := ebs.New(clusterConfig(ebs.Solar, opts.Seed))
+	cp := c.ControlPlane()
+	cell := NoisyCell{Mode: mode}
+
+	// Generous per-disk QoS on both volumes: only the tenant-level cap
+	// (mode "capped") stands between the aggressor and the fabric.
+	diskQoS := ebs.QoS(1e6, 100e9)
+	if mode == "capped" {
+		cp.SetTenantQoS("noisy", sa.QoSSpec{IOPS: 2000, BurstWindow: time.Millisecond})
+	}
+	victim, err := cp.CreateVolume("victim", 0, "quiet", 16<<20, diskQoS)
+	if err != nil {
+		panic(err)
+	}
+
+	window := time.Duration(opts.scale(40, 15)) * time.Millisecond
+	if mode != "baseline" {
+		agg, err := cp.CreateVolume("aggressor", 0, "noisy", 64<<20, diskQoS)
+		if err != nil {
+			panic(err)
+		}
+		const aggDepth = 16
+		aggSpan := agg.Size() - (64 << 10)
+		for s := 0; s < aggDepth; s++ {
+			s := s
+			var pound func(i int)
+			pound = func(i int) {
+				lba := (uint64(s)*(64<<10) + uint64(i)*aggDepth*(64<<10)) % aggSpan &^ 4095
+				agg.Write(lba, make([]byte, 64<<10), func(r ebs.IOResult) {
+					cell.AggressorOps++
+					if c.Eng.Now().Duration() < window {
+						pound(i + 1)
+					}
+				})
+			}
+			pound(0)
+		}
+	}
+
+	h := stats.NewHistogram()
+	victimIOs := opts.scale(300, 100)
+	var issue func(i int)
+	issue = func(i int) {
+		if i == victimIOs {
+			return
+		}
+		lba := (uint64(i) * 4096) % victim.Size()
+		victim.Write(lba, make([]byte, 4096), func(r ebs.IOResult) {
+			if r.Err == nil {
+				h.Record(r.Latency)
+			}
+		})
+		c.Eng.Schedule(100*time.Microsecond, func() { issue(i + 1) })
+	}
+	issue(0)
+	c.Run()
+
+	cell.VictimOps = int(h.Count())
+	cell.VictimP50us = float64(h.Median().Nanoseconds()) / 1e3
+	cell.VictimP99us = float64(h.P99().Nanoseconds()) / 1e3
+	return cell, c
+}
+
+// noisyModes orders the three noisy-neighbor cells.
+var noisyModes = []string{"baseline", "capped", "uncapped"}
+
+// NoisyNeighborCells runs all three modes and returns the cells (shared
+// with the -ctrl-bench-out report).
+func NoisyNeighborCells(opts Options) ([]NoisyCell, *Table) {
+	fleet := opts.fleet()
+	cells := runCells(fleet, len(noisyModes), func(shard int) (NoisyCell, *ebs.Cluster) {
+		return noisyCell(opts, noisyModes[shard])
+	})
+	t := &Table{
+		Title:   "Noisy neighbor: victim latency vs an aggressor tenant on the same compute server",
+		Columns: []string{"mode", "victim ops", "victim p50 (µs)", "victim p99 (µs)", "aggressor ops"},
+		Notes: []string{
+			"victim: open-loop 4 KiB writes; aggressor: closed-loop depth-16 64 KiB writes, same hypervisor",
+			"capped = aggressor tenant limited to 2000 IOPS by the SA-level token buckets; gate: victim p99 <= 2x baseline",
+		},
+		Perf: &fleet.Perf,
+	}
+	for _, cell := range cells {
+		t.Rows = append(t.Rows, []string{
+			cell.Mode, fmt.Sprintf("%d", cell.VictimOps),
+			f1(cell.VictimP50us), f1(cell.VictimP99us), fmt.Sprintf("%d", cell.AggressorOps),
+		})
+	}
+	return cells, t
+}
+
+// NoisyNeighbor is the ebsbench entry point for the noisy-neighbor matrix.
+func NoisyNeighbor(opts Options) *Table {
+	_, t := NoisyNeighborCells(opts)
+	return t
+}

@@ -17,6 +17,12 @@ func TestParallelRunDeterminism(t *testing.T) {
 	}{
 		{"fig6", Fig6},
 		{"fig8", Fig8},
+		// The control-plane scenarios shard serial clusters per cell; the
+		// management traffic must interleave with foreground I/O
+		// identically however many workers simulate the cells.
+		{"provision-storm", ProvisionStorm},
+		{"drain", Drain},
+		{"noisyneighbor", NoisyNeighbor},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -101,7 +101,7 @@ func measureMeanLatency(opts Options, fn ebs.StackKind) (time.Duration, *ebs.Clu
 	c := ebs.New(clusterConfig(fn, opts.Seed))
 	var vds []*ebs.VDisk
 	for i := 0; i < c.Computes(); i++ {
-		vds = append(vds, c.Provision(i, 128<<20, ebs.DefaultQoS()))
+		vds = append(vds, c.MustProvision(i, 128<<20, ebs.DefaultQoS()))
 	}
 	driveMixed(c, vds, opts.scale(400, 80), 0.5, 150*time.Microsecond, 4096)
 	r := c.Collector().E2E("read").Mean()

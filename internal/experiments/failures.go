@@ -145,7 +145,7 @@ func Table2(opts Options) *Table {
 		c := ebs.New(clusterConfig(fn, opts.Seed))
 		var vds []*ebs.VDisk
 		for ci := 0; ci < c.Computes(); ci++ {
-			vds = append(vds, c.Provision(ci, 128<<20, ebs.DefaultQoS()))
+			vds = append(vds, c.MustProvision(ci, 128<<20, ebs.DefaultQoS()))
 		}
 		hc := newHangCounter(c)
 		hc.start(vds, 4, 2*time.Millisecond)
@@ -258,7 +258,7 @@ func Fig8(opts Options) *Table {
 		c := ebs.New(cfg)
 		var vds []*ebs.VDisk
 		for ci := 0; ci < c.Computes(); ci++ {
-			vds = append(vds, c.Provision(ci, 64<<20, ebs.DefaultQoS()))
+			vds = append(vds, c.MustProvision(ci, 64<<20, ebs.DefaultQoS()))
 		}
 
 		// Per-client hang detection: a client is affected if an I/O

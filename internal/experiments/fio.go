@@ -72,7 +72,7 @@ func runFio(opts Options, fn ebs.StackKind, cores int, blockSize int) (float64, 
 	c := ebs.New(cfg)
 	// The fio test measures device capability: provision without a
 	// throttling service level (the paper's testbed disks are unthrottled).
-	vd := c.Provision(0, 512<<20, ebs.QoS(10e6, 400e9))
+	vd := c.MustProvision(0, 512<<20, ebs.QoS(10e6, 400e9))
 
 	// Prepopulate the read span so reads hit real data.
 	span := uint64(16 << 20)

@@ -79,7 +79,7 @@ func Fig6(opts Options) *Table {
 		c := ebs.New(clusterConfig(fn, opts.Seed))
 		var vds []*ebs.VDisk
 		for i := 0; i < c.Computes(); i++ {
-			vds = append(vds, c.Provision(i, 256<<20, ebs.DefaultQoS()))
+			vds = append(vds, c.MustProvision(i, 256<<20, ebs.DefaultQoS()))
 		}
 		driveMixed(c, vds, n, 0.5, 100*time.Microsecond, 4096)
 		out := shardOut{parts: map[key][]time.Duration{}, e2e: map[key]time.Duration{}}
@@ -173,12 +173,12 @@ func Fig15(opts Options) *Table {
 		cfg := clusterConfig(cl.fn, opts.Seed)
 		cfg.BareMetal = true // the Fig. 14/15 testbed is the bare-metal DPU era
 		c := ebs.New(cfg)
-		probe := c.Provision(0, 256<<20, ebs.DefaultQoS())
+		probe := c.MustProvision(0, 256<<20, ebs.DefaultQoS())
 
 		if cl.heavy {
 			// Saturating background writers on three other computes.
 			for i := 1; i <= 3; i++ {
-				bg := c.Provision(i, 256<<20, ebs.DefaultQoS())
+				bg := c.MustProvision(i, 256<<20, ebs.DefaultQoS())
 				startBackground(c, bg, 8, 16<<10)
 			}
 			c.RunFor(10 * time.Millisecond) // reach steady state

@@ -1,6 +1,7 @@
 package rdma
 
 import (
+	"errors"
 	"time"
 
 	"lunasolar/internal/cc"
@@ -119,6 +120,11 @@ func (q *qp) sendMessage(id uint64, op uint8, req *transport.Message, resp *tran
 		crcs = resp.BlockCRCs
 		ebs.ServerNS = uint32(resp.ServerWall.Nanoseconds())
 		ebs.SSDNS = uint32(resp.SSDTime.Nanoseconds())
+		if resp.Err != nil && errors.Is(resp.Err, transport.ErrNotOwner) {
+			// Ownership rejection survives the wire as a header flag;
+			// the client side rebuilds transport.ErrNotOwner from it.
+			ebs.Flags = wire.EBSFlagReject
+		}
 	}
 	mtu := q.s.params.MTU
 	numPkts := (len(payload) + mtu - 1) / mtu

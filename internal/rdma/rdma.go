@@ -284,7 +284,12 @@ func (s *Stack) deliver(q *qp, rpcID uint64, msgType uint8, ebs wire.EBS, payloa
 		default:
 			if done, ok := s.pending[rpcID]; ok {
 				delete(s.pending, rpcID)
+				var rerr error
+				if ebs.Flags&wire.EBSFlagReject != 0 {
+					rerr = transport.ErrNotOwner
+				}
 				done(&transport.Response{
+					Err:        rerr,
 					Data:       payload,
 					BlockCRCs:  crcs,
 					ServerWall: time.Duration(ebs.ServerNS),

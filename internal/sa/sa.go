@@ -15,6 +15,7 @@
 package sa
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -30,26 +31,41 @@ import (
 // contains relatively large (e.g., 2MB) and continuous LBA addresses".
 const SegmentBytes = 2 << 20
 
+// notOwnerRetries bounds how many times one I/O piece chases a migrating
+// segment before surfacing the rejection; each retry requires the segment
+// table to point somewhere new, so the bound only trips on churn.
+const notOwnerRetries = 4
+
 // SegmentRef locates one segment.
 type SegmentRef struct {
 	Server    uint32 // block-server fabric address
 	SegmentID uint64
 }
 
+// diskEntry is one vdisk's mapping plus its generation number. The
+// generation is bumped by every remap/resize, so clients holding a stale
+// routing decision can tell whether a retry against a fresh lookup can
+// make progress.
+type diskEntry struct {
+	refs []SegmentRef
+	gen  uint32
+}
+
 // SegmentTable maps (vdisk, LBA) to segments. Entries are populated by the
-// management plane at provisioning time.
+// management plane at provisioning time and updated by live migration.
 type SegmentTable struct {
-	disks     map[uint32][]SegmentRef
+	disks     map[uint32]*diskEntry
 	nextSegID uint64
 }
 
 // NewSegmentTable returns an empty table.
 func NewSegmentTable() *SegmentTable {
-	return &SegmentTable{disks: map[uint32][]SegmentRef{}}
+	return &SegmentTable{disks: map[uint32]*diskEntry{}}
 }
 
 // Provision creates a virtual disk of the given size, striping its segments
-// round-robin across the block servers.
+// round-robin across the block servers. sizeBytes 0 is legal and yields a
+// segmentless disk: every Lookup misses until a Grow maps space.
 func (t *SegmentTable) Provision(vdisk uint32, sizeBytes uint64, servers []uint32) error {
 	if len(servers) == 0 {
 		return fmt.Errorf("sa: provisioning vdisk %d with no block servers", vdisk)
@@ -63,26 +79,105 @@ func (t *SegmentTable) Provision(vdisk uint32, sizeBytes uint64, servers []uint3
 		t.nextSegID++
 		refs[i] = SegmentRef{Server: servers[i%len(servers)], SegmentID: t.nextSegID}
 	}
-	t.disks[vdisk] = refs
+	t.disks[vdisk] = &diskEntry{refs: refs}
 	return nil
 }
 
 // Lookup resolves the segment containing lba.
 func (t *SegmentTable) Lookup(vdisk uint32, lba uint64) (SegmentRef, bool) {
-	refs, ok := t.disks[vdisk]
+	e, ok := t.disks[vdisk]
 	if !ok {
 		return SegmentRef{}, false
 	}
 	idx := int(lba / SegmentBytes)
-	if idx >= len(refs) {
+	if idx >= len(e.refs) {
 		return SegmentRef{}, false
 	}
-	return refs[idx], true
+	return e.refs[idx], true
 }
 
 // Size returns the provisioned size of a vdisk in bytes (0 if unknown).
 func (t *SegmentTable) Size(vdisk uint32) uint64 {
-	return uint64(len(t.disks[vdisk])) * SegmentBytes
+	e, ok := t.disks[vdisk]
+	if !ok {
+		return 0
+	}
+	return uint64(len(e.refs)) * SegmentBytes
+}
+
+// Generation returns the vdisk's mapping generation: 0 for a never-remapped
+// (or unknown) disk, bumped by every Remap and Grow. Clients snapshot it at
+// issue time; a not-owner rejection is only worth retrying if the
+// generation has moved since.
+func (t *SegmentTable) Generation(vdisk uint32) uint32 {
+	e, ok := t.disks[vdisk]
+	if !ok {
+		return 0
+	}
+	return e.gen
+}
+
+// Refs returns a copy of the vdisk's segment references in LBA order (nil
+// if unknown). The control plane walks this to plan drains.
+func (t *SegmentTable) Refs(vdisk uint32) []SegmentRef {
+	e, ok := t.disks[vdisk]
+	if !ok {
+		return nil
+	}
+	return append([]SegmentRef(nil), e.refs...)
+}
+
+// Remap moves segment segIdx of a vdisk to a new block server and bumps
+// the disk's generation — the cutover step of a live segment migration.
+func (t *SegmentTable) Remap(vdisk uint32, segIdx int, server uint32) error {
+	e, ok := t.disks[vdisk]
+	if !ok {
+		return fmt.Errorf("sa: remap of unknown vdisk %d", vdisk)
+	}
+	if segIdx < 0 || segIdx >= len(e.refs) {
+		return fmt.Errorf("sa: remap of vdisk %d segment %d out of range [0,%d)", vdisk, segIdx, len(e.refs))
+	}
+	e.refs[segIdx].Server = server
+	e.gen++
+	return nil
+}
+
+// Grow extends a vdisk to newSizeBytes, striping the added segments
+// round-robin across the given servers, and returns the new references.
+// Shrinking is refused: segments under live I/O cannot be unmapped safely.
+func (t *SegmentTable) Grow(vdisk uint32, newSizeBytes uint64, servers []uint32) ([]SegmentRef, error) {
+	e, ok := t.disks[vdisk]
+	if !ok {
+		return nil, fmt.Errorf("sa: grow of unknown vdisk %d", vdisk)
+	}
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("sa: growing vdisk %d with no block servers", vdisk)
+	}
+	want := int((newSizeBytes + SegmentBytes - 1) / SegmentBytes)
+	if want < len(e.refs) {
+		return nil, fmt.Errorf("sa: vdisk %d shrink %d -> %d segments refused", vdisk, len(e.refs), want)
+	}
+	var added []SegmentRef
+	for i := len(e.refs); i < want; i++ {
+		t.nextSegID++
+		ref := SegmentRef{Server: servers[(i-len(e.refs))%len(servers)], SegmentID: t.nextSegID}
+		added = append(added, ref)
+	}
+	e.refs = append(e.refs, added...)
+	if len(added) > 0 {
+		e.gen++
+	}
+	return added, nil
+}
+
+// Delete unmaps a vdisk entirely; later Lookups miss, so racing I/O fails
+// with a provisioning error rather than touching freed segments.
+func (t *SegmentTable) Delete(vdisk uint32) error {
+	if _, ok := t.disks[vdisk]; !ok {
+		return fmt.Errorf("sa: delete of unknown vdisk %d", vdisk)
+	}
+	delete(t.disks, vdisk)
+	return nil
 }
 
 // QoSSpec is a virtual disk's purchased service level.
@@ -140,6 +235,15 @@ func OffloadedParams() Params {
 	}
 }
 
+// tenantBucket is one tenant's aggregate admission state on this agent:
+// token buckets for IOPS and bytes riding the engine's coarse timer class,
+// layered above the per-disk slot pacing. A nil bucket means that
+// dimension is uncapped.
+type tenantBucket struct {
+	iops  *sim.TokenBucket
+	bytes *sim.TokenBucket
+}
+
 // Agent is one compute server's storage agent.
 type Agent struct {
 	eng    *sim.Engine
@@ -154,28 +258,37 @@ type Agent struct {
 	gen       uint32
 	ciphers   map[uint32]*seccrypto.BlockCipher
 
+	// Tenant QoS: vdisk → tenant name → shared buckets. Lookup-only maps
+	// (never iterated), so ordering cannot leak into the simulation.
+	tenantOf map[uint32]string
+	tenants  map[string]*tenantBucket
+
 	// Recycled BlockCRCs backing arrays (one-touch CRC metadata), so the
 	// steady-state write path does not allocate per RPC.
 	crcLists [][]uint32
 
 	// Stats.
-	IOs      uint64
-	Splits   uint64
-	QoSDelay time.Duration
+	IOs         uint64
+	Splits      uint64
+	Retries     uint64 // not-owner re-sends after a migration cutover
+	QoSDelay    time.Duration
+	TenantDelay time.Duration
 }
 
 // New creates an agent bound to a frontend client and a shared segment
 // table (the management plane's view).
 func New(eng *sim.Engine, cores *sim.Server, fn transport.Client, segs *SegmentTable, params Params) *Agent {
 	return &Agent{
-		eng:     eng,
-		cores:   cores,
-		fn:      fn,
-		segs:    segs,
-		qos:     map[uint32]*qosState{},
-		ciphers: map[uint32]*seccrypto.BlockCipher{},
-		params:  params,
-		rand:    eng.Rand.Fork(),
+		eng:      eng,
+		cores:    cores,
+		fn:       fn,
+		segs:     segs,
+		qos:      map[uint32]*qosState{},
+		ciphers:  map[uint32]*seccrypto.BlockCipher{},
+		tenantOf: map[uint32]string{},
+		tenants:  map[string]*tenantBucket{},
+		params:   params,
+		rand:     eng.Rand.Fork(),
 	}
 }
 
@@ -239,6 +352,95 @@ func (a *Agent) SetQoS(vdisk uint32, spec QoSSpec) {
 		spec.BurstWindow = 10 * time.Millisecond
 	}
 	a.qos[vdisk] = &qosState{spec: spec}
+}
+
+// ClearQoS removes a disk's service level (volume deletion).
+func (a *Agent) ClearQoS(vdisk uint32) {
+	delete(a.qos, vdisk)
+	delete(a.tenantOf, vdisk)
+}
+
+// SetTenant binds a vdisk to a tenant: its I/Os draw from the tenant's
+// aggregate buckets (SetTenantQoS) before the per-disk pacing. An empty
+// tenant unbinds.
+func (a *Agent) SetTenant(vdisk uint32, tenant string) {
+	if tenant == "" {
+		delete(a.tenantOf, vdisk)
+		return
+	}
+	a.tenantOf[vdisk] = tenant
+}
+
+// SetTenantQoS installs or live-updates a tenant's aggregate service level
+// on this agent: token buckets refilled on the coarse timer class, layered
+// above the per-disk slot pacing. A dimension that has never been given a
+// positive rate stays uncapped; once capped, an update to <= 0 pauses the
+// bucket — parked I/Os stay parked until a later update raises the rate
+// again (SetRate re-arms their wake timers). Burst capacity is sized at
+// install time from BurstWindow, with floors of one I/O and 4 MiB so a
+// single large I/O always fits within burst.
+func (a *Agent) SetTenantQoS(tenant string, spec QoSSpec) {
+	if spec.BurstWindow <= 0 {
+		spec.BurstWindow = 10 * time.Millisecond
+	}
+	window := spec.BurstWindow.Seconds()
+	byteRate := spec.BandwidthBps / 8
+	tb := a.tenants[tenant]
+	if tb == nil {
+		tb = &tenantBucket{}
+		a.tenants[tenant] = tb
+	}
+	iopsBurst := spec.IOPS * window
+	if iopsBurst < 1 {
+		iopsBurst = 1
+	}
+	byteBurst := byteRate * window
+	if byteBurst < 4<<20 {
+		byteBurst = 4 << 20
+	}
+	tb.iops = retuneBucket(a.eng, tb.iops, spec.IOPS, iopsBurst)
+	tb.bytes = retuneBucket(a.eng, tb.bytes, byteRate, byteBurst)
+}
+
+// retuneBucket applies one QoS dimension to an optional bucket: nil stays
+// nil (uncapped) unless the rate is positive, and an existing bucket is
+// retuned in place so its parked waiters survive the update.
+func retuneBucket(eng *sim.Engine, b *sim.TokenBucket, rate, burst float64) *sim.TokenBucket {
+	if b == nil {
+		if rate <= 0 {
+			return nil
+		}
+		return sim.NewTokenBucket(eng, rate, burst)
+	}
+	b.SetRate(rate)
+	return b
+}
+
+// TenantBucketWaiting reports how many I/Os a tenant has parked in this
+// agent's buckets (diagnostics).
+func (a *Agent) TenantBucketWaiting(tenant string) int {
+	tb := a.tenants[tenant]
+	if tb == nil {
+		return 0
+	}
+	n := 0
+	if tb.iops != nil {
+		n += tb.iops.Waiting()
+	}
+	if tb.bytes != nil {
+		n += tb.bytes.Waiting()
+	}
+	return n
+}
+
+// tenantBucketFor resolves the tenant buckets a vdisk draws from (nil when
+// the disk has no tenant binding or the tenant has no service level).
+func (a *Agent) tenantBucketFor(vdisk uint32) *tenantBucket {
+	name := a.tenantOf[vdisk]
+	if name == "" {
+		return nil
+	}
+	return a.tenants[name]
 }
 
 // admit reserves QoS capacity for an I/O, returning the queueing delay
@@ -369,22 +571,51 @@ func (a *Agent) io(vdisk uint32, lba uint64, size int, data []byte, done func(Re
 	// Pacing is latency-tolerant: the admission wait rides the coarse
 	// scheduling class (the instant is exact either way, only the cost of
 	// waiting changes).
-	a.eng.ScheduleCoarse(admission, func() {
-		start := a.eng.Now()
-		afterSA := func() {
-			saDone := a.eng.Now()
-			span.Add(trace.SA, saDone.Sub(start))
-			a.issue(span, vdisk, gen, opCode, pieces, data, size, saDone, done)
+	proceed := func() {
+		a.eng.ScheduleCoarse(admission, func() {
+			start := a.eng.Now()
+			afterSA := func() {
+				saDone := a.eng.Now()
+				span.Add(trace.SA, saDone.Sub(start))
+				a.issue(span, vdisk, gen, opCode, pieces, data, size, saDone, done)
+			}
+			if a.params.Offloaded {
+				// Table lookups ride the FPGA pipeline; no CPU is consumed.
+				a.eng.Schedule(time.Duration(len(pieces))*a.params.OffloadLatency, afterSA)
+			} else {
+				a.cores.Submit(a.saBusy(size), func() {
+					a.eng.Schedule(a.saDelay(), afterSA)
+				})
+			}
+		})
+	}
+	tb := a.tenantBucketFor(vdisk)
+	if tb == nil {
+		// No tenant binding: identical event sequence to a tenant-free
+		// build, so existing scenarios stay byte-for-byte unchanged.
+		proceed()
+		return
+	}
+	// Tenant admission layers above the per-disk pacing: one IOPS token,
+	// then the I/O's bytes. Both Waits ride the coarse timer class; a
+	// paused tenant (rate <= 0) parks here until SetTenantQoS raises it.
+	t0 := a.eng.Now()
+	afterBytes := func() {
+		a.TenantDelay += a.eng.Now().Sub(t0)
+		proceed()
+	}
+	afterIOPS := func() {
+		if tb.bytes == nil {
+			afterBytes()
+			return
 		}
-		if a.params.Offloaded {
-			// Table lookups ride the FPGA pipeline; no CPU is consumed.
-			a.eng.Schedule(time.Duration(len(pieces))*a.params.OffloadLatency, afterSA)
-		} else {
-			a.cores.Submit(a.saBusy(size), func() {
-				a.eng.Schedule(a.saDelay(), afterSA)
-			})
-		}
-	})
+		tb.bytes.Wait(float64(size), afterBytes)
+	}
+	if tb.iops == nil {
+		afterIOPS()
+		return
+	}
+	tb.iops.Wait(1, afterIOPS)
 }
 
 // issue sends one RPC per piece and assembles the completion.
@@ -434,47 +665,63 @@ func (a *Agent) issue(span *trace.Span, vdisk uint32, gen uint32, op uint8,
 		} else {
 			msg.ReadLen = pc.n
 		}
-		a.fn.Call(pc.ref.Server, msg, func(resp *transport.Response) {
-			if msg.BlockCRCs != nil {
-				a.putCRCList(msg.BlockCRCs)
-				msg.BlockCRCs = nil
-			}
-			if resp.Err != nil && firstErr == nil {
-				firstErr = resp.Err
-			}
-			if op == wire.RPCReadReq && resp.Data != nil {
-				copy(buf[pc.off:], resp.Data)
-				if a.params.Encrypted && !a.params.Offloaded {
-					a.cryptBlocks(vdisk, pc.ref.SegmentID, pc.lba, buf[pc.off:pc.off+pc.n])
+		var send func(server uint32, attempt int)
+		send = func(server uint32, attempt int) {
+			a.fn.Call(server, msg, func(resp *transport.Response) {
+				// A not-owner rejection means a live migration cut the
+				// segment over while this RPC was in flight. Re-resolve the
+				// (generation-bumped) segment table; if it now points at a
+				// different server, retry there. The CRC list must survive
+				// the retry, so it is recycled only once the piece settles.
+				if resp.Err != nil && errors.Is(resp.Err, transport.ErrNotOwner) && attempt < notOwnerRetries {
+					if ref, ok := a.segs.Lookup(vdisk, pc.lba); ok && ref.Server != server {
+						a.Retries++
+						send(ref.Server, attempt+1)
+						return
+					}
 				}
-			}
-			if resp.ServerWall > maxWall {
-				maxWall = resp.ServerWall
-			}
-			if resp.SSDTime > maxSSD {
-				maxSSD = resp.SSDTime
-			}
-			remaining--
-			if remaining > 0 {
-				return
-			}
-			// All pieces done: attribute.
-			wall := a.eng.Now().Sub(fnStart)
-			fn := wall - maxWall
-			if fn < 0 {
-				fn = 0
-			}
-			bn := maxWall - maxSSD
-			if bn < 0 {
-				bn = 0
-			}
-			span.Add(trace.FN, fn)
-			span.Add(trace.BN, bn)
-			span.Add(trace.SSD, maxSSD)
-			if a.collector != nil {
-				a.collector.Record(span)
-			}
-			done(Result{Data: buf, Err: firstErr, Span: span})
-		})
+				if msg.BlockCRCs != nil {
+					a.putCRCList(msg.BlockCRCs)
+					msg.BlockCRCs = nil
+				}
+				if resp.Err != nil && firstErr == nil {
+					firstErr = resp.Err
+				}
+				if op == wire.RPCReadReq && resp.Data != nil {
+					copy(buf[pc.off:], resp.Data)
+					if a.params.Encrypted && !a.params.Offloaded {
+						a.cryptBlocks(vdisk, pc.ref.SegmentID, pc.lba, buf[pc.off:pc.off+pc.n])
+					}
+				}
+				if resp.ServerWall > maxWall {
+					maxWall = resp.ServerWall
+				}
+				if resp.SSDTime > maxSSD {
+					maxSSD = resp.SSDTime
+				}
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				// All pieces done: attribute.
+				wall := a.eng.Now().Sub(fnStart)
+				fn := wall - maxWall
+				if fn < 0 {
+					fn = 0
+				}
+				bn := maxWall - maxSSD
+				if bn < 0 {
+					bn = 0
+				}
+				span.Add(trace.FN, fn)
+				span.Add(trace.BN, bn)
+				span.Add(trace.SSD, maxSSD)
+				if a.collector != nil {
+					a.collector.Record(span)
+				}
+				done(Result{Data: buf, Err: firstErr, Span: span})
+			})
+		}
+		send(pc.ref.Server, 0)
 	}
 }

@@ -1,6 +1,8 @@
 package sa
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -212,6 +214,209 @@ func TestOffloadedSATiny(t *testing.T) {
 	eng2.Run()
 	if sw.Span.Get(trace.SA) < 4*soft.Span.Get(trace.SA) {
 		t.Fatalf("software SA %v not ≫ offloaded %v", sw.Span.Get(trace.SA), soft.Span.Get(trace.SA))
+	}
+}
+
+func TestSegmentTableProvisionZeroSize(t *testing.T) {
+	st := NewSegmentTable()
+	if err := st.Provision(5, 0, []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Lookup(5, 0); ok {
+		t.Fatal("segmentless disk lookup succeeded")
+	}
+	if st.Size(5) != 0 {
+		t.Fatalf("Size = %d, want 0", st.Size(5))
+	}
+	if st.Generation(5) != 0 {
+		t.Fatalf("Generation = %d, want 0", st.Generation(5))
+	}
+	// A later Grow maps space and bumps the generation.
+	added, err := st.Grow(5, 4<<20, []uint32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 2 {
+		t.Fatalf("Grow added %d segments, want 2", len(added))
+	}
+	if st.Generation(5) != 1 {
+		t.Fatalf("Generation after grow = %d, want 1", st.Generation(5))
+	}
+	if _, ok := st.Lookup(5, 3<<20); !ok {
+		t.Fatal("lookup after grow missed")
+	}
+}
+
+func TestSegmentTableRemapBumpsGeneration(t *testing.T) {
+	st := NewSegmentTable()
+	if err := st.Provision(3, 4<<20, []uint32{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remap(3, 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation(3) != 1 {
+		t.Fatalf("Generation = %d, want 1", st.Generation(3))
+	}
+	ref, ok := st.Lookup(3, SegmentBytes)
+	if !ok || ref.Server != 99 {
+		t.Fatalf("remapped lookup = %+v ok=%v", ref, ok)
+	}
+	if err := st.Remap(3, 5, 99); err == nil {
+		t.Fatal("out-of-range remap allowed")
+	}
+	if err := st.Remap(77, 0, 99); err == nil {
+		t.Fatal("unknown-disk remap allowed")
+	}
+}
+
+func TestSegmentTableGrowRefusesShrinkAndDelete(t *testing.T) {
+	st := NewSegmentTable()
+	if err := st.Provision(9, 8<<20, []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Grow(9, 2<<20, []uint32{1}); err == nil {
+		t.Fatal("shrink allowed")
+	}
+	// Growing to the same size is a no-op, not an error.
+	added, err := st.Grow(9, 8<<20, []uint32{1})
+	if err != nil || len(added) != 0 {
+		t.Fatalf("no-op grow: added=%d err=%v", len(added), err)
+	}
+	if st.Generation(9) != 0 {
+		t.Fatal("no-op grow bumped generation")
+	}
+	if err := st.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Lookup(9, 0); ok {
+		t.Fatal("deleted disk lookup succeeded")
+	}
+	if err := st.Delete(9); err == nil {
+		t.Fatal("double delete allowed")
+	}
+}
+
+// Tenant buckets pace the aggregate of all disks bound to the tenant,
+// above any per-disk pacing.
+func TestTenantPacingAggregate(t *testing.T) {
+	eng, a, _, segs := newAgent(t, OffloadedParams())
+	if err := segs.Provision(2, 64<<20, []uint32{0xA1, 0xA2, 0xA3}); err != nil {
+		t.Fatal(err)
+	}
+	a.SetTenant(1, "acme")
+	a.SetTenant(2, "acme")
+	a.SetTenantQoS("acme", QoSSpec{IOPS: 1000, BurstWindow: time.Millisecond})
+	done := 0
+	for i := 0; i < 50; i++ {
+		a.Write(uint32(1+i%2), uint64(i)<<12, make([]byte, 4096), func(Result) { done++ })
+	}
+	eng.Run()
+	if done != 50 {
+		t.Fatalf("done %d/50", done)
+	}
+	// 50 I/Os across two disks sharing a 1000 IOPS tenant cap → ≥ ~45ms.
+	if eng.Now().Duration() < 40*time.Millisecond {
+		t.Fatalf("finished in %v; tenant pacing absent", eng.Now().Duration())
+	}
+	if a.TenantDelay == 0 {
+		t.Fatal("no tenant delay accounted")
+	}
+}
+
+// Setting a tenant's rate to zero parks its I/Os; raising it again re-arms
+// the parked waiters (the SetRate re-arm path) and they complete.
+func TestTenantPauseResume(t *testing.T) {
+	eng, a, _, _ := newAgent(t, OffloadedParams())
+	a.SetTenant(1, "acme")
+	a.SetTenantQoS("acme", QoSSpec{IOPS: 1000, BurstWindow: time.Millisecond})
+	a.SetTenantQoS("acme", QoSSpec{IOPS: 0}) // pause
+	done := 0
+	for i := 0; i < 3; i++ {
+		a.Write(1, uint64(i)<<12, make([]byte, 4096), func(Result) { done++ })
+	}
+	eng.Run()
+	if done != 1 {
+		// The burst floor holds one token, so exactly one I/O slips
+		// through before the pause bites.
+		t.Fatalf("done = %d with tenant paused, want 1", done)
+	}
+	if w := a.TenantBucketWaiting("acme"); w != 2 {
+		t.Fatalf("parked waiters = %d, want 2", w)
+	}
+	a.SetTenantQoS("acme", QoSSpec{IOPS: 1000}) // resume
+	eng.Run()
+	if done != 3 {
+		t.Fatalf("done = %d after resume, want 3", done)
+	}
+}
+
+// migratingFN rejects one server's requests with ErrNotOwner, modelling a
+// block server that released the segment mid-flight.
+type migratingFN struct {
+	eng    *sim.Engine
+	reject uint32
+	calls  []uint32
+}
+
+func (f *migratingFN) Call(dst uint32, req *transport.Message, done func(*transport.Response)) {
+	f.calls = append(f.calls, dst)
+	f.eng.Schedule(50*time.Microsecond, func() {
+		if dst == f.reject {
+			done(&transport.Response{Err: fmt.Errorf("released: %w", transport.ErrNotOwner)})
+			return
+		}
+		done(&transport.Response{ServerWall: 30 * time.Microsecond, SSDTime: 12 * time.Microsecond})
+	})
+}
+
+// A not-owner rejection that races a cutover retries against the fresh
+// segment-table entry and succeeds.
+func TestNotOwnerRetryAfterRemap(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fn := &migratingFN{eng: eng, reject: 0xA1}
+	segs := NewSegmentTable()
+	if err := segs.Provision(1, 4<<20, []uint32{0xA1}); err != nil {
+		t.Fatal(err)
+	}
+	a := New(eng, sim.NewServer(eng, "cpu", 4), fn, segs, OffloadedParams())
+	var res Result
+	a.Write(1, 0, make([]byte, 4096), func(r Result) { res = r })
+	// Cut the segment over while the first RPC is in flight.
+	eng.Schedule(10*time.Microsecond, func() {
+		if err := segs.Remap(1, 0, 0xB1); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if a.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", a.Retries)
+	}
+	if len(fn.calls) != 2 || fn.calls[0] != 0xA1 || fn.calls[1] != 0xB1 {
+		t.Fatalf("calls = %x, want [a1 b1]", fn.calls)
+	}
+}
+
+// Without a table change the rejection surfaces instead of looping.
+func TestNotOwnerWithoutRemapSurfaces(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fn := &migratingFN{eng: eng, reject: 0xA1}
+	segs := NewSegmentTable()
+	if err := segs.Provision(1, 4<<20, []uint32{0xA1}); err != nil {
+		t.Fatal(err)
+	}
+	a := New(eng, sim.NewServer(eng, "cpu", 4), fn, segs, OffloadedParams())
+	var res Result
+	a.Write(1, 0, make([]byte, 4096), func(r Result) { res = r })
+	eng.Run()
+	if !errors.Is(res.Err, transport.ErrNotOwner) {
+		t.Fatalf("err = %v, want ErrNotOwner", res.Err)
+	}
+	if a.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", a.Retries)
 	}
 }
 

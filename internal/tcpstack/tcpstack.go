@@ -13,6 +13,7 @@ package tcpstack
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -267,7 +268,12 @@ func (s *Stack) dispatchRecord(c *conn, rec record) {
 			default: // response
 				if done, ok := s.pending[rec.rpc.RPCID]; ok {
 					delete(s.pending, rec.rpc.RPCID)
+					var rerr error
+					if rec.ebs.Flags&wire.EBSFlagReject != 0 {
+						rerr = transport.ErrNotOwner
+					}
 					done(&transport.Response{
+						Err:        rerr,
 						Data:       rec.payload,
 						ServerWall: time.Duration(rec.ebs.ServerNS),
 						SSDTime:    time.Duration(rec.ebs.SSDNS),
@@ -315,6 +321,11 @@ func (s *Stack) makeRecordSpan(id uint64, op uint8, req *transport.Message, resp
 		payload = resp.Data
 		ebs.ServerNS = uint32(resp.ServerWall.Nanoseconds())
 		ebs.SSDNS = uint32(resp.SSDTime.Nanoseconds())
+		if resp.Err != nil && errors.Is(resp.Err, transport.ErrNotOwner) {
+			// Ownership rejection survives the wire as a header flag;
+			// the client side rebuilds transport.ErrNotOwner from it.
+			ebs.Flags = wire.EBSFlagReject
+		}
 	}
 	rpc := wire.RPC{RPCID: id, MsgType: op, NumPkts: 1}
 	sp := span{hdr: s.pool.GetBuf(recordHdrSize)}

@@ -26,6 +26,7 @@ type Event struct {
 //	EvIntegrityHit    Arg1=rpcID   Arg2=0
 //	EvCRCError        Arg1=diskID  Arg2=blockID
 //	EvAdmissionWait   Arg1=rpcID   Arg2=waitNs
+//	EvCutover         Arg1=segID   Arg2=newAddr
 const (
 	EvRetransmit      = "retransmit"
 	EvEarlyRetransmit = "early-retransmit"
@@ -33,6 +34,7 @@ const (
 	EvIntegrityHit    = "integrity-hit"
 	EvCRCError        = "crc-error"
 	EvAdmissionWait   = "admission-wait"
+	EvCutover         = "cutover"
 )
 
 // Recorder is a fixed-depth ring buffer of the last N anomalous events — a

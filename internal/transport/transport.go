@@ -86,6 +86,12 @@ type Stack interface {
 // (callers normally see queueing, not errors).
 var ErrAdmission = errors.New("transport: rejected by QoS admission")
 
+// ErrNotOwner is returned by a block server for a segment it has released
+// to another owner (live segment migration cutover). The storage agent
+// treats it as a routing miss: re-resolve the segment table — whose
+// generation the cutover bumped — and retry against the new location.
+var ErrNotOwner = errors.New("transport: segment not owned by this server")
+
 // RTT tracks smoothed RTT and variance per Jacobson/Karels and derives the
 // retransmission timeout.
 type RTT struct {

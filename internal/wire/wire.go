@@ -313,6 +313,11 @@ const (
 	// (computed once at ingress), distinguishing a genuine CRC of zero
 	// from "no CRC attached" on transports where carriage is optional.
 	EBSFlagHasCRC = 1 << 2
+	// EBSFlagReject marks a READ response carrying no data: the server no
+	// longer owns the requested segment (migration cutover). The client
+	// fails the read with transport.ErrNotOwner instead of waiting for
+	// blocks that will never arrive.
+	EBSFlagReject = 1 << 3
 )
 
 // EBSSize is the EBS header length.
